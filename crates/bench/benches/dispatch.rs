@@ -1,0 +1,76 @@
+//! Dispatch kernels: one POLAR slot assignment and one DAIF insertion
+//! batch at realistic slot sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gridtuner_dispatch::daif::DaifConfig;
+use gridtuner_dispatch::sim::SlotContext;
+use gridtuner_dispatch::{Daif, DemandView, Dispatcher, Driver, FleetConfig, Order, Polar};
+use gridtuner_spatial::{CountMatrix, GeoBounds, Point, SlotId};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::time::Duration;
+
+fn orders(n: usize, seed: u64) -> Vec<Order> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|id| Order {
+            id,
+            pickup: Point::new(rng.gen(), rng.gen()),
+            dropoff: Point::new(rng.gen(), rng.gen()),
+            minute: 10,
+            revenue: rng.gen_range(3.0..20.0),
+        })
+        .collect()
+}
+
+fn drivers(n: usize, seed: u64) -> Vec<Driver> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|id| Driver {
+            id,
+            pos: Point::new(rng.gen(), rng.gen()),
+            free_at: 0,
+        })
+        .collect()
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dispatch");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    let geo = GeoBounds::nyc();
+    let fleet = FleetConfig {
+        max_wait_min: 20.0,
+        ..FleetConfig::default()
+    };
+    let demand = DemandView::from_hgrid(CountMatrix::zeros(32));
+    let os = orders(120, 1);
+    let ds = drivers(150, 2);
+    g.bench_function("polar_assign_120x150", |b| {
+        let mut polar = Polar::new();
+        b.iter(|| {
+            let ctx = SlotContext {
+                slot: SlotId(20),
+                minute: 600,
+                demand: &demand,
+                geo: &geo,
+                fleet: &fleet,
+            };
+            polar.assign(&ctx, &os, &ds)
+        })
+    });
+    g.bench_function("daif_day_300_requests", |b| {
+        let daif = Daif::new(DaifConfig {
+            n_workers: 60,
+            ..DaifConfig::default()
+        });
+        let os = orders(300, 3);
+        b.iter(|| {
+            daif.run(&geo, &os, &mut |_| {
+                DemandView::from_hgrid(CountMatrix::zeros(32))
+            })
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Fig. 16's timing leg as a Criterion bench: the three expression-error
+//! algorithms across K, plus the adaptive-window production variant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridtuner_core::expression::{
+    expression_error_alg1, expression_error_alg2, expression_error_naive,
+    expression_error_windowed,
+};
+use std::time::Duration;
+
+fn bench_expression(c: &mut Criterion) {
+    let (a, b, m) = (2.0f64, 30.0f64, 64usize);
+    let mut g = c.benchmark_group("expression_error");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    for k in [10usize, 25, 50] {
+        g.bench_with_input(BenchmarkId::new("naive", k), &k, |bch, &k| {
+            bch.iter(|| expression_error_naive(a, b, m, k))
+        });
+        g.bench_with_input(BenchmarkId::new("alg1", k), &k, |bch, &k| {
+            bch.iter(|| expression_error_alg1(a, b, m, k))
+        });
+        g.bench_with_input(BenchmarkId::new("alg2", k), &k, |bch, &k| {
+            bch.iter(|| expression_error_alg2(a, b, m, k))
+        });
+    }
+    for k in [100usize, 250] {
+        g.bench_with_input(BenchmarkId::new("alg1", k), &k, |bch, &k| {
+            bch.iter(|| expression_error_alg1(a, b, m, k))
+        });
+        g.bench_with_input(BenchmarkId::new("alg2", k), &k, |bch, &k| {
+            bch.iter(|| expression_error_alg2(a, b, m, k))
+        });
+    }
+    g.bench_function("windowed", |bch| {
+        bch.iter(|| expression_error_windowed(a, b, m))
+    });
+    // A large-mean HGrid (n = 1 regime): only the stable variants apply.
+    g.bench_function("windowed_large_mean", |bch| {
+        bch.iter(|| expression_error_windowed(80.0, 7_920.0, 100))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_expression);
+criterion_main!(benches);

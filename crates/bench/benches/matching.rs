@@ -1,0 +1,29 @@
+//! Bipartite matching: Hungarian vs greedy at dispatch-slot sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridtuner_dispatch::{greedy_assignment, hungarian};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::time::Duration;
+
+fn instance(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n * n).map(|_| rng.gen_range(0.0..30.0)).collect()
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matching");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    for n in [20usize, 60, 150] {
+        let cost = instance(n, n as u64);
+        g.bench_with_input(BenchmarkId::new("hungarian", n), &n, |b, &n| {
+            b.iter(|| hungarian(&cost, n, n))
+        });
+        g.bench_with_input(BenchmarkId::new("greedy", n), &n, |b, &n| {
+            b.iter(|| greedy_assignment(&cost, n, n))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! The NN substrate: layer forward/backward and a full training step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gridtuner_nn::{
+    mse_loss, Adam, Conv2d, Dense, Flatten, Layer, Optimizer, ReLU, Sequential, Tensor,
+};
+use rand::{rngs::StdRng, SeedableRng};
+use std::time::Duration;
+
+fn bench_nn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nn");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    let mut rng = StdRng::seed_from_u64(1);
+
+    let mut dense = Dense::new(&mut rng, 1024, 256);
+    let x1 = Tensor::zeros(&[1024]);
+    g.bench_function("dense_1024x256_forward", |b| b.iter(|| dense.forward(&x1)));
+
+    let mut conv = Conv2d::new(&mut rng, 8, 8, 3);
+    let x2 = Tensor::zeros(&[8, 16, 16]);
+    g.bench_function("conv_8ch_16x16_forward", |b| b.iter(|| conv.forward(&x2)));
+
+    // One full train step of a small MLP (forward + backward + Adam).
+    let mut net = Sequential::new(vec![
+        Box::new(Flatten::new()),
+        Box::new(Dense::new(&mut rng, 4 * 64, 128)),
+        Box::new(ReLU::new()),
+        Box::new(Dense::new(&mut rng, 128, 64)),
+    ]);
+    let mut opt = Adam::new(1e-3);
+    let x3 = Tensor::zeros(&[4, 8, 8]);
+    let t3 = Tensor::zeros(&[64]);
+    g.bench_function("mlp_train_step", |b| {
+        b.iter(|| {
+            let y = net.forward(&x3);
+            let (_, grad) = mse_loss(&y, &t3);
+            net.backward(&grad);
+            opt.step(&mut net.params_mut());
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_nn);
+criterion_main!(benches);

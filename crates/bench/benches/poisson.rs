@@ -1,0 +1,44 @@
+//! Poisson machinery: stable pmf ranges and exact sampling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridtuner_core::poisson::{mass_window, poisson_pmf_range};
+use gridtuner_datagen::sample_poisson;
+use rand::{rngs::StdRng, SeedableRng};
+use std::time::Duration;
+
+fn bench_poisson(c: &mut Criterion) {
+    let mut g = c.benchmark_group("poisson");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    for lambda in [5.0f64, 500.0, 50_000.0] {
+        g.bench_with_input(
+            BenchmarkId::new("pmf_mass_window", lambda as u64),
+            &lambda,
+            |b, &l| {
+                b.iter(|| {
+                    let (lo, hi) = mass_window(l, 0);
+                    poisson_pmf_range(l, lo, hi)
+                })
+            },
+        );
+    }
+    for lambda in [0.5f64, 8.0, 1_000.0] {
+        g.bench_with_input(
+            BenchmarkId::new("sample_1k", format!("{lambda}")),
+            &lambda,
+            |b, &l| {
+                let mut rng = StdRng::seed_from_u64(3);
+                b.iter(|| {
+                    let mut acc = 0u64;
+                    for _ in 0..1_000 {
+                        acc += sample_poisson(&mut rng, l);
+                    }
+                    acc
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_poisson);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Spatial substrate: event binning and resolution changes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gridtuner_spatial::{CountMatrix, CountSeries, Event, GridSpec, Point, SlotClock};
+use std::time::Duration;
+
+fn bench_spatial(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spatial");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    let clock = SlotClock::default();
+    let events: Vec<Event> = (0..100_000)
+        .map(|i| {
+            Event::new(
+                Point::new(
+                    (i as f64 * 0.618_034) % 1.0,
+                    (i as f64 * 0.414_214) % 1.0,
+                ),
+                (i % (48 * 30)) as u32,
+            )
+        })
+        .collect();
+    g.bench_function("count_100k_events_128", |b| {
+        b.iter(|| CountSeries::from_events(&events, GridSpec::new(128), &clock, 48))
+    });
+    let mut field = CountMatrix::zeros(128);
+    for (i, v) in field.as_mut_slice().iter_mut().enumerate() {
+        *v = (i % 17) as f64;
+    }
+    g.bench_function("coarsen_128_to_16", |b| b.iter(|| field.coarsen(8).unwrap()));
+    let coarse = field.coarsen(8).unwrap();
+    g.bench_function("spread_16_to_128", |b| b.iter(|| coarse.spread(8).unwrap()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_spatial);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! The experiment runner: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p gridtuner-bench --bin repro -- <id> [--quick] [--scale X] [--seed S]
+//! cargo run --release -p gridtuner-bench --bin repro -- all --quick
+//! ```
+//!
+//! Where `<id>` is one of: fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11
+//! fig13 fig14 fig15 fig16 fig17 fig18 fig19 tab3 tab4 all.
+
+use gridtuner_bench::{experiments as ex, RunCfg};
+use std::time::Instant;
+
+const IDS: &[&str] = &[
+    "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig13", "fig14",
+    "fig15", "fig16", "fig17", "fig18", "fig19", "tab3", "tab4", "abl-matching",
+    "abl-reposition", "abl-kselect",
+];
+
+fn usage() -> ! {
+    eprintln!("usage: repro <id>|all [--quick] [--scale X] [--seed S]");
+    eprintln!("ids: {}", IDS.join(" "));
+    std::process::exit(2);
+}
+
+fn run_one(id: &str, cfg: &RunCfg) {
+    let t0 = Instant::now();
+    match id {
+        "fig3" => ex::fig3::run(cfg),
+        "fig4" => ex::fig4::run(cfg),
+        "fig5" => ex::fig5::run(cfg),
+        "fig6" => ex::task_assignment::run_city(cfg, 0, "fig6"),
+        "fig7" => ex::task_assignment::run_city(cfg, 1, "fig7"),
+        "fig8" => ex::task_assignment::run_city(cfg, 2, "fig8"),
+        "fig9" => ex::task_assignment::run_daif(cfg),
+        "fig10" => ex::fig10_11::run_fig10(cfg),
+        "fig11" => ex::fig10_11::run_fig11(cfg),
+        "fig13" => ex::fig13::run(cfg),
+        "fig14" => ex::fig14::run(cfg),
+        "fig15" => ex::fig15::run(cfg),
+        "fig16" => ex::fig16::run(cfg),
+        "fig17" => ex::search_experiments::run_fig17(cfg),
+        "fig18" => ex::search_experiments::run_fig18(cfg),
+        "fig19" => ex::fig19::run(cfg),
+        "tab3" => ex::tab3::run(cfg),
+        "tab4" => ex::search_experiments::run_tab4(cfg),
+        "abl-matching" => ex::ablations::run_matching(cfg),
+        "abl-reposition" => ex::ablations::run_reposition(cfg),
+        "abl-kselect" => ex::ablations::run_kselect(cfg),
+        other => {
+            eprintln!("unknown experiment id: {other}");
+            usage();
+        }
+    }
+    eprintln!("[{id} done in {:.1?}]", t0.elapsed());
+    println!();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let id = args[0].clone();
+    let mut cfg = RunCfg::default();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                let seed = cfg.seed;
+                cfg = RunCfg::quick();
+                cfg.seed = seed;
+            }
+            "--scale" => {
+                i += 1;
+                cfg.volume_scale = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                i += 1;
+                cfg.seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if id == "all" {
+        for id in IDS {
+            run_one(id, &cfg);
+        }
+    } else {
+        run_one(&id, &cfg);
+    }
+}

@@ -1,0 +1,15 @@
+//! One module per paper table/figure.
+
+pub mod ablations;
+pub mod fig10_11;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig19;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod search_experiments;
+pub mod tab3;
+pub mod task_assignment;

@@ -1,0 +1,155 @@
+//! Tiny dependency-free argument parser: `--key value` flags after a
+//! subcommand, with typed accessors and helpful errors.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--key value` flags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    flags: BTreeMap<String, String>,
+}
+
+/// Parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses `argv` (without the program name).
+    pub fn parse(argv: &[String]) -> Result<Args, ArgError> {
+        let mut it = argv.iter();
+        let command = it
+            .next()
+            .ok_or_else(|| ArgError("missing subcommand".into()))?
+            .clone();
+        if command.starts_with("--") {
+            return Err(ArgError(format!(
+                "expected a subcommand before flags, got {command}"
+            )));
+        }
+        let mut flags = BTreeMap::new();
+        while let Some(key) = it.next() {
+            let key = key
+                .strip_prefix("--")
+                .ok_or_else(|| ArgError(format!("expected --flag, got {key}")))?;
+            let value = it
+                .next()
+                .ok_or_else(|| ArgError(format!("--{key} needs a value")))?;
+            if flags.insert(key.to_string(), value.clone()).is_some() {
+                return Err(ArgError(format!("--{key} given twice")));
+            }
+        }
+        Ok(Args { command, flags })
+    }
+
+    /// String flag with a default.
+    pub fn str_or(&self, key: &str, default: &str) -> String {
+        self.flags.get(key).cloned().unwrap_or_else(|| default.into())
+    }
+
+    /// Typed flag with a default; errors when present but unparsable.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{key}: cannot parse {v:?}"))),
+        }
+    }
+
+    /// A `lo:hi` range flag.
+    pub fn range_or(&self, key: &str, default: (u32, u32)) -> Result<(u32, u32), ArgError> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => {
+                let (a, b) = v
+                    .split_once(':')
+                    .ok_or_else(|| ArgError(format!("--{key}: expected lo:hi, got {v:?}")))?;
+                let lo = a
+                    .parse()
+                    .map_err(|_| ArgError(format!("--{key}: bad lower bound {a:?}")))?;
+                let hi = b
+                    .parse()
+                    .map_err(|_| ArgError(format!("--{key}: bad upper bound {b:?}")))?;
+                if lo == 0 || lo > hi {
+                    return Err(ArgError(format!("--{key}: invalid range {lo}:{hi}")));
+                }
+                Ok((lo, hi))
+            }
+        }
+    }
+
+    /// Rejects flags outside the allowed set (typo protection).
+    pub fn expect_only(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        for k in self.flags.keys() {
+            if !allowed.contains(&k.as_str()) {
+                return Err(ArgError(format!(
+                    "unknown flag --{k} for `{}` (allowed: {})",
+                    self.command,
+                    allowed
+                        .iter()
+                        .map(|a| format!("--{a}"))
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = Args::parse(&argv("tune --city nyc --scale 0.05")).unwrap();
+        assert_eq!(a.command, "tune");
+        assert_eq!(a.str_or("city", "xian"), "nyc");
+        assert_eq!(a.get_or("scale", 1.0f64).unwrap(), 0.05);
+        assert_eq!(a.get_or("seed", 7u64).unwrap(), 7);
+    }
+
+    #[test]
+    fn range_flag() {
+        let a = Args::parse(&argv("tune --range 4:76")).unwrap();
+        assert_eq!(a.range_or("range", (1, 10)).unwrap(), (4, 76));
+        let a = Args::parse(&argv("tune")).unwrap();
+        assert_eq!(a.range_or("range", (1, 10)).unwrap(), (1, 10));
+        let a = Args::parse(&argv("tune --range 9:3")).unwrap();
+        assert!(a.range_or("range", (1, 10)).is_err());
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(Args::parse(&[]).is_err());
+        assert!(Args::parse(&argv("--city nyc")).is_err());
+        assert!(Args::parse(&argv("tune --city")).is_err());
+        assert!(Args::parse(&argv("tune city nyc")).is_err());
+        assert!(Args::parse(&argv("tune --city a --city b")).is_err());
+        let a = Args::parse(&argv("tune --scale abc")).unwrap();
+        assert!(a.get_or("scale", 1.0f64).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_rejected() {
+        let a = Args::parse(&argv("tune --bogus 1")).unwrap();
+        assert!(a.expect_only(&["city", "scale"]).is_err());
+        let a = Args::parse(&argv("tune --city nyc")).unwrap();
+        assert!(a.expect_only(&["city", "scale"]).is_ok());
+    }
+}

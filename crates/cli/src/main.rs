@@ -1,0 +1,244 @@
+//! `gridtuner` — the command-line face of the library.
+//!
+//! ```text
+//! gridtuner tune       --city nyc --scale 0.05 --strategy iterative --budget 64 --range 2:24
+//! gridtuner expression --alpha 2 --rest 30 --m 64 [--k 250]
+//! gridtuner generate   --city chengdu --scale 0.01 --day 0
+//! gridtuner simulate   --city xian --algorithm polar --side 16 --scale 0.01
+//! ```
+//!
+//! `tune` finds the optimal MGrid side for a synthetic city; `expression`
+//! evaluates one HGrid's expression error; `generate` streams a day of
+//! trip records as TSV; `simulate` runs a dispatcher on a generated test
+//! day; `heatmap` renders a city's mean demand field in the terminal.
+//! Everything is deterministic per `--seed`.
+
+mod args;
+
+use args::{ArgError, Args};
+use gridtuner::core::alpha::AlphaWindow;
+use gridtuner::core::expression::{expression_error_alg2, expression_error_windowed};
+use gridtuner::core::tuner::{GridTuner, SearchStrategy, TunerConfig};
+use gridtuner::datagen::{City, DataSplit, TripGenerator};
+use gridtuner::dispatch::{
+    Daif, DemandView, FleetConfig, Ls, Nearest, Order, Polar, SimConfig, Simulator,
+};
+use gridtuner::dispatch::daif::DaifConfig;
+use gridtuner::predict::{CityModelError, HistoricalAverage, Predictor};
+use gridtuner::spatial::Partition;
+use rand::{rngs::StdRng, SeedableRng};
+
+const USAGE: &str = "\
+usage: gridtuner <command> [--flag value]...
+
+commands:
+  tune        find the optimal MGrid side for a city
+              --city nyc|chengdu|xian  --scale F  --seed N
+              --strategy brute|ternary|iterative  --budget SIDE  --range LO:HI
+  expression  expression error of one HGrid (alpha, rest-of-MGrid, m)
+              --alpha F  --rest F  --m N  [--k N: fixed-K Algorithm 2]
+  generate    stream one day of trip records as TSV
+              --city C  --scale F  --day N  --seed N
+  simulate    run a dispatcher over a generated test day
+              --city C  --scale F  --algorithm polar|ls|daif|nearest
+              --side N  --budget SIDE  --drivers N  --seed N
+  heatmap     ASCII heat map of a city's mean demand field
+              --city C  --side N  --hour H
+";
+
+fn city_by_name(name: &str) -> Result<City, ArgError> {
+    match name {
+        "nyc" => Ok(City::nyc()),
+        "chengdu" => Ok(City::chengdu()),
+        "xian" => Ok(City::xian()),
+        other => Err(ArgError(format!(
+            "unknown city {other:?} (expected nyc|chengdu|xian)"
+        ))),
+    }
+}
+
+fn cmd_tune(a: &Args) -> Result<(), ArgError> {
+    a.expect_only(&["city", "scale", "seed", "strategy", "budget", "range"])?;
+    let city = city_by_name(&a.str_or("city", "xian"))?.scaled(a.get_or("scale", 0.05)?);
+    let seed: u64 = a.get_or("seed", 2022u64)?;
+    let budget: u32 = a.get_or("budget", 64u32)?;
+    let range = a.range_or("range", (2, 24))?;
+    let strategy = match a.str_or("strategy", "iterative").as_str() {
+        "brute" => SearchStrategy::BruteForce,
+        "ternary" => SearchStrategy::Ternary,
+        "iterative" => SearchStrategy::Iterative { init: 16, bound: 4 },
+        other => return Err(ArgError(format!("unknown strategy {other:?}"))),
+    };
+    let clock = *city.clock();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let events = city.sample_history_events(16, 0..28, &mut rng);
+    eprintln!(
+        "tuning {} (volume {:.0}/day, {} history events, sides {}..{})",
+        city.name(),
+        city.daily_volume(),
+        events.len(),
+        range.0,
+        range.1
+    );
+    let split = DataSplit {
+        train_days: (0, 28),
+        val_days: (28, 30),
+        test_day: 30,
+    };
+    let model = CityModelError::new(city.clone(), split, seed, || {
+        Box::new(HistoricalAverage::new()) as Box<dyn Predictor>
+    })
+    .with_max_eval_slots(24);
+    let tuner = GridTuner::new(TunerConfig {
+        hgrid_budget_side: budget,
+        side_range: range,
+        strategy,
+        alpha_window: AlphaWindow::default(),
+    });
+    let result = tuner.tune(&events, clock, model);
+    println!("optimal_side\t{}", result.outcome.side);
+    println!("optimal_n\t{0}x{0}", result.outcome.side);
+    println!("upper_bound_error\t{:.2}", result.outcome.error);
+    println!("model_trainings\t{}", result.outcome.evals);
+    println!(
+        "partition\tm={} hgrid_lattice={}",
+        result.partition.m(),
+        result.partition.hgrid_spec().side()
+    );
+    Ok(())
+}
+
+fn cmd_expression(a: &Args) -> Result<(), ArgError> {
+    a.expect_only(&["alpha", "rest", "m", "k"])?;
+    let alpha: f64 = a.get_or("alpha", 2.0)?;
+    let rest: f64 = a.get_or("rest", 30.0)?;
+    let m: usize = a.get_or("m", 64usize)?;
+    let k: usize = a.get_or("k", 0usize)?;
+    let value = if k > 0 {
+        expression_error_alg2(alpha, rest, m, k)
+    } else {
+        expression_error_windowed(alpha, rest, m)
+    };
+    println!("expression_error\t{value:.9}");
+    Ok(())
+}
+
+fn cmd_generate(a: &Args) -> Result<(), ArgError> {
+    a.expect_only(&["city", "scale", "day", "seed"])?;
+    let city = city_by_name(&a.str_or("city", "xian"))?.scaled(a.get_or("scale", 0.01)?);
+    let day: u32 = a.get_or("day", 0u32)?;
+    let seed: u64 = a.get_or("seed", 2022u64)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let trips = TripGenerator::default().trips_for_day(&city, day, &mut rng);
+    println!("minute\tpickup_lon\tpickup_lat\tdropoff_lon\tdropoff_lat\trevenue");
+    for t in &trips {
+        let (plon, plat) = city.geo().to_geo(&t.pickup);
+        let (dlon, dlat) = city.geo().to_geo(&t.dropoff);
+        println!(
+            "{}\t{plon:.6}\t{plat:.6}\t{dlon:.6}\t{dlat:.6}\t{:.2}",
+            t.minute, t.revenue
+        );
+    }
+    eprintln!("generated {} trips for {} day {day}", trips.len(), city.name());
+    Ok(())
+}
+
+fn cmd_simulate(a: &Args) -> Result<(), ArgError> {
+    a.expect_only(&["city", "scale", "algorithm", "side", "budget", "drivers", "seed"])?;
+    let city = city_by_name(&a.str_or("city", "xian"))?.scaled(a.get_or("scale", 0.01)?);
+    let side: u32 = a.get_or("side", 16u32)?;
+    let budget: u32 = a.get_or("budget", 64u32)?;
+    let seed: u64 = a.get_or("seed", 2022u64)?;
+    let n_drivers: usize =
+        a.get_or("drivers", ((city.daily_volume() / 22.0) as usize).max(10))?;
+    let algorithm = a.str_or("algorithm", "polar");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let trips = TripGenerator::default().trips_for_day(&city, 0, &mut rng);
+    let orders = Order::from_trips(&trips);
+    // Demand view: the true mean field at the chosen MGrid resolution
+    // (plug a trained model here in library use; the CLI keeps it simple).
+    let partition = Partition::for_budget(side, budget);
+    let mut demand = |slot| {
+        let mgrid = city.mean_field(partition.mgrid_spec(), slot);
+        DemandView::from_mgrid(&mgrid, &partition)
+    };
+    let outcome = if algorithm == "daif" {
+        let daif = Daif::new(DaifConfig {
+            n_workers: n_drivers,
+            seed,
+            ..DaifConfig::default()
+        });
+        daif.run(city.geo(), &orders, &mut demand)
+    } else {
+        let sim = Simulator::new(SimConfig {
+            fleet: FleetConfig {
+                n_drivers,
+                seed,
+                ..FleetConfig::default()
+            },
+            geo: *city.geo(),
+            unserved_penalty_km: 10.0,
+        });
+        match algorithm.as_str() {
+            "polar" => sim.run(&orders, &mut Polar::new(), &mut demand),
+            "ls" => sim.run(&orders, &mut Ls::new(), &mut demand),
+            "nearest" => sim.run(&orders, &mut Nearest::new(), &mut demand),
+            other => return Err(ArgError(format!("unknown algorithm {other:?}"))),
+        }
+    };
+    println!("algorithm\t{algorithm}");
+    println!("orders\t{}", outcome.total_orders);
+    println!("served\t{}", outcome.served);
+    println!("service_rate\t{:.4}", outcome.service_rate());
+    println!("revenue\t{:.2}", outcome.revenue);
+    println!("travel_km\t{:.1}", outcome.travel_km);
+    println!("unified_cost\t{:.1}", outcome.unified_cost);
+    Ok(())
+}
+
+fn cmd_heatmap(a: &Args) -> Result<(), ArgError> {
+    a.expect_only(&["city", "side", "hour"])?;
+    let city = city_by_name(&a.str_or("city", "nyc"))?;
+    let side: u32 = a.get_or("side", 32u32)?;
+    let hour: u32 = a.get_or("hour", 8u32)?;
+    if hour >= 24 {
+        return Err(ArgError("--hour must be 0..24".into()));
+    }
+    let clock = *city.clock();
+    let slot = clock.slot_at(7, clock.slot_of_day_at(hour, 0));
+    let field = city.mean_field(gridtuner::spatial::GridSpec::new(side), slot);
+    eprintln!(
+        "{} mean demand at {hour:02}:00 ({:.0} events/slot, north up)",
+        city.name(),
+        field.total()
+    );
+    print!("{}", gridtuner::spatial::io::ascii_heatmap(&field));
+    Ok(())
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match Args::parse(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let result = match args.command.as_str() {
+        "tune" => cmd_tune(&args),
+        "expression" => cmd_expression(&args),
+        "generate" => cmd_generate(&args),
+        "simulate" => cmd_simulate(&args),
+        "heatmap" => cmd_heatmap(&args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(ArgError(format!("unknown command {other:?}"))),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}\n\n{USAGE}");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,179 @@
+//! Estimation of the per-HGrid mean `α_ij`.
+//!
+//! The paper estimates `α_ij` as "the average number of events at the same
+//! period of all workdays in last one month" (Sec. V-B). This module turns a
+//! raw event log into that estimate on an arbitrary grid, so the same event
+//! set can back every probed partition (whose HGrid lattice side changes
+//! with `n`).
+
+use gridtuner_spatial::{CountMatrix, Event, GridSpec, SlotClock};
+
+/// Configuration of the α-estimation window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AlphaWindow {
+    /// Slot-of-day to average over (paper default: 16 = 8:00–8:30 A.M.).
+    pub slot_of_day: u32,
+    /// First day (inclusive) of the history window.
+    pub day_start: u32,
+    /// Last day (exclusive) of the history window.
+    pub day_end: u32,
+    /// Restrict to weekdays (paper: workdays only).
+    pub weekdays_only: bool,
+}
+
+impl Default for AlphaWindow {
+    fn default() -> Self {
+        AlphaWindow {
+            slot_of_day: 16,
+            day_start: 0,
+            day_end: 28,
+            weekdays_only: true,
+        }
+    }
+}
+
+impl AlphaWindow {
+    /// The matching days in the window, respecting the weekday mask
+    /// (day 0 is a Monday, see [`SlotClock::is_weekday`]).
+    pub fn days(&self, clock: &SlotClock) -> Vec<u32> {
+        (self.day_start..self.day_end)
+            .filter(|&d| !self.weekdays_only || clock.is_weekday(clock.slot_at(d, 0)))
+            .collect()
+    }
+}
+
+/// Estimates the mean event field `α` on `spec` by averaging the event
+/// counts of the window's matching (day, slot) pairs.
+///
+/// Events outside the matching slots or the unit square are ignored.
+/// Returns zeros when the window matches no days.
+pub fn estimate_alpha(
+    events: &[Event],
+    spec: GridSpec,
+    clock: &SlotClock,
+    window: &AlphaWindow,
+) -> CountMatrix {
+    let days = window.days(clock);
+    let mut alpha = CountMatrix::zeros(spec.side());
+    if days.is_empty() {
+        return alpha;
+    }
+    // Mark matching global slots for O(1) membership checks.
+    let max_slot = days
+        .iter()
+        .map(|&d| clock.slot_at(d, window.slot_of_day).index())
+        .max()
+        .unwrap();
+    let mut matching = vec![false; max_slot + 1];
+    for &d in &days {
+        matching[clock.slot_at(d, window.slot_of_day).index()] = true;
+    }
+    for e in events {
+        let s = e.slot(clock).index();
+        if s < matching.len() && matching[s] {
+            if let Some(cell) = spec.cell_of(&e.loc) {
+                *alpha.get_mut(cell) += 1.0;
+            }
+        }
+    }
+    alpha.scale(1.0 / days.len() as f64);
+    alpha
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridtuner_spatial::Point;
+
+    fn clock() -> SlotClock {
+        SlotClock::default()
+    }
+
+    #[test]
+    fn default_window_is_the_papers() {
+        let w = AlphaWindow::default();
+        assert_eq!(w.slot_of_day, 16); // 8:00 A.M.
+        assert_eq!(w.day_end - w.day_start, 28); // "last one month"
+        assert!(w.weekdays_only);
+        assert_eq!(w.days(&clock()).len(), 20); // 4 weeks × 5 workdays
+    }
+
+    #[test]
+    fn alpha_averages_over_matching_days() {
+        let c = clock();
+        let w = AlphaWindow {
+            slot_of_day: 0,
+            day_start: 0,
+            day_end: 2,
+            weekdays_only: false,
+        };
+        // Day 0 slot 0: two events in cell 0. Day 1 slot 0: one event in
+        // cell 0. Other slots: noise that must be ignored.
+        let events = vec![
+            Event::new(Point::new(0.1, 0.1), 0),
+            Event::new(Point::new(0.2, 0.2), 10),
+            Event::new(Point::new(0.1, 0.1), 24 * 60), // day 1 slot 0
+            Event::new(Point::new(0.1, 0.1), 45),      // slot 1: ignored
+            Event::new(Point::new(0.9, 0.9), 24 * 60 * 3), // day 3: ignored
+        ];
+        let alpha = estimate_alpha(&events, GridSpec::new(2), &c, &w);
+        assert!((alpha.as_slice()[0] - 1.5).abs() < 1e-12);
+        assert_eq!(alpha.as_slice()[3], 0.0);
+    }
+
+    #[test]
+    fn weekday_mask_drops_weekend_events() {
+        let c = clock();
+        let w = AlphaWindow {
+            slot_of_day: 0,
+            day_start: 0,
+            day_end: 7,
+            weekdays_only: true,
+        };
+        // One event per day at slot 0, same cell.
+        let events: Vec<Event> = (0..7)
+            .map(|d| Event::new(Point::new(0.5, 0.5), d * 24 * 60))
+            .collect();
+        let alpha = estimate_alpha(&events, GridSpec::new(1), &c, &w);
+        // 5 weekday events averaged over 5 weekdays.
+        assert!((alpha.as_slice()[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_window_returns_zeros() {
+        let c = clock();
+        let w = AlphaWindow {
+            slot_of_day: 0,
+            day_start: 5,
+            day_end: 5,
+            weekdays_only: false,
+        };
+        let events = vec![Event::new(Point::new(0.5, 0.5), 0)];
+        let alpha = estimate_alpha(&events, GridSpec::new(2), &c, &w);
+        assert_eq!(alpha.total(), 0.0);
+    }
+
+    #[test]
+    fn alpha_mass_is_resolution_invariant() {
+        // The same events binned at different resolutions keep total mass.
+        let c = clock();
+        let w = AlphaWindow {
+            slot_of_day: 0,
+            day_start: 0,
+            day_end: 1,
+            weekdays_only: false,
+        };
+        let events: Vec<Event> = (0..50)
+            .map(|i| {
+                Event::new(
+                    Point::new((i as f64 * 0.619) % 1.0, (i as f64 * 0.317) % 1.0),
+                    i % 30,
+                )
+            })
+            .collect();
+        let a8 = estimate_alpha(&events, GridSpec::new(8), &c, &w);
+        let a13 = estimate_alpha(&events, GridSpec::new(13), &c, &w);
+        assert!((a8.total() - a13.total()).abs() < 1e-9);
+        assert!((a8.total() - 50.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,466 @@
+//! The expression error `E_e(i,j) = E|λ̄_ij − λ_ij|` (Definition 5) under
+//! the paper's Poisson model, and the paper's three ways of computing it.
+//!
+//! With `λ_ij ~ Pois(a)` (`a = α_ij`) and the rest of the MGrid
+//! `λ_{i,≠j} ~ Pois(b)` (`b = Σ_{g≠j} α_ig`), Eq. 7 gives
+//!
+//! ```text
+//! E_e(i,j) = Σ_{k_h} Σ_{k_m} |(m−1)·k_h − k_m| / m · P_a(k_h) · P_b(k_m)
+//! ```
+//!
+//! truncated at `k_h ≤ K`, `k_m ≤ (m−1)K` (Theorem III.2 bounds the
+//! truncation error). The implementations:
+//!
+//! * [`expression_error_naive`] — recomputes each pmf value from scratch by
+//!   repeated multiplication, `O(mK³)`: the strawman of Fig. 16;
+//! * [`expression_error_alg1`] — the paper's Algorithm 1, incremental pmf
+//!   recurrences, `O(mK²)`;
+//! * [`expression_error_alg2`] — the paper's Algorithm 2, prefix sums over
+//!   the inner series, `O(mK)`;
+//! * [`expression_error_windowed`] — a production variant of Algorithm 2
+//!   that replaces the fixed `K` with the Poisson mass window, so cost
+//!   scales with `√α` instead of `K` and MGrid means in the thousands stay
+//!   both stable and fast. This is what the field-level sweeps use.
+//!
+//! `naive` and `alg1` follow the paper in starting their recurrences at
+//! `e^{-α}`, which underflows to zero for `α ≳ 745`; they are kept faithful
+//! for the algorithmic comparison and validated only in that domain.
+//! `alg2` and `windowed` anchor pmf evaluation at the mode
+//! (see [`crate::poisson::poisson_pmf_range`]) and have no such limit.
+
+use crate::poisson::{mass_window, poisson_pmf_range};
+use gridtuner_spatial::{CountMatrix, Partition};
+
+/// Expression error by brute force: every `p(r_ij, k_h, k_m)` is rebuilt by
+/// an `O(k_h + k_m)` multiplication loop, giving `O(mK³)` total. Subject to
+/// underflow for `a + b ≳ 745`, like the paper's original.
+pub fn expression_error_naive(a: f64, b: f64, m: usize, k: usize) -> f64 {
+    check_args(a, b, m);
+    if m == 1 {
+        return 0.0;
+    }
+    let t1 = (m - 1) * k;
+    let base = (-(a + b)).exp();
+    let mut total = 0.0;
+    for kh in 0..=k {
+        for km in 0..=t1 {
+            // p = e^{-(a+b)} a^kh/kh! · b^km/km!, built term by term.
+            let mut p = base;
+            for i in 1..=kh {
+                p *= a / i as f64;
+            }
+            for j in 1..=km {
+                p *= b / j as f64;
+            }
+            let weight = ((m - 1) as f64 * kh as f64 - km as f64).abs() / m as f64;
+            total += weight * p;
+        }
+    }
+    total
+}
+
+/// Algorithm 1 of the paper: the pmf recurrences
+/// `p₁ ← p₁·a/k_h`, `p₂ ← p₂·b/(k_m+1)` make each term `O(1)`, for `O(mK²)`
+/// total. (The paper's pseudocode updates `p₁` *after* the inner loop
+/// starting from `k_h = 1`, which would pair weight `k_h` with probability
+/// `P_a(k_h − 1)`; we keep weight and probability aligned.)
+pub fn expression_error_alg1(a: f64, b: f64, m: usize, k: usize) -> f64 {
+    check_args(a, b, m);
+    if m == 1 {
+        return 0.0;
+    }
+    let t1 = (m - 1) * k;
+    let mut total = 0.0;
+    let mut p1 = (-a).exp(); // P_a(0)
+    for kh in 0..=k {
+        let mut p2 = (-b).exp(); // P_b(0)
+        for km in 0..=t1 {
+            let weight = ((m - 1) as f64 * kh as f64 - km as f64).abs() / m as f64;
+            total += weight * p1 * p2;
+            p2 *= b / (km + 1) as f64;
+        }
+        p1 *= a / (kh + 1) as f64;
+    }
+    total
+}
+
+/// Algorithm 2 of the paper: split Eq. 16 into the two series `e₁`, `e₂`
+/// and maintain their inner sums as prefix sums, giving `O(mK)` total:
+///
+/// ```text
+/// m·E_e = Σ_kh (m−1)·k_h·P_a(k_h)·(2·C_b(T−1) − C_b(T₁))
+///       − Σ_kh          P_a(k_h)·(2·S_b(T−1) − S_b(T₁))
+/// ```
+///
+/// with `T = (m−1)k_h`, `T₁ = (m−1)K`, `C_b`/`S_b` the cumulative pmf and
+/// first-moment sums of `Pois(b)`. pmf values come from the mode-anchored
+/// recurrence, so arbitrarily large means are handled.
+pub fn expression_error_alg2(a: f64, b: f64, m: usize, k: usize) -> f64 {
+    check_args(a, b, m);
+    if m == 1 {
+        return 0.0;
+    }
+    let t1 = (m - 1) * k;
+    let pa = poisson_pmf_range(a, 0, k as u64);
+    let pb = poisson_pmf_range(b, 0, t1 as u64);
+    // Prefix sums: cum[j] = Σ_{k≤j} P_b(k), mom[j] = Σ_{k≤j} k·P_b(k).
+    let mut cum = vec![0.0; t1 + 1];
+    let mut mom = vec![0.0; t1 + 1];
+    let mut c = 0.0;
+    let mut s = 0.0;
+    for (j, &p) in pb.iter().enumerate() {
+        c += p;
+        s += j as f64 * p;
+        cum[j] = c;
+        mom[j] = s;
+    }
+    let c_tot = cum[t1];
+    let s_tot = mom[t1];
+    let prefix = |arr: &[f64], t: isize| -> f64 {
+        if t < 0 {
+            0.0
+        } else {
+            arr[(t as usize).min(t1)]
+        }
+    };
+    let mut total = 0.0;
+    for (kh, &p_a) in pa.iter().enumerate() {
+        let t = ((m - 1) * kh) as isize - 1;
+        let bracket_c = 2.0 * prefix(&cum, t) - c_tot;
+        let bracket_s = 2.0 * prefix(&mom, t) - s_tot;
+        total += p_a * ((m - 1) as f64 * kh as f64 * bracket_c - bracket_s);
+    }
+    total / m as f64
+}
+
+/// Adaptive-window Algorithm 2: instead of the fixed truncation `K`, sum
+/// only over the mass windows of `Pois(a)` and `Pois(b)` (everything
+/// outside carries < 1e-12 of mass). Equivalent to the `K → ∞` limit of
+/// [`expression_error_alg2`] with cost `O(√a + √b)`.
+///
+/// ```
+/// use gridtuner_core::expression::{expression_error_alg2, expression_error_windowed};
+/// let (a, b, m) = (2.0, 10.0, 8);
+/// let full = expression_error_windowed(a, b, m);
+/// // The fixed-K series converges to the windowed value from below.
+/// assert!(expression_error_alg2(a, b, m, 100) <= full + 1e-9);
+/// assert!((expression_error_alg2(a, b, m, 100) - full).abs() < 1e-6);
+/// ```
+pub fn expression_error_windowed(a: f64, b: f64, m: usize) -> f64 {
+    check_args(a, b, m);
+    if m == 1 {
+        return 0.0;
+    }
+    let (la, ha) = mass_window(a, 2);
+    let (lb, hb) = mass_window(b, 2);
+    let pa = poisson_pmf_range(a, la, ha);
+    let pb = poisson_pmf_range(b, lb, hb);
+    let mut cum = vec![0.0; pb.len()];
+    let mut mom = vec![0.0; pb.len()];
+    let mut c = 0.0;
+    let mut s = 0.0;
+    for (i, &p) in pb.iter().enumerate() {
+        c += p;
+        s += (lb + i as u64) as f64 * p;
+        cum[i] = c;
+        mom[i] = s;
+    }
+    let c_tot = c;
+    let s_tot = s;
+    // Prefix value of cum/mom at absolute index t (saturating outside the
+    // window: below → 0, above → total).
+    let prefix = |arr: &[f64], tot: f64, t: i64| -> f64 {
+        if t < lb as i64 {
+            0.0
+        } else if t >= hb as i64 {
+            tot
+        } else {
+            arr[(t - lb as i64) as usize]
+        }
+    };
+    let mut total = 0.0;
+    for (i, &p_a) in pa.iter().enumerate() {
+        let kh = la + i as u64;
+        let t = ((m - 1) as u64 * kh) as i64 - 1;
+        let bracket_c = 2.0 * prefix(&cum, c_tot, t) - c_tot;
+        let bracket_s = 2.0 * prefix(&mom, s_tot, t) - s_tot;
+        total += p_a * ((m - 1) as f64 * kh as f64 * bracket_c - bracket_s);
+    }
+    total / m as f64
+}
+
+/// Sum of `E_e(i,j)` over all HGrids of one MGrid with per-HGrid means
+/// `alphas` (`m = alphas.len()`). Uses the adaptive-window algorithm.
+pub fn mgrid_expression_error(alphas: &[f64]) -> f64 {
+    let m = alphas.len();
+    if m <= 1 {
+        return 0.0;
+    }
+    let total: f64 = alphas.iter().sum();
+    alphas
+        .iter()
+        .map(|&a| expression_error_windowed(a, (total - a).max(0.0), m))
+        .sum()
+}
+
+/// Total expression error `Σ_i Σ_j E_e(i,j)` for a partition, given the
+/// per-HGrid mean field `alpha` on the partition's HGrid lattice.
+/// MGrids are processed in parallel.
+pub fn total_expression_error(alpha: &CountMatrix, partition: &Partition) -> f64 {
+    assert_eq!(
+        alpha.side(),
+        partition.hgrid_spec().side(),
+        "alpha field must live on the partition's HGrid lattice"
+    );
+    let mgrids: Vec<_> = partition.mgrid_spec().cells().collect();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(mgrids.len().max(1));
+    let chunk = mgrids.len().div_ceil(threads);
+    let mut partials = vec![0.0; threads];
+    crossbeam::thread::scope(|scope| {
+        for (t, out) in partials.iter_mut().enumerate() {
+            let slice = &mgrids[(t * chunk).min(mgrids.len())..((t + 1) * chunk).min(mgrids.len())];
+            scope.spawn(move |_| {
+                let mut acc = 0.0;
+                for &mcell in slice {
+                    let alphas: Vec<f64> = partition
+                        .hgrids_of(mcell)
+                        .into_iter()
+                        .map(|h| alpha.get(h))
+                        .collect();
+                    acc += mgrid_expression_error(&alphas);
+                }
+                *out = acc;
+            });
+        }
+    })
+    .expect("expression-error worker panicked");
+    partials.iter().sum()
+}
+
+/// Lemma III.1's closed-form bound on the (truncated) expression error:
+/// `E_e(i,j) < (1 − 2/m)·α_ij + (Σ_k α_ik)/m`.
+pub fn lemma_upper_bound(a: f64, b: f64, m: usize) -> f64 {
+    (1.0 - 2.0 / m as f64) * a + (a + b) / m as f64
+}
+
+fn check_args(a: f64, b: f64, m: usize) {
+    assert!(a >= 0.0 && b >= 0.0, "negative Poisson means");
+    assert!(m >= 1, "m must be at least 1");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridtuner_spatial::Partition;
+
+    const CASES: &[(f64, f64, usize, usize)] = &[
+        (1.0, 3.0, 4, 20),
+        (0.5, 0.5, 2, 25),
+        (2.0, 10.0, 9, 30),
+        (0.0, 5.0, 4, 25),
+        (5.0, 0.0, 4, 30),
+        (3.3, 7.7, 16, 25),
+    ];
+
+    #[test]
+    fn three_algorithms_agree() {
+        for &(a, b, m, k) in CASES {
+            let naive = expression_error_naive(a, b, m, k);
+            let alg1 = expression_error_alg1(a, b, m, k);
+            let alg2 = expression_error_alg2(a, b, m, k);
+            assert!(
+                (naive - alg1).abs() < 1e-10,
+                "naive {naive} vs alg1 {alg1} at {a},{b},{m},{k}"
+            );
+            assert!(
+                (alg1 - alg2).abs() < 1e-9,
+                "alg1 {alg1} vs alg2 {alg2} at {a},{b},{m},{k}"
+            );
+        }
+    }
+
+    #[test]
+    fn windowed_matches_large_k_alg2() {
+        for &(a, b, m, _) in CASES {
+            let exact = expression_error_alg2(a, b, m, 120);
+            let win = expression_error_windowed(a, b, m);
+            assert!(
+                (exact - win).abs() < 1e-8,
+                "alg2(K=120) {exact} vs windowed {win} at {a},{b},{m}"
+            );
+        }
+    }
+
+    #[test]
+    fn windowed_survives_huge_means() {
+        // n = 1 on a busy city: the MGrid mean is in the thousands. The
+        // expression error must be finite, positive, and below the Lemma
+        // III.1 bound.
+        let (a, b, m) = (80.0, 7_920.0, 100);
+        let e = expression_error_windowed(a, b, m);
+        assert!(e.is_finite() && e > 0.0, "e = {e}");
+        assert!(e < lemma_upper_bound(a, b, m));
+    }
+
+    #[test]
+    fn m_equal_one_is_zero() {
+        assert_eq!(expression_error_windowed(7.0, 0.0, 1), 0.0);
+        assert_eq!(expression_error_alg2(7.0, 0.0, 1, 50), 0.0);
+        assert_eq!(expression_error_naive(7.0, 0.0, 1, 10), 0.0);
+    }
+
+    #[test]
+    fn zero_alpha_hgrid_reduces_to_mean_of_rest() {
+        // a = 0 ⇒ λ_ij ≡ 0 and E|λ̄_ij − λ_ij| = E[λ_i/m] = b/m.
+        let (b, m) = (12.0, 6);
+        let e = expression_error_windowed(0.0, b, m);
+        assert!((e - b / m as f64).abs() < 1e-9, "e = {e}");
+    }
+
+    #[test]
+    fn uniform_mgrid_has_small_but_nonzero_error() {
+        // Even a perfectly uniform mean field has expression error from
+        // Poisson sampling noise; it must be far below an uneven field's.
+        let m = 16;
+        let uniform = expression_error_windowed(4.0, 4.0 * (m - 1) as f64, m);
+        let uneven = expression_error_windowed(64.0, 0.0, m);
+        assert!(uniform > 0.0);
+        assert!(uneven > 3.0 * uniform, "uniform {uniform} uneven {uneven}");
+    }
+
+    #[test]
+    fn truncated_series_is_monotone_in_k() {
+        let (a, b, m) = (2.0, 6.0, 4);
+        let mut prev = 0.0;
+        for k in [1usize, 2, 4, 8, 16, 32] {
+            let e = expression_error_alg2(a, b, m, k);
+            assert!(e >= prev - 1e-12, "K={k}: {e} < {prev}");
+            prev = e;
+        }
+        // And it converges to the windowed value.
+        assert!((prev - expression_error_windowed(a, b, m)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn monte_carlo_validation() {
+        // Simulate E|((m−1)X − Y)/m| with X~Pois(a), Y~Pois(b) via a tiny
+        // inline Knuth sampler and compare to the analytic value.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut knuth = |lambda: f64| -> u64 {
+            let l = (-lambda).exp();
+            let mut k = 0u64;
+            let mut p = 1.0;
+            loop {
+                p *= rng.gen::<f64>();
+                if p <= l {
+                    return k;
+                }
+                k += 1;
+            }
+        };
+        let (a, b, m) = (3.0, 9.0, 4usize);
+        let trials = 200_000;
+        let mut acc = 0.0;
+        for _ in 0..trials {
+            let x = knuth(a) as f64;
+            let y = knuth(b) as f64;
+            acc += ((m - 1) as f64 * x - y).abs() / m as f64;
+        }
+        let mc = acc / trials as f64;
+        let analytic = expression_error_windowed(a, b, m);
+        assert!(
+            (mc - analytic).abs() < 0.02 * analytic,
+            "MC {mc} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn lemma_bound_holds_for_truncated_sums() {
+        for &(a, b, m, k) in CASES {
+            if m < 2 {
+                continue;
+            }
+            let e = expression_error_alg2(a, b, m, k);
+            assert!(
+                e < lemma_upper_bound(a, b, m) + 1e-12,
+                "bound violated at {a},{b},{m},{k}"
+            );
+        }
+    }
+
+    #[test]
+    fn mgrid_error_sums_hgrid_errors() {
+        let alphas = [1.0, 2.0, 3.0, 4.0];
+        let total: f64 = alphas
+            .iter()
+            .map(|&a| expression_error_windowed(a, 10.0 - a, 4))
+            .sum();
+        assert!((mgrid_expression_error(&alphas) - total).abs() < 1e-12);
+        assert_eq!(mgrid_expression_error(&[5.0]), 0.0);
+        assert_eq!(mgrid_expression_error(&[]), 0.0);
+    }
+
+    #[test]
+    fn total_expression_error_matches_serial_sum() {
+        let p = Partition::new(2, 2);
+        let alpha = CountMatrix::from_vec(
+            4,
+            vec![
+                1.0, 2.0, 0.5, 0.0, //
+                3.0, 4.0, 1.5, 2.5, //
+                0.0, 0.0, 8.0, 0.0, //
+                0.0, 0.0, 0.0, 0.0,
+            ],
+        )
+        .unwrap();
+        let total = total_expression_error(&alpha, &p);
+        let mut manual = 0.0;
+        for mcell in p.mgrid_spec().cells() {
+            let alphas: Vec<f64> = p.hgrids_of(mcell).into_iter().map(|h| alpha.get(h)).collect();
+            manual += mgrid_expression_error(&alphas);
+        }
+        assert!((total - manual).abs() < 1e-9);
+        // The concentrated MGrid (all mass in one HGrid) dominates.
+        assert!(total > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "HGrid lattice")]
+    fn total_expression_error_validates_lattice() {
+        let p = Partition::new(2, 2);
+        let alpha = CountMatrix::zeros(5);
+        total_expression_error(&alpha, &p);
+    }
+
+    #[test]
+    fn expression_error_decreases_with_n_on_fixed_field() {
+        // The paper's core monotonicity (Fig. 3): finer MGrids → smaller
+        // total expression error, on the same underlying α field.
+        // Build an uneven 8×8 α field, then compare partitions s=1,2,4,8.
+        let side = 8u32;
+        let mut alpha = CountMatrix::zeros(side);
+        for r in 0..side as usize {
+            for c in 0..side as usize {
+                // Hotspot in one corner.
+                alpha.as_mut_slice()[r * side as usize + c] =
+                    20.0 / (1.0 + (r * r + c * c) as f64);
+            }
+        }
+        let mut prev = f64::INFINITY;
+        for s in [1u32, 2, 4, 8] {
+            let part = Partition::for_budget(s, side);
+            let e = total_expression_error(&alpha, &part);
+            assert!(
+                e <= prev + 1e-9,
+                "expression error should fall with n: s={s}, e={e}, prev={prev}"
+            );
+            prev = e;
+        }
+        // At s = 8 every MGrid is a single HGrid: error exactly zero.
+        assert!(prev.abs() < 1e-12);
+    }
+}

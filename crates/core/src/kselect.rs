@@ -1,0 +1,125 @@
+//! Choosing the truncation depth `K` (the practical side of Theorem
+//! III.2).
+//!
+//! Theorem III.2 guarantees that for every ε there is a `K` with
+//! `|Σ_{k_h≤K} Σ_{k_m≤(m−1)K} b − E_e| < ε`, but gives no recipe. The
+//! recipe here bounds the truncated tail mass with a Poisson Chernoff
+//! bound: for `X ~ Pois(λ)` and `x > λ`,
+//! `P(X ≥ x) ≤ exp(−λ) (eλ/x)^x`. The truncated terms are at most
+//! `(max weight) · (tail mass)`, and the weight grows only linearly, so
+//! doubling `K` until the bound clears ε terminates quickly.
+
+use crate::expression::lemma_upper_bound;
+
+/// Chernoff upper bound for `P(Pois(λ) ≥ x)`, `x > λ`.
+pub fn poisson_tail_bound(lambda: f64, x: f64) -> f64 {
+    assert!(lambda >= 0.0, "negative Poisson mean");
+    if x <= lambda {
+        return 1.0;
+    }
+    if lambda == 0.0 {
+        return if x > 0.0 { 0.0 } else { 1.0 };
+    }
+    // exp(−λ) (eλ/x)^x, computed in log space.
+    (-lambda + x * (1.0 + (lambda / x).ln())).exp().min(1.0)
+}
+
+/// Upper bound on the truncation error of the Eq. 7 double series cut at
+/// `k_h ≤ K`, `k_m ≤ (m−1)K`.
+///
+/// Every omitted term lies in one of two tails. The per-term weight
+/// `|(m−1)k_h − k_m|/m` is bounded by Lemma III.1's total on the full
+/// series, so `tail_mass × lemma_bound + linear-tail correction` is a safe
+/// (if loose) cap; we use the simpler and still-valid
+/// `(P(A ≥ K) + P(B ≥ (m−1)K)) · (lemma bound + K)` envelope.
+pub fn truncation_error_bound(a: f64, b: f64, m: usize, k: usize) -> f64 {
+    assert!(m >= 1, "m must be at least 1");
+    if m == 1 {
+        return 0.0;
+    }
+    let tail = poisson_tail_bound(a, k as f64) + poisson_tail_bound(b, ((m - 1) * k) as f64);
+    tail * (lemma_upper_bound(a, b, m) + k as f64)
+}
+
+/// The smallest power-of-two-ish `K` whose [`truncation_error_bound`] is
+/// below `eps`. Starts from the Poisson means (no point truncating below
+/// them) and doubles.
+pub fn recommended_k(a: f64, b: f64, m: usize, eps: f64) -> usize {
+    assert!(eps > 0.0, "eps must be positive");
+    if m == 1 {
+        return 1;
+    }
+    let floor_a = a.ceil() as usize + 4;
+    let floor_b = (b / (m - 1).max(1) as f64).ceil() as usize + 4;
+    let mut k = floor_a.max(floor_b).max(8);
+    while truncation_error_bound(a, b, m, k) > eps {
+        k *= 2;
+        assert!(k < 1 << 24, "runaway K selection (eps too small?)");
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expression::{expression_error_alg2, expression_error_windowed};
+
+    #[test]
+    fn tail_bound_is_a_valid_bound() {
+        // Compare against exact tail mass from the stable pmf.
+        use crate::poisson::{mass_window, poisson_pmf_range};
+        for &lambda in &[1.0, 10.0, 100.0] {
+            for mult in [1.5, 2.0, 3.0] {
+                let x = lambda * mult;
+                let (lo, hi) = mass_window(lambda, 50);
+                let pmf = poisson_pmf_range(lambda, lo, hi);
+                let exact: f64 = pmf
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| (lo + *i as u64) as f64 >= x)
+                    .map(|(_, p)| p)
+                    .sum();
+                let bound = poisson_tail_bound(lambda, x);
+                assert!(
+                    bound >= exact - 1e-12,
+                    "λ={lambda} x={x}: bound {bound} < exact {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tail_bound_edge_cases() {
+        assert_eq!(poisson_tail_bound(5.0, 3.0), 1.0); // x ≤ λ
+        assert_eq!(poisson_tail_bound(0.0, 1.0), 0.0);
+        assert!(poisson_tail_bound(10.0, 100.0) < 1e-40);
+    }
+
+    #[test]
+    fn recommended_k_meets_the_target_precision() {
+        for &(a, b, m) in &[(2.0, 10.0, 8usize), (0.5, 3.0, 4), (20.0, 100.0, 16)] {
+            let eps = 1e-6;
+            let k = recommended_k(a, b, m, eps);
+            let truncated = expression_error_alg2(a, b, m, k);
+            let full = expression_error_windowed(a, b, m);
+            assert!(
+                (truncated - full).abs() < eps * 10.0,
+                "a={a} b={b} m={m}: K={k} gives err {}",
+                (truncated - full).abs()
+            );
+        }
+    }
+
+    #[test]
+    fn recommended_k_scales_with_the_means() {
+        let small = recommended_k(1.0, 5.0, 8, 1e-6);
+        let large = recommended_k(100.0, 500.0, 8, 1e-6);
+        assert!(large > small);
+    }
+
+    #[test]
+    fn degenerate_m_one() {
+        assert_eq!(recommended_k(5.0, 0.0, 1, 1e-9), 1);
+        assert_eq!(truncation_error_bound(5.0, 0.0, 1, 3), 0.0);
+    }
+}

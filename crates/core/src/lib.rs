@@ -1,0 +1,55 @@
+//! The paper's primary contribution: grid-size selection for spatiotemporal
+//! prediction models.
+//!
+//! The crate decomposes the **real error** of a prediction model evaluated
+//! on homogeneous grids (HGrids) into a **model error** and an
+//! **expression error** (Theorem II.1):
+//!
+//! ```text
+//! E_r(i,j) ≤ E_m(i,j) + E_e(i,j)
+//! ```
+//!
+//! and provides everything needed to minimise the right-hand side over the
+//! number of model grids `n`:
+//!
+//! * [`poisson`] — numerically-stable Poisson machinery (log-space pmf,
+//!   closed-form mean absolute deviation, exact sampling);
+//! * [`expression`] — the expression error `E_e(i,j) = E|λ̄_ij − λ_ij|`
+//!   under the Poisson model: the naive `O(mK³)` computation, the paper's
+//!   Algorithm 1 (`O(mK²)`), Algorithm 2 (`O(mK)`), and an adaptive-window
+//!   variant for production field sweeps;
+//! * [`alpha`] — estimation of the per-HGrid mean `α_ij` from historical
+//!   events;
+//! * [`dalpha`] — the unevenness metric `D_α(N)` (Eq. 2) and the rule for
+//!   picking the HGrid budget `N` (Theorem III.1);
+//! * [`errors`] — empirical estimators of real/model/expression error from
+//!   prediction–actual pairs (Definitions 3–5);
+//! * [`upper_bound`] — Algorithm 3 (`UpperBound(n, N, X, Model)`);
+//! * [`search`] — Brute-force, Ternary Search (Algorithm 4) and the
+//!   Iterative Method (Algorithm 5) over the upper bound;
+//! * [`tuner`] — the `GridTuner` facade that wires the above together.
+
+pub mod alpha;
+pub mod dalpha;
+pub mod errors;
+pub mod expression;
+pub mod kselect;
+pub mod metrics;
+pub mod poisson;
+pub mod search;
+pub mod tuner;
+pub mod upper_bound;
+
+pub use alpha::estimate_alpha;
+pub use dalpha::{d_alpha, select_hgrid_side};
+pub use errors::ErrorReport;
+pub use expression::{
+    expression_error_alg1, expression_error_alg2, expression_error_naive,
+    expression_error_windowed, mgrid_expression_error, total_expression_error,
+};
+pub use kselect::{recommended_k, truncation_error_bound};
+pub use search::{
+    brute_force, iterative_method, ternary_search, ErrorOracle, MemoOracle, SearchOutcome,
+};
+pub use tuner::{GridTuner, TunerConfig, TunerResult};
+pub use upper_bound::{ModelErrorFn, UpperBoundOracle};

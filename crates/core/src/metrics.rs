@@ -1,0 +1,116 @@
+//! Scalar accuracy metrics over count fields.
+//!
+//! The paper reports "Order Count Bias" (summed absolute differences);
+//! this module adds the standard companions (MAE, RMSE, total-count bias)
+//! used by the experiment harness and by downstream users comparing
+//! predictors.
+
+use gridtuner_spatial::{CountMatrix, SpatialError};
+
+/// Mean absolute error per cell.
+pub fn mae(pred: &CountMatrix, actual: &CountMatrix) -> Result<f64, SpatialError> {
+    Ok(pred.l1_distance(actual)? / pred.len() as f64)
+}
+
+/// Root mean squared error per cell.
+pub fn rmse(pred: &CountMatrix, actual: &CountMatrix) -> Result<f64, SpatialError> {
+    if pred.side() != actual.side() {
+        return Err(SpatialError::ShapeMismatch {
+            expected: format!("side {}", pred.side()),
+            got: format!("side {}", actual.side()),
+        });
+    }
+    let mse: f64 = pred
+        .as_slice()
+        .iter()
+        .zip(actual.as_slice())
+        .map(|(p, a)| (p - a).powi(2))
+        .sum::<f64>()
+        / pred.len() as f64;
+    Ok(mse.sqrt())
+}
+
+/// Signed total-count bias `Σ pred − Σ actual` (positive = over-forecast).
+pub fn total_bias(pred: &CountMatrix, actual: &CountMatrix) -> Result<f64, SpatialError> {
+    if pred.side() != actual.side() {
+        return Err(SpatialError::ShapeMismatch {
+            expected: format!("side {}", pred.side()),
+            got: format!("side {}", actual.side()),
+        });
+    }
+    Ok(pred.total() - actual.total())
+}
+
+/// Symmetric mean absolute percentage error over cells with
+/// `pred + actual > 0` (the taxi-demand literature's sMAPE variant, which
+/// ignores empty–empty cells instead of dividing by zero).
+pub fn smape(pred: &CountMatrix, actual: &CountMatrix) -> Result<f64, SpatialError> {
+    if pred.side() != actual.side() {
+        return Err(SpatialError::ShapeMismatch {
+            expected: format!("side {}", pred.side()),
+            got: format!("side {}", actual.side()),
+        });
+    }
+    let mut acc = 0.0;
+    let mut n = 0usize;
+    for (p, a) in pred.as_slice().iter().zip(actual.as_slice()) {
+        let denom = p.abs() + a.abs();
+        if denom > 0.0 {
+            acc += (p - a).abs() / (denom / 2.0);
+            n += 1;
+        }
+    }
+    Ok(if n == 0 { 0.0 } else { acc / n as f64 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(v: &[f64]) -> CountMatrix {
+        CountMatrix::from_vec((v.len() as f64).sqrt() as u32, v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn mae_and_rmse_known_values() {
+        let p = m(&[1.0, 2.0, 3.0, 4.0]);
+        let a = m(&[0.0, 2.0, 5.0, 4.0]);
+        assert!((mae(&p, &a).unwrap() - 0.75).abs() < 1e-12);
+        assert!((rmse(&p, &a).unwrap() - (5.0f64 / 4.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bias_is_signed() {
+        let p = m(&[3.0, 3.0, 3.0, 3.0]);
+        let a = m(&[1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(total_bias(&p, &a).unwrap(), 8.0);
+        assert_eq!(total_bias(&a, &p).unwrap(), -8.0);
+    }
+
+    #[test]
+    fn smape_ignores_empty_empty_cells() {
+        let p = m(&[0.0, 2.0, 0.0, 0.0]);
+        let a = m(&[0.0, 2.0, 0.0, 4.0]);
+        // Cell 1: exact → 0. Cell 3: |0-4|/2 = 2. Two counted cells.
+        assert!((smape(&p, &a).unwrap() - 1.0).abs() < 1e-12);
+        // All-empty fields define sMAPE as zero.
+        assert_eq!(smape(&m(&[0.0; 4]), &m(&[0.0; 4])).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn rmse_dominates_mae() {
+        let p = m(&[5.0, 0.0, 0.0, 0.0]);
+        let a = m(&[0.0, 0.0, 0.0, 0.0]);
+        assert!(rmse(&p, &a).unwrap() >= mae(&p, &a).unwrap());
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let p = CountMatrix::zeros(2);
+        let a = CountMatrix::zeros(3);
+        assert!(mae(&p, &a).is_err());
+        assert!(rmse(&p, &a).is_err());
+        assert!(total_bias(&p, &a).is_err());
+        assert!(smape(&p, &a).is_err());
+    }
+}

@@ -1,0 +1,229 @@
+//! Numerically-stable Poisson machinery.
+//!
+//! The paper models the event count of every HGrid as
+//! `λ_ij ~ Pois(α_ij)` (Sec. III-B) and its formulas multiply Poisson pmf
+//! values whose means can reach the thousands (the whole of NYC in one slot
+//! when `n = 1`). Naively starting recurrences from `e^{-λ}` underflows for
+//! `λ ≳ 745`, silently zeroing every later term, so all pmf evaluation here
+//! goes through [`poisson_pmf_range`], which anchors the recurrence at the
+//! distribution's mode in log space and walks outward.
+
+/// Natural log of the Gamma function (Lanczos approximation, g = 7, 9
+/// coefficients; |relative error| < 1e-13 over the positive reals).
+pub fn ln_gamma(x: f64) -> f64 {
+    // Lanczos coefficients for g = 7.
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    assert!(x > 0.0, "ln_gamma requires a positive argument, got {x}");
+    if x < 0.5 {
+        // Reflection formula keeps the small-argument branch accurate.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEF[0];
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + G + 0.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Natural log of `k!` for integer `k`.
+pub fn ln_factorial(k: u64) -> f64 {
+    ln_gamma(k as f64 + 1.0)
+}
+
+/// Log of the Poisson pmf `P(X = k)` for `X ~ Pois(lambda)`.
+///
+/// `lambda = 0` is the degenerate point mass at zero.
+pub fn poisson_ln_pmf(lambda: f64, k: u64) -> f64 {
+    assert!(lambda >= 0.0, "negative Poisson mean");
+    if lambda == 0.0 {
+        return if k == 0 { 0.0 } else { f64::NEG_INFINITY };
+    }
+    k as f64 * lambda.ln() - lambda - ln_factorial(k)
+}
+
+/// Poisson pmf `P(X = k)`.
+pub fn poisson_pmf(lambda: f64, k: u64) -> f64 {
+    poisson_ln_pmf(lambda, k).exp()
+}
+
+/// Poisson pmf over the inclusive range `lo..=hi`, computed stably for any
+/// mean: the value at the (clamped) mode is evaluated in log space, then the
+/// two-sided recurrence `p(k+1) = p(k)·λ/(k+1)` fills the rest. Values that
+/// underflow far in the tails become `0.0`, which is the correct limit.
+pub fn poisson_pmf_range(lambda: f64, lo: u64, hi: u64) -> Vec<f64> {
+    assert!(lambda >= 0.0, "negative Poisson mean");
+    assert!(lo <= hi, "empty pmf range");
+    let len = (hi - lo + 1) as usize;
+    let mut out = vec![0.0; len];
+    if lambda == 0.0 {
+        if lo == 0 {
+            out[0] = 1.0;
+        }
+        return out;
+    }
+    let mode = (lambda.floor() as u64).clamp(lo, hi);
+    let anchor = (mode - lo) as usize;
+    out[anchor] = poisson_pmf(lambda, mode);
+    // Walk down from the anchor: p(k-1) = p(k) · k / λ.
+    for i in (0..anchor).rev() {
+        let k = lo + i as u64 + 1; // we are computing index i = value k-1
+        out[i] = out[i + 1] * k as f64 / lambda;
+    }
+    // Walk up from the anchor: p(k+1) = p(k) · λ / (k+1).
+    for i in anchor..len - 1 {
+        let k = lo + i as u64;
+        out[i + 1] = out[i] * lambda / (k + 1) as f64;
+    }
+    out
+}
+
+/// Closed-form mean absolute deviation of a Poisson variable,
+/// `E|X − λ| = 2 λ^(⌊λ⌋+1) e^{-λ} / ⌊λ⌋!` (Crow, 1958). Used as a ground
+/// truth in tests and as the irreducible-error floor of an ideal predictor.
+pub fn poisson_mad(lambda: f64) -> f64 {
+    assert!(lambda >= 0.0, "negative Poisson mean");
+    if lambda == 0.0 {
+        return 0.0;
+    }
+    let m = lambda.floor();
+    (2.0f64.ln() + (m + 1.0) * lambda.ln() - lambda - ln_gamma(m + 2.0) + (m + 1.0).ln()).exp()
+}
+
+/// The window `[lo, hi]` outside which the `Pois(lambda)` pmf carries less
+/// than ~1e-12 of probability mass. `pad` widens the window further (useful
+/// when the quantity being integrated grows with `k`).
+pub fn mass_window(lambda: f64, pad: u64) -> (u64, u64) {
+    if lambda == 0.0 {
+        return (0, pad);
+    }
+    let sd = lambda.sqrt();
+    let lo = (lambda - 8.0 * sd - 8.0).max(0.0) as u64;
+    let hi = (lambda + 8.0 * sd + 8.0).ceil() as u64 + pad;
+    (lo.saturating_sub(pad), hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = Γ(2) = 1, Γ(5) = 24, Γ(0.5) = √π.
+        assert!(ln_gamma(1.0).abs() < 1e-12);
+        assert!(ln_gamma(2.0).abs() < 1e-12);
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - 0.5 * std::f64::consts::PI.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ln_factorial_matches_direct_product() {
+        let mut f = 1.0f64;
+        for k in 1..=20u64 {
+            f *= k as f64;
+            assert!(
+                (ln_factorial(k) - f.ln()).abs() < 1e-9,
+                "k={k}: {} vs {}",
+                ln_factorial(k),
+                f.ln()
+            );
+        }
+    }
+
+    #[test]
+    fn pmf_matches_direct_formula_small() {
+        let lambda: f64 = 3.7;
+        let mut fact = 1.0;
+        for k in 0..15u64 {
+            if k > 0 {
+                fact *= k as f64;
+            }
+            let direct = (-lambda).exp() * lambda.powi(k as i32) / fact;
+            assert!((poisson_pmf(lambda, k) - direct).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pmf_range_sums_to_one() {
+        for &lambda in &[0.01, 0.5, 3.0, 40.0, 500.0, 5_000.0, 50_000.0] {
+            let (lo, hi) = mass_window(lambda, 0);
+            let total: f64 = poisson_pmf_range(lambda, lo, hi).iter().sum();
+            assert!(
+                (total - 1.0).abs() < 1e-9,
+                "lambda={lambda}: total={total}"
+            );
+        }
+    }
+
+    #[test]
+    fn pmf_range_survives_extreme_means() {
+        // e^{-5000} underflows, but the mode-anchored pmf must not.
+        let (lo, hi) = mass_window(5_000.0, 0);
+        let pmf = poisson_pmf_range(5_000.0, lo, hi);
+        let max = pmf.iter().cloned().fold(0.0, f64::max);
+        assert!(max > 1e-4, "mode mass lost: {max}");
+    }
+
+    #[test]
+    fn pmf_range_degenerate_lambda_zero() {
+        assert_eq!(poisson_pmf_range(0.0, 0, 3), vec![1.0, 0.0, 0.0, 0.0]);
+        assert_eq!(poisson_pmf_range(0.0, 1, 3), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn pmf_range_partial_windows_match_full() {
+        let lambda = 12.3;
+        let full = poisson_pmf_range(lambda, 0, 60);
+        let part = poisson_pmf_range(lambda, 5, 20);
+        for (i, v) in part.iter().enumerate() {
+            assert!((v - full[i + 5]).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn mad_matches_series_sum() {
+        for &lambda in &[0.3, 1.0, 2.5, 7.0, 31.4, 250.0] {
+            let (lo, hi) = mass_window(lambda, 10);
+            let series: f64 = poisson_pmf_range(lambda, lo, hi)
+                .iter()
+                .enumerate()
+                .map(|(i, p)| ((lo + i as u64) as f64 - lambda).abs() * p)
+                .sum();
+            let closed = poisson_mad(lambda);
+            assert!(
+                (series - closed).abs() < 1e-8 * closed.max(1.0),
+                "lambda={lambda}: series={series} closed={closed}"
+            );
+        }
+    }
+
+    #[test]
+    fn mad_is_zero_at_zero_and_grows_like_sqrt() {
+        assert_eq!(poisson_mad(0.0), 0.0);
+        // For large λ, E|X−λ| → √(2λ/π).
+        let lambda = 10_000.0;
+        let expect = (2.0 * lambda / std::f64::consts::PI).sqrt();
+        assert!((poisson_mad(lambda) - expect).abs() / expect < 0.01);
+    }
+
+    #[test]
+    fn mass_window_contains_the_mean() {
+        for &lambda in &[0.0, 1.0, 100.0, 1e6] {
+            let (lo, hi) = mass_window(lambda, 0);
+            assert!((lo as f64) <= lambda && lambda <= hi as f64);
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! Search over the MGrid side for the minimum of the real-error upper
+//! bound: Brute-force, Ternary Search (Algorithm 4) and the Iterative
+//! Method (Algorithm 5).
+//!
+//! All searchers operate on the MGrid **side** `s = √n` (the paper's
+//! searchable axis: `n` is kept a perfect square) through an
+//! [`ErrorOracle`]; wrap an oracle in [`MemoOracle`] to deduplicate the
+//! expensive `UpperBound` evaluations (each one retrains the prediction
+//! model) and to count unique evaluations — the "cost" column of Table IV.
+
+use std::collections::HashMap;
+
+/// Anything that can produce the upper-bound error `e(s)` for an MGrid
+/// side `s` (Algorithm 3's output).
+pub trait ErrorOracle {
+    /// Evaluates `e(s)`.
+    fn eval(&mut self, side: u32) -> f64;
+}
+
+impl<F: FnMut(u32) -> f64> ErrorOracle for F {
+    fn eval(&mut self, side: u32) -> f64 {
+        self(side)
+    }
+}
+
+/// Memoizing wrapper: caches evaluations and counts unique oracle calls.
+pub struct MemoOracle<O> {
+    inner: O,
+    cache: HashMap<u32, f64>,
+}
+
+impl<O: ErrorOracle> MemoOracle<O> {
+    /// Wraps an oracle.
+    pub fn new(inner: O) -> Self {
+        MemoOracle {
+            inner,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// Number of unique (non-cached) evaluations performed so far.
+    pub fn unique_evals(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// The cached probes, sorted by side.
+    pub fn probes(&self) -> Vec<(u32, f64)> {
+        let mut v: Vec<_> = self.cache.iter().map(|(&s, &e)| (s, e)).collect();
+        v.sort_by_key(|&(s, _)| s);
+        v
+    }
+
+    /// Consumes the wrapper, returning the inner oracle.
+    pub fn into_inner(self) -> O {
+        self.inner
+    }
+}
+
+impl<O: ErrorOracle> ErrorOracle for MemoOracle<O> {
+    fn eval(&mut self, side: u32) -> f64 {
+        if let Some(&e) = self.cache.get(&side) {
+            return e;
+        }
+        let e = self.inner.eval(side);
+        self.cache.insert(side, e);
+        e
+    }
+}
+
+/// Result of a grid-size search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOutcome {
+    /// The selected MGrid side `s` (so `n = s²`).
+    pub side: u32,
+    /// `e(s)` at the selected side.
+    pub error: f64,
+    /// Unique oracle evaluations spent.
+    pub evals: usize,
+    /// Every probed `(side, e(side))`, sorted by side.
+    pub probes: Vec<(u32, f64)>,
+}
+
+/// Exhaustive search over `lo..=hi`: the paper's Brute-force baseline,
+/// `O(√N)` oracle calls, always optimal.
+pub fn brute_force<O: ErrorOracle>(oracle: O, lo: u32, hi: u32) -> SearchOutcome {
+    assert!(lo >= 1 && lo <= hi, "invalid side range [{lo}, {hi}]");
+    let mut memo = MemoOracle::new(oracle);
+    let mut best = (lo, f64::INFINITY);
+    for s in lo..=hi {
+        let e = memo.eval(s);
+        if e < best.1 {
+            best = (s, e);
+        }
+    }
+    SearchOutcome {
+        side: best.0,
+        error: best.1,
+        evals: memo.unique_evals(),
+        probes: memo.probes(),
+    }
+}
+
+/// Algorithm 4: Ternary Search over `lo..=hi`. Each round probes the two
+/// third-points `m_l < m_r` and discards a third of the interval;
+/// `O(log √N)` oracle calls. Finds the optimum whenever `e(s)` is
+/// unimodal; on non-ideal curves it still returns a good local answer
+/// (the paper's Table IV quantifies how often).
+///
+/// ```
+/// use gridtuner_core::search::ternary_search;
+/// // A U-shaped error curve with its minimum at side 20.
+/// let out = ternary_search(|s: u32| (s as f64 - 20.0).powi(2), 1, 76);
+/// assert_eq!(out.side, 20);
+/// assert!(out.evals < 20); // logarithmic, vs 76 for brute force
+/// ```
+pub fn ternary_search<O: ErrorOracle>(oracle: O, lo: u32, hi: u32) -> SearchOutcome {
+    assert!(lo >= 1 && lo <= hi, "invalid side range [{lo}, {hi}]");
+    let mut memo = MemoOracle::new(oracle);
+    let (mut l, mut r) = (lo, hi);
+    while r - l > 1 {
+        // Third-points, kept strictly inside (l, r) and distinct.
+        let mut ml = l + (r - l) / 3;
+        let mut mr = r - (r - l) / 3;
+        if ml == l {
+            ml += 1;
+        }
+        if mr >= r {
+            mr = r - 1;
+        }
+        if ml >= mr {
+            // Interval of width 2: probe the midpoint directly.
+            ml = l + 1;
+            mr = ml;
+        }
+        if ml == mr {
+            // Single midpoint: shrink toward the better side.
+            let em = memo.eval(ml);
+            let el = memo.eval(l);
+            let er = memo.eval(r);
+            if em <= el && em <= er {
+                l = ml;
+                r = ml;
+            } else if el <= er {
+                r = ml;
+            } else {
+                l = ml;
+            }
+            break;
+        }
+        if memo.eval(ml) > memo.eval(mr) {
+            l = ml;
+        } else {
+            r = mr;
+        }
+    }
+    let (el, er) = (memo.eval(l), memo.eval(r));
+    let (side, error) = if el > er { (r, er) } else { (l, el) };
+    SearchOutcome {
+        side,
+        error,
+        evals: memo.unique_evals(),
+        probes: memo.probes(),
+    }
+}
+
+/// Algorithm 5: the Iterative Method. Starts from `init` (the paper uses
+/// the literature's default 16 ≈ 2 km MGrids) and hill-descends: probe
+/// offsets `±i` for `i = bound..1`; move to the first improvement, repeat;
+/// stop when no offset within `bound` improves.
+///
+/// (The paper's pseudocode line 13 reads `if e(p) < e(p−i)` which would
+/// move *toward* a worse point; we implement the evident intent,
+/// `e(p−i) < e(p)`.)
+pub fn iterative_method<O: ErrorOracle>(
+    oracle: O,
+    lo: u32,
+    hi: u32,
+    init: u32,
+    bound: u32,
+) -> SearchOutcome {
+    assert!(lo >= 1 && lo <= hi, "invalid side range [{lo}, {hi}]");
+    assert!(bound >= 1, "bound must be at least 1");
+    let mut memo = MemoOracle::new(oracle);
+    let mut p = init.clamp(lo, hi);
+    loop {
+        let ep = memo.eval(p);
+        let mut moved = false;
+        for i in (1..=bound).rev() {
+            if p + i <= hi && memo.eval(p + i) < ep {
+                p += i;
+                moved = true;
+                break;
+            }
+            if p >= lo + i && memo.eval(p - i) < ep {
+                p -= i;
+                moved = true;
+                break;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+    let error = memo.eval(p);
+    SearchOutcome {
+        side: p,
+        error,
+        evals: memo.unique_evals(),
+        probes: memo.probes(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    /// A convex "model + expression" toy curve with its minimum at `opt`.
+    fn convex(opt: f64) -> impl FnMut(u32) -> f64 {
+        move |s: u32| {
+            let s = s as f64;
+            s * 2.0 + opt * opt * 2.0 / s // derivative zero at s = opt
+        }
+    }
+
+    #[test]
+    fn brute_force_finds_global_optimum() {
+        let out = brute_force(convex(20.0), 1, 76);
+        assert_eq!(out.side, 20);
+        assert_eq!(out.evals, 76);
+        assert_eq!(out.probes.len(), 76);
+    }
+
+    #[test]
+    fn ternary_matches_brute_on_unimodal_curves() {
+        for opt in [2.0, 5.0, 13.0, 16.0, 23.0, 50.0, 75.0] {
+            let want = brute_force(convex(opt), 1, 76).side;
+            let got = ternary_search(convex(opt), 1, 76);
+            assert_eq!(got.side, want, "opt={opt}");
+            assert!(
+                got.evals < 20,
+                "ternary used {} evals (should be O(log))",
+                got.evals
+            );
+        }
+    }
+
+    #[test]
+    fn ternary_handles_tiny_ranges() {
+        assert_eq!(ternary_search(convex(5.0), 4, 4).side, 4);
+        assert_eq!(ternary_search(convex(5.0), 4, 5).side, 5);
+        assert_eq!(ternary_search(convex(5.0), 4, 6).side, 5);
+        assert_eq!(ternary_search(convex(1.0), 3, 9).side, 3);
+        assert_eq!(ternary_search(convex(100.0), 3, 9).side, 9);
+    }
+
+    #[test]
+    fn iterative_descends_to_the_optimum() {
+        for opt in [10.0, 16.0, 23.0] {
+            let out = iterative_method(convex(opt), 1, 76, 16, 4);
+            assert_eq!(out.side, opt as u32, "opt={opt}");
+        }
+    }
+
+    #[test]
+    fn iterative_respects_range_clamping() {
+        // Init outside the range must be clamped, not panic.
+        let out = iterative_method(convex(5.0), 2, 10, 50, 4);
+        assert_eq!(out.side, 5);
+        let out = iterative_method(convex(1.0), 2, 10, 1, 4);
+        assert_eq!(out.side, 2);
+    }
+
+    #[test]
+    fn iterative_with_small_bound_can_be_trapped() {
+        // A curve with a local minimum at 10 separated from the global
+        // minimum at 30 by a bump wider than the bound.
+        let trap = |s: u32| -> f64 {
+            let s = s as f64;
+            // W-shaped: minima at 10 and 22, the latter deeper.
+            let a = (s - 10.0).abs();
+            let b = (s - 22.0).abs() - 5.0;
+            a.min(b)
+        };
+        let stuck = iterative_method(trap, 1, 40, 10, 3);
+        assert_eq!(stuck.side, 10, "small bound should get trapped");
+        let escaped = iterative_method(trap, 1, 40, 10, 15);
+        assert_eq!(escaped.side, 22, "large bound should escape");
+        assert!(escaped.evals >= stuck.evals);
+    }
+
+    #[test]
+    fn memoization_deduplicates_oracle_calls() {
+        let count = Rc::new(Cell::new(0usize));
+        let c = Rc::clone(&count);
+        let oracle = move |s: u32| {
+            c.set(c.get() + 1);
+            (s as f64 - 7.0).powi(2)
+        };
+        let mut memo = MemoOracle::new(oracle);
+        for _ in 0..5 {
+            memo.eval(7);
+            memo.eval(8);
+        }
+        assert_eq!(count.get(), 2);
+        assert_eq!(memo.unique_evals(), 2);
+        assert_eq!(memo.probes(), vec![(7, 0.0), (8, 1.0)]);
+    }
+
+    #[test]
+    fn ternary_uses_logarithmically_many_evals() {
+        let out = ternary_search(convex(300.0), 1, 1000);
+        assert!(out.evals <= 40, "evals = {}", out.evals);
+        assert_eq!(out.side, 300);
+    }
+
+    #[test]
+    fn searchers_report_probe_trails() {
+        let out = iterative_method(convex(20.0), 1, 76, 16, 4);
+        assert!(out.probes.iter().any(|&(s, _)| s == out.side));
+        assert!(out.probes.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(out.evals, out.probes.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid side range")]
+    fn empty_range_rejected() {
+        brute_force(convex(5.0), 10, 3);
+    }
+}

@@ -1,0 +1,179 @@
+//! Algorithm 3: `UpperBound(n, N, X, Model)` — the quantity the search
+//! algorithms minimise.
+//!
+//! For an MGrid side `s` (`n = s²`), the upper bound of the total real
+//! error is
+//!
+//! ```text
+//! e(s) = n·MAE(f)  +  Σ_i Σ_j E_e(i, j)
+//! ```
+//!
+//! The first term is supplied by a [`ModelErrorFn`] (training a prediction
+//! model for side `s` and measuring its MGrid-level MAE — Eq. 20); the
+//! second is computed analytically from the α field estimated on the
+//! partition's HGrid lattice (Sec. III-B).
+
+use crate::alpha::{estimate_alpha, AlphaWindow};
+use crate::expression::total_expression_error;
+use crate::search::ErrorOracle;
+use gridtuner_spatial::{Event, Partition, SlotClock};
+
+/// The model-error leg of Algorithm 3: everything that knows how to train
+/// and evaluate a prediction model at a given MGrid side.
+pub trait ModelErrorFn {
+    /// Total model error `Σ_i E|λ̂_i − λ_i| ≈ n·MAE(f)` at MGrid side `s`.
+    fn total_model_error(&mut self, mgrid_side: u32) -> f64;
+}
+
+impl<F: FnMut(u32) -> f64> ModelErrorFn for F {
+    fn total_model_error(&mut self, mgrid_side: u32) -> f64 {
+        self(mgrid_side)
+    }
+}
+
+/// An [`ErrorOracle`] implementing Algorithm 3: expression error from
+/// historical events + model error from a [`ModelErrorFn`].
+pub struct UpperBoundOracle<M> {
+    events: Vec<Event>,
+    clock: SlotClock,
+    window: AlphaWindow,
+    hgrid_budget_side: u32,
+    model: M,
+}
+
+impl<M: ModelErrorFn> UpperBoundOracle<M> {
+    /// Creates the oracle. `hgrid_budget_side` is `√N` (128 in the paper).
+    pub fn new(
+        events: Vec<Event>,
+        clock: SlotClock,
+        window: AlphaWindow,
+        hgrid_budget_side: u32,
+        model: M,
+    ) -> Self {
+        assert!(hgrid_budget_side > 0, "HGrid budget side must be positive");
+        UpperBoundOracle {
+            events,
+            clock,
+            window,
+            hgrid_budget_side,
+            model,
+        }
+    }
+
+    /// The partition Algorithm 3 would use for a given side.
+    pub fn partition_for(&self, side: u32) -> Partition {
+        Partition::for_budget(side, self.hgrid_budget_side)
+    }
+
+    /// Expression-error leg only (useful for reporting the decomposition).
+    pub fn expression_error(&self, side: u32) -> f64 {
+        let part = self.partition_for(side);
+        let alpha = estimate_alpha(&self.events, part.hgrid_spec(), &self.clock, &self.window);
+        total_expression_error(&alpha, &part)
+    }
+
+    /// Model-error leg only.
+    pub fn model_error(&mut self, side: u32) -> f64 {
+        self.model.total_model_error(side)
+    }
+}
+
+impl<M: ModelErrorFn> ErrorOracle for UpperBoundOracle<M> {
+    fn eval(&mut self, side: u32) -> f64 {
+        self.expression_error(side) + self.model.total_model_error(side)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridtuner_spatial::Point;
+
+    /// Events concentrated in one corner of the map, every day at slot 0.
+    fn corner_events(days: u32, per_day: usize) -> Vec<Event> {
+        let mut out = Vec::new();
+        for d in 0..days {
+            for i in 0..per_day {
+                let f = i as f64 / per_day as f64;
+                out.push(Event::new(
+                    Point::new(0.05 + 0.1 * f, 0.05 + 0.07 * ((i * 7) % 10) as f64 / 10.0),
+                    d * 24 * 60,
+                ));
+            }
+        }
+        out
+    }
+
+    fn window() -> AlphaWindow {
+        AlphaWindow {
+            slot_of_day: 0,
+            day_start: 0,
+            day_end: 7,
+            weekdays_only: false,
+        }
+    }
+
+    #[test]
+    fn upper_bound_is_sum_of_legs() {
+        let events = corner_events(7, 40);
+        let clock = SlotClock::default();
+        let mut oracle =
+            UpperBoundOracle::new(events, clock, window(), 16, |s: u32| (s * s) as f64 * 0.1);
+        let e = oracle.eval(4);
+        let expr = oracle.expression_error(4);
+        let model = oracle.model_error(4);
+        assert!((e - (expr + model)).abs() < 1e-9);
+        assert!(expr > 0.0, "concentrated events must have expression error");
+    }
+
+    #[test]
+    fn expression_leg_decreases_and_model_leg_increases() {
+        let events = corner_events(7, 60);
+        let clock = SlotClock::default();
+        let model = |s: u32| (s * s) as f64 * 0.5;
+        let mut oracle = UpperBoundOracle::new(events, clock, window(), 16, model);
+        let e_coarse = oracle.expression_error(1);
+        let e_fine = oracle.expression_error(16);
+        assert!(
+            e_coarse > e_fine,
+            "expression: coarse {e_coarse} fine {e_fine}"
+        );
+        assert!(oracle.model_error(16) > oracle.model_error(1));
+    }
+
+    #[test]
+    fn induced_curve_is_u_shaped() {
+        // With a linear-in-n model error and a concentrated α field, e(s)
+        // must dip somewhere strictly inside the range (the paper's
+        // decrease-then-increase claim, Sec. III-C). The model-error slope
+        // is chosen so the right edge (where the expression error vanishes
+        // because m = 1) is clearly worse than the interior.
+        let events = corner_events(7, 200);
+        let clock = SlotClock::default();
+        let mut oracle =
+            UpperBoundOracle::new(events, clock, window(), 16, |s: u32| (s * s) as f64 * 2.0);
+        let curve: Vec<f64> = (1..=16).map(|s| oracle.eval(s)).collect();
+        let min_idx = curve
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!(
+            min_idx > 0 && min_idx < curve.len() - 1,
+            "minimum at the boundary: idx={min_idx}, curve={curve:?}"
+        );
+    }
+
+    #[test]
+    fn partition_for_respects_budget() {
+        let events = corner_events(1, 1);
+        let oracle =
+            UpperBoundOracle::new(events, SlotClock::default(), window(), 128, |_s: u32| 0.0);
+        for side in [1u32, 4, 16, 24, 76] {
+            let p = oracle.partition_for(side);
+            assert!(p.total_hgrids() >= 128 * 128, "side {side}");
+            assert_eq!(p.mgrid_side(), side);
+        }
+    }
+}

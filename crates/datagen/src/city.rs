@@ -1,0 +1,384 @@
+//! City presets and the generation API.
+//!
+//! A [`City`] bundles a spatial [`IntensityField`], a [`TemporalProfile`],
+//! a daily order volume and the geographic bounds, and can generate:
+//!
+//! * gridded count series at any resolution (for model training) —
+//!   [`City::sample_count_series`];
+//! * point events for single slots or whole days (for α estimation and the
+//!   dispatch case study) — [`City::sample_slot_events`] /
+//!   [`City::sample_day_events`];
+//! * the *analytic* mean field `α` at any resolution —
+//!   [`City::mean_field`] — handy when an experiment wants the
+//!   noise-free ground truth instead of the paper's historical estimate.
+//!
+//! The presets are calibrated to the paper's datasets: test-day volumes of
+//! ≈282k (NYC), ≈239k (Chengdu), ≈110k (Xi'an) and spatial unevenness
+//! ordered NYC > Chengdu > Xi'an (Sec. V-C: "orders in NYC are more evenly
+//! distributed than in Chengdu" refers to *expression error being larger in
+//! NYC*; Fig. 10 and Appendix B establish the unevenness ordering we use).
+
+use crate::intensity::IntensityField;
+use crate::sampling::sample_poisson;
+use crate::temporal::TemporalProfile;
+use gridtuner_spatial::{
+    CountMatrix, CountSeries, Event, GeoBounds, GridSpec, Point, SlotClock, SlotId,
+};
+use rand::Rng;
+
+/// Train/validation/test day split (paper Sec. V-A, rescaled to a synthetic
+/// horizon: 8 weeks of training history, one validation week, one test day).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataSplit {
+    /// Training days (half-open).
+    pub train_days: (u32, u32),
+    /// Validation days (half-open).
+    pub val_days: (u32, u32),
+    /// The single test day.
+    pub test_day: u32,
+}
+
+impl Default for DataSplit {
+    fn default() -> Self {
+        DataSplit {
+            train_days: (0, 56),
+            val_days: (56, 63),
+            test_day: 63,
+        }
+    }
+}
+
+impl DataSplit {
+    /// Total horizon in days (test day inclusive).
+    pub fn horizon_days(&self) -> u32 {
+        self.test_day + 1
+    }
+}
+
+/// A synthetic city: where and when events happen, and how many.
+#[derive(Debug, Clone, PartialEq)]
+pub struct City {
+    name: String,
+    geo: GeoBounds,
+    intensity: IntensityField,
+    temporal: TemporalProfile,
+    daily_volume: f64,
+    clock: SlotClock,
+}
+
+impl City {
+    /// Builds a custom city.
+    pub fn custom(
+        name: impl Into<String>,
+        geo: GeoBounds,
+        intensity: IntensityField,
+        temporal: TemporalProfile,
+        daily_volume: f64,
+    ) -> Self {
+        assert!(daily_volume > 0.0, "daily volume must be positive");
+        City {
+            name: name.into(),
+            geo,
+            intensity,
+            temporal,
+            daily_volume,
+            clock: SlotClock::default(),
+        }
+    }
+
+    /// NYC-like preset: a dominant Manhattan-style spine with dense
+    /// hotspots — the most unevenly distributed of the three.
+    pub fn nyc() -> Self {
+        let intensity = IntensityField::new()
+            .road(Point::new(0.38, 0.12), Point::new(0.52, 0.95), 0.035, 3.0)
+            .hotspot(Point::new(0.46, 0.62), 0.040, 2.5)
+            .hotspot(Point::new(0.42, 0.35), 0.030, 1.5)
+            .hotspot(Point::new(0.80, 0.45), 0.030, 0.6)
+            .background(0.45);
+        City::custom(
+            "nyc",
+            GeoBounds::nyc(),
+            intensity,
+            TemporalProfile::taxi_default(48).with_weekend_factor(0.85),
+            282_255.0,
+        )
+    }
+
+    /// Chengdu-like preset: a strong city core with sub-centers — less
+    /// uneven than NYC.
+    pub fn chengdu() -> Self {
+        let intensity = IntensityField::new()
+            .hotspot(Point::new(0.50, 0.50), 0.130, 2.0)
+            .hotspot(Point::new(0.30, 0.65), 0.070, 0.7)
+            .hotspot(Point::new(0.68, 0.40), 0.070, 0.7)
+            .hotspot(Point::new(0.45, 0.25), 0.060, 0.5)
+            .background(1.1);
+        City::custom(
+            "chengdu",
+            GeoBounds::chengdu(),
+            intensity,
+            TemporalProfile::taxi_default(48).with_weekend_factor(0.9),
+            238_868.0,
+        )
+    }
+
+    /// Xi'an-like preset: one broad central blob over a strong background —
+    /// the most evenly distributed and the smallest volume.
+    pub fn xian() -> Self {
+        let intensity = IntensityField::new()
+            .hotspot(Point::new(0.50, 0.50), 0.220, 1.0)
+            .background(1.6);
+        City::custom(
+            "xian",
+            GeoBounds::xian(),
+            intensity,
+            TemporalProfile::taxi_default(48).with_weekend_factor(0.9),
+            109_753.0,
+        )
+    }
+
+    /// All three presets, in the paper's order.
+    pub fn all_presets() -> Vec<City> {
+        vec![City::nyc(), City::chengdu(), City::xian()]
+    }
+
+    /// City name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Geographic bounds.
+    pub fn geo(&self) -> &GeoBounds {
+        &self.geo
+    }
+
+    /// The slot clock (48 × 30-minute slots).
+    pub fn clock(&self) -> &SlotClock {
+        &self.clock
+    }
+
+    /// Expected weekday volume.
+    pub fn daily_volume(&self) -> f64 {
+        self.daily_volume
+    }
+
+    /// The spatial intensity field.
+    pub fn intensity(&self) -> &IntensityField {
+        &self.intensity
+    }
+
+    /// Returns a copy with the daily volume multiplied by `scale` — the
+    /// knob the harness uses for `--quick` runs.
+    pub fn scaled(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0, "scale must be positive");
+        self.daily_volume *= scale;
+        self
+    }
+
+    /// Expected total events in a global slot.
+    pub fn expected_slot_total(&self, slot: SlotId) -> f64 {
+        self.daily_volume * self.temporal.slot_factor(&self.clock, slot)
+    }
+
+    /// Per-cell spatial shares on `spec` (sums to 1). `O(side² ·
+    /// components)`; callers looping over slots should compute this once.
+    pub fn cell_weights(&self, spec: GridSpec) -> Vec<f64> {
+        self.intensity.cell_weights(spec)
+    }
+
+    /// The analytic mean field for one slot: expected events per cell.
+    pub fn mean_field(&self, spec: GridSpec, slot: SlotId) -> CountMatrix {
+        let weights = self.cell_weights(spec);
+        self.mean_field_with(&weights, spec, slot)
+    }
+
+    /// [`City::mean_field`] with precomputed weights.
+    pub fn mean_field_with(
+        &self,
+        weights: &[f64],
+        spec: GridSpec,
+        slot: SlotId,
+    ) -> CountMatrix {
+        assert_eq!(weights.len(), spec.n_cells(), "weights/spec mismatch");
+        let total = self.expected_slot_total(slot);
+        CountMatrix::from_vec(spec.side(), weights.iter().map(|w| w * total).collect())
+            .expect("weights length checked above")
+    }
+
+    /// Samples a gridded count series for slots `0..n_slots`: one Poisson
+    /// draw per (slot, cell). This is the model-training view of the city.
+    pub fn sample_count_series<R: Rng + ?Sized>(
+        &self,
+        spec: GridSpec,
+        n_slots: usize,
+        rng: &mut R,
+    ) -> CountSeries {
+        let weights = self.cell_weights(spec);
+        let mut series = CountSeries::zeros(spec.side(), n_slots);
+        for t in 0..n_slots {
+            let slot = SlotId(t as u32);
+            let total = self.expected_slot_total(slot);
+            let out = series.slot_mut(slot);
+            for (cell, &w) in weights.iter().enumerate() {
+                out[cell] = sample_poisson(rng, w * total) as f64;
+            }
+        }
+        series
+    }
+
+    /// Samples point events for one slot: draws `Pois(Λ_slot)` events with
+    /// i.i.d. locations from the intensity and uniform minutes in the slot.
+    pub fn sample_slot_events<R: Rng + ?Sized>(&self, slot: SlotId, rng: &mut R) -> Vec<Event> {
+        let total = self.expected_slot_total(slot);
+        let n = sample_poisson(rng, total);
+        let start = self.clock.minute_of_slot(slot);
+        let span = self.clock.slot_minutes();
+        (0..n)
+            .map(|_| {
+                Event::new(
+                    self.intensity.sample_point(rng),
+                    start + rng.gen_range(0..span),
+                )
+            })
+            .collect()
+    }
+
+    /// Samples point events for every slot of one day.
+    pub fn sample_day_events<R: Rng + ?Sized>(&self, day: u32, rng: &mut R) -> Vec<Event> {
+        let mut out = Vec::new();
+        for s in 0..self.clock.slots_per_day() {
+            out.extend(self.sample_slot_events(self.clock.slot_at(day, s), rng));
+        }
+        out
+    }
+
+    /// Samples the α-estimation history: events at `slot_of_day` for each
+    /// day in `days` — the cheap substitute for storing months of full-day
+    /// logs.
+    pub fn sample_history_events<R: Rng + ?Sized>(
+        &self,
+        slot_of_day: u32,
+        days: std::ops::Range<u32>,
+        rng: &mut R,
+    ) -> Vec<Event> {
+        let mut out = Vec::new();
+        for d in days {
+            out.extend(self.sample_slot_events(self.clock.slot_at(d, slot_of_day), rng));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridtuner_core::dalpha::d_alpha;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn preset_volumes_match_paper() {
+        assert_eq!(City::nyc().daily_volume(), 282_255.0);
+        assert_eq!(City::chengdu().daily_volume(), 238_868.0);
+        assert_eq!(City::xian().daily_volume(), 109_753.0);
+    }
+
+    #[test]
+    fn unevenness_ordering_nyc_chengdu_xian() {
+        // Compare D_α of the normalized spatial shares (volume-independent).
+        let spec = GridSpec::new(32);
+        let d = |c: &City| {
+            let w = c.cell_weights(spec);
+            d_alpha(&CountMatrix::from_vec(32, w).unwrap())
+        };
+        let (n, c, x) = (d(&City::nyc()), d(&City::chengdu()), d(&City::xian()));
+        assert!(n > c && c > x, "unevenness: nyc={n:.3} chengdu={c:.3} xian={x:.3}");
+    }
+
+    #[test]
+    fn expected_slot_total_follows_profile() {
+        let city = City::xian().scaled(0.1);
+        let clock = *city.clock();
+        let morning = city.expected_slot_total(clock.slot_at(0, 17));
+        let night = city.expected_slot_total(clock.slot_at(0, 8));
+        assert!(morning > 2.0 * night);
+        // Whole-day total equals the daily volume on a weekday.
+        let day_total: f64 = (0..48)
+            .map(|s| city.expected_slot_total(clock.slot_at(0, s)))
+            .sum();
+        assert!((day_total - city.daily_volume()).abs() / city.daily_volume() < 1e-9);
+    }
+
+    #[test]
+    fn sampled_counts_match_means() {
+        let city = City::chengdu().scaled(0.02);
+        let spec = GridSpec::new(8);
+        let mut rng = StdRng::seed_from_u64(17);
+        let series = city.sample_count_series(spec, 48, &mut rng);
+        let expected: f64 = (0..48)
+            .map(|s| city.expected_slot_total(SlotId(s)))
+            .sum();
+        let got: f64 = (0..48).map(|s| series.slot_total(SlotId(s))).sum();
+        assert!(
+            (got - expected).abs() / expected < 0.05,
+            "expected {expected}, sampled {got}"
+        );
+    }
+
+    #[test]
+    fn slot_events_count_matches_mean() {
+        let city = City::nyc().scaled(0.01);
+        let mut rng = StdRng::seed_from_u64(5);
+        let slot = city.clock().slot_at(0, 16);
+        let expect = city.expected_slot_total(slot);
+        let n: usize = (0..20)
+            .map(|_| city.sample_slot_events(slot, &mut rng).len())
+            .sum();
+        let mean = n as f64 / 20.0;
+        assert!((mean - expect).abs() / expect < 0.1, "{mean} vs {expect}");
+        // Minutes fall inside the slot.
+        for e in city.sample_slot_events(slot, &mut rng) {
+            assert!(e.minute >= 16 * 30 && e.minute < 17 * 30);
+        }
+    }
+
+    #[test]
+    fn day_events_cover_all_slots() {
+        let city = City::xian().scaled(0.005);
+        let mut rng = StdRng::seed_from_u64(8);
+        let events = city.sample_day_events(2, &mut rng);
+        assert!(!events.is_empty());
+        for e in &events {
+            assert_eq!(city.clock().day_of(e.slot(city.clock())), 2);
+            assert!(e.loc.in_unit_square());
+        }
+    }
+
+    #[test]
+    fn history_events_only_at_requested_slot() {
+        let city = City::xian().scaled(0.01);
+        let mut rng = StdRng::seed_from_u64(4);
+        let events = city.sample_history_events(16, 0..5, &mut rng);
+        for e in &events {
+            assert_eq!(city.clock().slot_of_day(e.slot(city.clock())), 16);
+        }
+    }
+
+    #[test]
+    fn mean_field_scales_with_weights() {
+        let city = City::chengdu().scaled(0.1);
+        let spec = GridSpec::new(4);
+        let slot = SlotId(16);
+        let field = city.mean_field(spec, slot);
+        assert!(
+            (field.total() - city.expected_slot_total(slot)).abs() < 1e-6
+        );
+    }
+
+    #[test]
+    fn default_split_is_consistent() {
+        let s = DataSplit::default();
+        assert!(s.train_days.1 <= s.val_days.0);
+        assert!(s.val_days.1 <= s.test_day);
+        assert_eq!(s.horizon_days(), 64);
+    }
+}

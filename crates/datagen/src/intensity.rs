@@ -1,0 +1,321 @@
+//! Spatial intensity fields.
+//!
+//! An [`IntensityField`] is a normalized mixture of components over the
+//! unit square:
+//!
+//! * **Gaussian hotspots** — business districts, stations;
+//! * **road ridges** — demand concentrated along a line segment with a
+//!   Gaussian cross-section (the paper's Fig. 12(a) shows exactly this
+//!   pattern: "a long main road in the middle with lots of events");
+//! * **uniform background** — diffuse residential demand.
+//!
+//! Three consumers, all consistent with one another:
+//! [`IntensityField::density`] (pointwise evaluation),
+//! [`IntensityField::sample_point`] (exact mixture sampling, truncated to
+//! the unit square by rejection) and [`IntensityField::cell_weights`]
+//! (per-cell integrals by midpoint supersampling, normalized to sum to 1).
+
+use gridtuner_spatial::{GridSpec, Point};
+use rand::Rng;
+
+/// One mixture component.
+#[derive(Debug, Clone, PartialEq)]
+enum Component {
+    Gaussian {
+        center: Point,
+        sigma: f64,
+    },
+    Road {
+        a: Point,
+        b: Point,
+        width: f64,
+    },
+    Uniform,
+}
+
+impl Component {
+    /// Unnormalized density at `p` (each component integrates to ≈1 over
+    /// the plane / unit square before truncation).
+    fn density(&self, p: &Point) -> f64 {
+        match self {
+            Component::Gaussian { center, sigma } => {
+                let d2 = (p.x - center.x).powi(2) + (p.y - center.y).powi(2);
+                (-d2 / (2.0 * sigma * sigma)).exp()
+                    / (2.0 * std::f64::consts::PI * sigma * sigma)
+            }
+            Component::Road { a, b, width } => {
+                // Density of "uniform along the segment × Gaussian across":
+                // zero beyond the segment's ends so that density and
+                // sampling describe exactly the same distribution.
+                let abx = b.x - a.x;
+                let aby = b.y - a.y;
+                let len2 = abx * abx + aby * aby;
+                if len2 == 0.0 {
+                    return 0.0;
+                }
+                let t = ((p.x - a.x) * abx + (p.y - a.y) * aby) / len2;
+                if !(0.0..=1.0).contains(&t) {
+                    return 0.0;
+                }
+                let proj = Point::new(a.x + t * abx, a.y + t * aby);
+                let d = p.dist(&proj);
+                let len = len2.sqrt();
+                (-d * d / (2.0 * width * width)).exp()
+                    / ((2.0 * std::f64::consts::PI).sqrt() * width * len)
+            }
+            Component::Uniform => 1.0,
+        }
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Point {
+        match self {
+            Component::Gaussian { center, sigma } => {
+                let (gx, gy) = gauss_pair(rng);
+                Point::new(center.x + sigma * gx, center.y + sigma * gy)
+            }
+            Component::Road { a, b, width } => {
+                let t: f64 = rng.gen();
+                let (g, _) = gauss_pair(rng);
+                // Unit normal to the segment.
+                let abx = b.x - a.x;
+                let aby = b.y - a.y;
+                let len = (abx * abx + aby * aby).sqrt().max(1e-9);
+                let (nx, ny) = (-aby / len, abx / len);
+                Point::new(
+                    a.x + t * abx + width * g * nx,
+                    a.y + t * aby + width * g * ny,
+                )
+            }
+            Component::Uniform => Point::new(rng.gen(), rng.gen()),
+        }
+    }
+}
+
+/// Box–Muller: two independent standard normals.
+fn gauss_pair<R: Rng + ?Sized>(rng: &mut R) -> (f64, f64) {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = 2.0 * std::f64::consts::PI * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
+/// A weighted mixture of spatial components over the unit square.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct IntensityField {
+    components: Vec<(f64, Component)>,
+}
+
+impl IntensityField {
+    /// Empty field; add components with the builder methods. A field with
+    /// no components panics on use — always add at least one.
+    pub fn new() -> Self {
+        IntensityField::default()
+    }
+
+    /// Adds a Gaussian hotspot.
+    pub fn hotspot(mut self, center: Point, sigma: f64, weight: f64) -> Self {
+        assert!(sigma > 0.0 && weight > 0.0, "invalid hotspot parameters");
+        self.components
+            .push((weight, Component::Gaussian { center, sigma }));
+        self
+    }
+
+    /// Adds a road ridge from `a` to `b` with Gaussian cross-section
+    /// `width`.
+    pub fn road(mut self, a: Point, b: Point, width: f64, weight: f64) -> Self {
+        assert!(width > 0.0 && weight > 0.0, "invalid road parameters");
+        self.components.push((weight, Component::Road { a, b, width }));
+        self
+    }
+
+    /// Adds a uniform background.
+    pub fn background(mut self, weight: f64) -> Self {
+        assert!(weight > 0.0, "invalid background weight");
+        self.components.push((weight, Component::Uniform));
+        self
+    }
+
+    /// Number of components.
+    pub fn n_components(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Mixture density at a point (unnormalized across truncation: the
+    /// small mass of hotspots leaking outside the unit square is handled by
+    /// rejection in sampling and by renormalization in `cell_weights`).
+    pub fn density(&self, p: &Point) -> f64 {
+        assert!(!self.components.is_empty(), "empty intensity field");
+        let total_w: f64 = self.components.iter().map(|(w, _)| w).sum();
+        self.components
+            .iter()
+            .map(|(w, c)| w * c.density(p))
+            .sum::<f64>()
+            / total_w
+    }
+
+    /// Draws one point from the mixture, truncated to the unit square by
+    /// rejection (components are chosen so the rejection rate is small).
+    pub fn sample_point<R: Rng + ?Sized>(&self, rng: &mut R) -> Point {
+        assert!(!self.components.is_empty(), "empty intensity field");
+        let total_w: f64 = self.components.iter().map(|(w, _)| w).sum();
+        loop {
+            let mut pick = rng.gen::<f64>() * total_w;
+            for (w, c) in &self.components {
+                pick -= w;
+                if pick <= 0.0 {
+                    let p = c.sample(rng);
+                    if p.in_unit_square() {
+                        return p;
+                    }
+                    break; // rejected: redraw component too
+                }
+            }
+        }
+    }
+
+    /// The smallest spatial scale among the components (hotspot σ or road
+    /// width); uniform-only fields report the unit square itself.
+    fn min_feature_scale(&self) -> f64 {
+        self.components
+            .iter()
+            .map(|(_, c)| match c {
+                Component::Gaussian { sigma, .. } => *sigma,
+                Component::Road { width, .. } => *width,
+                Component::Uniform => 1.0,
+            })
+            .fold(1.0, f64::min)
+    }
+
+    /// Per-cell integral of the density over `spec`, normalized to sum
+    /// to 1. Uses midpoint supersampling whose resolution adapts to the
+    /// finest feature scale (sub-sample spacing ≤ scale/2), so sub-cell
+    /// hotspots are integrated accurately on coarse grids too.
+    pub fn cell_weights(&self, spec: GridSpec) -> Vec<f64> {
+        let side = spec.side() as usize;
+        let cell = 1.0 / side as f64;
+        let ss = ((cell / (self.min_feature_scale() / 2.0)).ceil() as usize).clamp(3, 24);
+        let sub = cell / ss as f64;
+        let mut weights = vec![0.0; spec.n_cells()];
+        for r in 0..side {
+            for c in 0..side {
+                let mut acc = 0.0;
+                for i in 0..ss {
+                    for j in 0..ss {
+                        let p = Point::new(
+                            c as f64 * cell + (j as f64 + 0.5) * sub,
+                            r as f64 * cell + (i as f64 + 0.5) * sub,
+                        );
+                        acc += self.density(&p);
+                    }
+                }
+                weights[r * side + c] = acc;
+            }
+        }
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "degenerate intensity field");
+        for w in &mut weights {
+            *w /= total;
+        }
+        weights
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn test_field() -> IntensityField {
+        IntensityField::new()
+            .hotspot(Point::new(0.3, 0.3), 0.05, 2.0)
+            .road(Point::new(0.1, 0.8), Point::new(0.9, 0.8), 0.03, 1.0)
+            .background(0.5)
+    }
+
+    #[test]
+    fn density_peaks_at_hotspot() {
+        let f = test_field();
+        let at_hotspot = f.density(&Point::new(0.3, 0.3));
+        let far = f.density(&Point::new(0.7, 0.2));
+        assert!(at_hotspot > 10.0 * far, "{at_hotspot} vs {far}");
+    }
+
+    #[test]
+    fn road_density_is_uniform_along_and_decays_across() {
+        let f = IntensityField::new().road(
+            Point::new(0.1, 0.5),
+            Point::new(0.9, 0.5),
+            0.02,
+            1.0,
+        );
+        let on_a = f.density(&Point::new(0.3, 0.5));
+        let on_b = f.density(&Point::new(0.7, 0.5));
+        let off = f.density(&Point::new(0.3, 0.6));
+        assert!((on_a - on_b).abs() < 1e-9);
+        assert!(on_a > 20.0 * off);
+    }
+
+    #[test]
+    fn cell_weights_sum_to_one() {
+        let f = test_field();
+        for side in [1u32, 4, 13, 64] {
+            let w = f.cell_weights(GridSpec::new(side));
+            let total: f64 = w.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "side {side}: {total}");
+        }
+    }
+
+    #[test]
+    fn sampled_points_match_cell_weights() {
+        // Empirical cell frequencies must track the analytic integrals.
+        let f = test_field();
+        let spec = GridSpec::new(4);
+        let weights = f.cell_weights(spec);
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 200_000usize;
+        let mut freq = vec![0.0f64; spec.n_cells()];
+        for _ in 0..n {
+            let p = f.sample_point(&mut rng);
+            freq[spec.cell_of(&p).unwrap().index()] += 1.0 / n as f64;
+        }
+        for (i, (&w, &fr)) in weights.iter().zip(&freq).enumerate() {
+            assert!(
+                (w - fr).abs() < 0.01,
+                "cell {i}: analytic {w:.4} vs empirical {fr:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn samples_always_inside_unit_square() {
+        // Hotspot on the boundary: rejection must keep points inside.
+        let f = IntensityField::new().hotspot(Point::new(0.0, 0.0), 0.2, 1.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..5_000 {
+            assert!(f.sample_point(&mut rng).in_unit_square());
+        }
+    }
+
+    #[test]
+    fn uniform_only_field_is_flat() {
+        let f = IntensityField::new().background(1.0);
+        let w = f.cell_weights(GridSpec::new(8));
+        for &x in &w {
+            assert!((x - 1.0 / 64.0).abs() < 1e-9);
+        }
+        assert!((f.density(&Point::new(0.1, 0.1)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty intensity field")]
+    fn empty_field_panics_on_density() {
+        IntensityField::new().density(&Point::new(0.5, 0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid hotspot")]
+    fn invalid_sigma_rejected() {
+        IntensityField::new().hotspot(Point::new(0.5, 0.5), 0.0, 1.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Exact Poisson sampling.
+//!
+//! Two regimes: Knuth's sequential inversion for small means (expected
+//! `O(λ)` uniforms, exact) and Hörmann's PTRS transformed rejection for
+//! `λ ≥ 10` (expected `O(1)` uniforms, exact). Implemented here rather than
+//! pulled from `rand_distr` to keep the dependency set to the allowed list.
+
+use gridtuner_core::poisson::ln_gamma;
+use rand::Rng;
+
+/// Threshold between the inversion and rejection regimes.
+const PTRS_THRESHOLD: f64 = 10.0;
+
+/// Draws one sample from `Pois(lambda)`. Exact for all `lambda ≥ 0`.
+pub fn sample_poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    assert!(
+        lambda >= 0.0 && lambda.is_finite(),
+        "Poisson mean must be finite and non-negative, got {lambda}"
+    );
+    if lambda == 0.0 {
+        0
+    } else if lambda < PTRS_THRESHOLD {
+        sample_knuth(rng, lambda)
+    } else {
+        sample_ptrs(rng, lambda)
+    }
+}
+
+/// Knuth's multiplication method: count uniforms until their product drops
+/// below `e^{-λ}`.
+fn sample_knuth<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    let limit = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= limit {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Hörmann's PTRS ("Poisson Transformed Rejection with Squeeze"), valid for
+/// `λ ≥ 10`.
+fn sample_ptrs<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    let ln_lambda = lambda.ln();
+    let b = 0.931 + 2.53 * lambda.sqrt();
+    let a = -0.059 + 0.024_83 * b;
+    let inv_alpha = 1.123_9 + 1.132_8 / (b - 3.4);
+    let v_r = 0.927_7 - 3.622_4 / (b - 2.0);
+    loop {
+        let u = rng.gen::<f64>() - 0.5;
+        let v = rng.gen::<f64>();
+        let us = 0.5 - u.abs();
+        let k = ((2.0 * a / us + b) * u + lambda + 0.43).floor();
+        if us >= 0.07 && v <= v_r {
+            return k as u64;
+        }
+        if k < 0.0 || (us < 0.013 && v > us) {
+            continue;
+        }
+        if (v * inv_alpha / (a / (us * us) + b)).ln()
+            <= k * ln_lambda - lambda - ln_gamma(k + 1.0)
+        {
+            return k as u64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn stats(lambda: f64, n: usize, seed: u64) -> (f64, f64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let samples: Vec<f64> = (0..n).map(|_| sample_poisson(&mut rng, lambda) as f64).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        (mean, var)
+    }
+
+    #[test]
+    fn zero_mean_is_always_zero() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(sample_poisson(&mut rng, 0.0), 0);
+        }
+    }
+
+    #[test]
+    fn knuth_regime_mean_and_variance() {
+        for &lambda in &[0.3, 1.0, 4.2, 9.5] {
+            let (mean, var) = stats(lambda, 60_000, 11);
+            let se = (lambda / 60_000.0f64).sqrt();
+            assert!(
+                (mean - lambda).abs() < 5.0 * se,
+                "λ={lambda}: mean={mean}"
+            );
+            assert!(
+                (var - lambda).abs() < 0.05 * lambda + 5.0 * se,
+                "λ={lambda}: var={var}"
+            );
+        }
+    }
+
+    #[test]
+    fn ptrs_regime_mean_and_variance() {
+        for &lambda in &[10.0, 42.0, 300.0, 5_000.0] {
+            let (mean, var) = stats(lambda, 60_000, 23);
+            let rel = (mean - lambda).abs() / lambda;
+            assert!(rel < 0.01, "λ={lambda}: mean={mean}");
+            assert!((var - lambda).abs() / lambda < 0.05, "λ={lambda}: var={var}");
+        }
+    }
+
+    #[test]
+    fn ptrs_matches_knuth_distribution_at_threshold() {
+        // Both regimes at λ≈10 should produce statistically indistinguishable
+        // tails; compare empirical P(X ≤ 10).
+        let n = 120_000;
+        let mut rng = StdRng::seed_from_u64(5);
+        let below_knuth = (0..n)
+            .filter(|_| sample_knuth(&mut rng, 9.99) <= 10)
+            .count() as f64
+            / n as f64;
+        let below_ptrs = (0..n)
+            .filter(|_| sample_ptrs(&mut rng, 10.01) <= 10)
+            .count() as f64
+            / n as f64;
+        assert!(
+            (below_knuth - below_ptrs).abs() < 0.01,
+            "{below_knuth} vs {below_ptrs}"
+        );
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let mut a = StdRng::seed_from_u64(99);
+        let mut b = StdRng::seed_from_u64(99);
+        for &lambda in &[0.5, 3.0, 77.0] {
+            assert_eq!(
+                sample_poisson(&mut a, lambda),
+                sample_poisson(&mut b, lambda)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_mean_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        sample_poisson(&mut rng, -1.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Temporal demand profiles.
+//!
+//! A [`TemporalProfile`] distributes a city's daily volume over the 48 time
+//! slots of a day (morning and evening peaks, night trough), scales
+//! weekends relative to weekdays (the paper stresses "the great difference
+//! in the willingness of people to travel on weekdays and workdays"), and
+//! applies a slow multiplicative week-over-week trend (the paper's
+//! Appendix F shows long histories hurt because "the distribution may
+//! change").
+
+use gridtuner_spatial::{SlotClock, SlotId};
+
+/// Per-slot demand weighting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TemporalProfile {
+    /// Relative weight per slot-of-day, normalized to sum to 1.
+    diurnal: Vec<f64>,
+    /// Multiplier applied on weekend days.
+    weekend_factor: f64,
+    /// Multiplicative drift per week (1.0 = stationary).
+    weekly_trend: f64,
+}
+
+impl TemporalProfile {
+    /// Builds a profile from raw diurnal weights (normalized internally).
+    pub fn new(diurnal: Vec<f64>, weekend_factor: f64, weekly_trend: f64) -> Self {
+        assert!(!diurnal.is_empty(), "diurnal profile cannot be empty");
+        assert!(
+            diurnal.iter().all(|&w| w >= 0.0) && diurnal.iter().sum::<f64>() > 0.0,
+            "diurnal weights must be non-negative and not all zero"
+        );
+        assert!(weekend_factor > 0.0 && weekly_trend > 0.0);
+        let total: f64 = diurnal.iter().sum();
+        TemporalProfile {
+            diurnal: diurnal.into_iter().map(|w| w / total).collect(),
+            weekend_factor,
+            weekly_trend,
+        }
+    }
+
+    /// A city-like default for a 48-slot day: a 8:00–9:30 morning peak, a
+    /// larger 17:30–20:00 evening peak, and a 3:00–5:00 trough.
+    pub fn taxi_default(slots_per_day: usize) -> Self {
+        let mut w = Vec::with_capacity(slots_per_day);
+        for s in 0..slots_per_day {
+            let hour = s as f64 * 24.0 / slots_per_day as f64;
+            // Base load + two Gaussian-ish peaks.
+            let morning = 1.6 * (-(hour - 8.5f64).powi(2) / 3.0).exp();
+            let evening = 2.2 * (-(hour - 18.5f64).powi(2) / 5.0).exp();
+            let night_dip = -0.55 * (-(hour - 4.0f64).powi(2) / 6.0).exp();
+            w.push((0.6 + morning + evening + night_dip).max(0.02));
+        }
+        TemporalProfile::new(w, 0.8, 1.0)
+    }
+
+    /// Sets the weekend multiplier.
+    pub fn with_weekend_factor(mut self, f: f64) -> Self {
+        assert!(f > 0.0);
+        self.weekend_factor = f;
+        self
+    }
+
+    /// Sets the week-over-week drift.
+    pub fn with_weekly_trend(mut self, t: f64) -> Self {
+        assert!(t > 0.0);
+        self.weekly_trend = t;
+        self
+    }
+
+    /// Number of slots per day this profile covers.
+    pub fn slots_per_day(&self) -> usize {
+        self.diurnal.len()
+    }
+
+    /// Fraction of a weekday's volume falling in `slot_of_day`.
+    pub fn diurnal_weight(&self, slot_of_day: u32) -> f64 {
+        self.diurnal[slot_of_day as usize % self.diurnal.len()]
+    }
+
+    /// Total multiplier for a global slot: diurnal share × weekend factor ×
+    /// weekly trend. Multiply by the city's daily volume to get the
+    /// expected event count of the slot.
+    pub fn slot_factor(&self, clock: &SlotClock, slot: SlotId) -> f64 {
+        let day = clock.day_of(slot);
+        let weekend = if clock.is_weekday(slot) {
+            1.0
+        } else {
+            self.weekend_factor
+        };
+        let week = (day / 7) as f64;
+        self.diurnal_weight(clock.slot_of_day(slot)) * weekend * self.weekly_trend.powf(week)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diurnal_weights_normalized() {
+        let p = TemporalProfile::taxi_default(48);
+        let total: f64 = (0..48).map(|s| p.diurnal_weight(s)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_profile_has_expected_shape() {
+        let p = TemporalProfile::taxi_default(48);
+        let night = p.diurnal_weight(8); // 4:00
+        let morning = p.diurnal_weight(17); // 8:30
+        let evening = p.diurnal_weight(37); // 18:30
+        assert!(morning > 2.0 * night, "morning {morning} night {night}");
+        assert!(evening > morning, "evening {evening} morning {morning}");
+    }
+
+    #[test]
+    fn weekend_factor_applies_on_weekends_only() {
+        let p = TemporalProfile::taxi_default(48).with_weekend_factor(0.5);
+        let clock = SlotClock::default();
+        let mon = p.slot_factor(&clock, clock.slot_at(0, 16));
+        let sat = p.slot_factor(&clock, clock.slot_at(5, 16));
+        assert!((sat / mon - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weekly_trend_compounds() {
+        let p = TemporalProfile::taxi_default(48).with_weekly_trend(1.1);
+        let clock = SlotClock::default();
+        let w0 = p.slot_factor(&clock, clock.slot_at(0, 16));
+        let w2 = p.slot_factor(&clock, clock.slot_at(14, 16));
+        assert!((w2 / w0 - 1.21).abs() < 1e-9);
+    }
+
+    #[test]
+    fn custom_profile_normalizes_raw_weights() {
+        let p = TemporalProfile::new(vec![2.0, 6.0], 1.0, 1.0);
+        assert!((p.diurnal_weight(0) - 0.25).abs() < 1e-12);
+        assert!((p.diurnal_weight(1) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be empty")]
+    fn empty_profile_rejected() {
+        TemporalProfile::new(vec![], 1.0, 1.0);
+    }
+}

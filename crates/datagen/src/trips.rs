@@ -1,0 +1,193 @@
+//! Trip records for the dispatch case study.
+//!
+//! Pick-ups come from the city's event process; drop-offs mix
+//! destination-popularity draws (people go where demand is) with local
+//! displacements (short hops), reproducing the paper's Fig. 11 shape:
+//! most trips well under half the city diameter, with a heavier local mass
+//! in the smaller Xi'an. Revenue follows a taxi meter: base fare plus a
+//! per-kilometre rate on the straight-line distance.
+
+use crate::city::City;
+use gridtuner_spatial::{Event, GeoBounds, Point, TripRecord};
+use rand::Rng;
+
+/// Turns pick-up events into full trip records.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TripGenerator {
+    /// Base fare added to every trip.
+    pub base_fare: f64,
+    /// Revenue per kilometre of straight-line trip length.
+    pub per_km: f64,
+    /// Probability of drawing the drop-off from the destination-popularity
+    /// field (vs a local displacement).
+    pub dest_mix: f64,
+    /// Standard deviation (unit coordinates) of the local displacement.
+    pub local_sigma: f64,
+}
+
+impl Default for TripGenerator {
+    fn default() -> Self {
+        TripGenerator {
+            base_fare: 2.5,
+            per_km: 1.8,
+            dest_mix: 0.65,
+            local_sigma: 0.08,
+        }
+    }
+}
+
+impl TripGenerator {
+    /// Builds trips from given pick-up events.
+    pub fn trips_from_events<R: Rng + ?Sized>(
+        &self,
+        city: &City,
+        events: &[Event],
+        rng: &mut R,
+    ) -> Vec<TripRecord> {
+        events
+            .iter()
+            .map(|e| {
+                let dropoff = self.sample_dropoff(city, &e.loc, rng);
+                let km = city.geo().dist_km(&e.loc, &dropoff);
+                TripRecord {
+                    pickup: e.loc,
+                    dropoff,
+                    minute: e.minute,
+                    revenue: self.base_fare + self.per_km * km,
+                }
+            })
+            .collect()
+    }
+
+    /// Samples a full day of trips.
+    pub fn trips_for_day<R: Rng + ?Sized>(
+        &self,
+        city: &City,
+        day: u32,
+        rng: &mut R,
+    ) -> Vec<TripRecord> {
+        let events = city.sample_day_events(day, rng);
+        self.trips_from_events(city, &events, rng)
+    }
+
+    fn sample_dropoff<R: Rng + ?Sized>(&self, city: &City, pickup: &Point, rng: &mut R) -> Point {
+        if rng.gen::<f64>() < self.dest_mix {
+            city.intensity().sample_point(rng)
+        } else {
+            // Local displacement, clamped into the map.
+            let (gx, gy) = {
+                let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                let u2: f64 = rng.gen();
+                let r = (-2.0 * u1.ln()).sqrt();
+                let t = 2.0 * std::f64::consts::PI * u2;
+                (r * t.cos(), r * t.sin())
+            };
+            Point::new(
+                pickup.x + self.local_sigma * gx,
+                pickup.y + self.local_sigma * gy,
+            )
+            .clamp_unit()
+        }
+    }
+}
+
+/// Histogram of trip lengths in kilometres with `bin_km`-wide bins up to
+/// `max_km` (the last bin collects the overflow) — the data behind Fig. 11.
+pub fn length_histogram(
+    trips: &[TripRecord],
+    geo: &GeoBounds,
+    bin_km: f64,
+    max_km: f64,
+) -> Vec<(f64, usize)> {
+    assert!(bin_km > 0.0 && max_km > bin_km, "invalid histogram bins");
+    let n_bins = (max_km / bin_km).ceil() as usize;
+    let mut bins = vec![0usize; n_bins + 1];
+    for t in trips {
+        let km = geo.dist_km(&t.pickup, &t.dropoff);
+        let idx = ((km / bin_km) as usize).min(n_bins);
+        bins[idx] += 1;
+    }
+    bins.into_iter()
+        .enumerate()
+        .map(|(i, c)| (i as f64 * bin_km, c))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn small_city() -> City {
+        City::xian().scaled(0.01)
+    }
+
+    #[test]
+    fn trips_preserve_pickup_fields() {
+        let city = small_city();
+        let mut rng = StdRng::seed_from_u64(2);
+        let events = city.sample_slot_events(city.clock().slot_at(0, 17), &mut rng);
+        let trips = TripGenerator::default().trips_from_events(&city, &events, &mut rng);
+        assert_eq!(trips.len(), events.len());
+        for (t, e) in trips.iter().zip(&events) {
+            assert_eq!(t.pickup, e.loc);
+            assert_eq!(t.minute, e.minute);
+            assert!(t.dropoff.in_unit_square());
+        }
+    }
+
+    #[test]
+    fn revenue_is_affine_in_distance() {
+        let city = small_city();
+        let gen = TripGenerator {
+            base_fare: 3.0,
+            per_km: 2.0,
+            ..TripGenerator::default()
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let trips = gen.trips_for_day(&city, 0, &mut rng);
+        assert!(!trips.is_empty());
+        for t in &trips {
+            let km = city.geo().dist_km(&t.pickup, &t.dropoff);
+            assert!((t.revenue - (3.0 + 2.0 * km)).abs() < 1e-9);
+            assert!(t.revenue >= 3.0);
+        }
+    }
+
+    #[test]
+    fn most_trips_are_short() {
+        // Fig. 11: trips concentrate well below the city diameter.
+        let city = City::nyc().scaled(0.005);
+        let mut rng = StdRng::seed_from_u64(7);
+        let trips = TripGenerator::default().trips_for_day(&city, 0, &mut rng);
+        let hist = length_histogram(&trips, city.geo(), 5.0, 45.0);
+        let total: usize = hist.iter().map(|&(_, c)| c).sum();
+        let below_15: usize = hist
+            .iter()
+            .filter(|&&(lo, _)| lo < 15.0)
+            .map(|&(_, c)| c)
+            .sum();
+        assert_eq!(total, trips.len());
+        assert!(
+            below_15 as f64 > 0.6 * total as f64,
+            "short-trip share too low: {below_15}/{total}"
+        );
+    }
+
+    #[test]
+    fn histogram_overflow_bin_collects_tail() {
+        let city = small_city();
+        let mut rng = StdRng::seed_from_u64(11);
+        let trips = TripGenerator::default().trips_for_day(&city, 0, &mut rng);
+        let hist = length_histogram(&trips, city.geo(), 1.0, 3.0);
+        assert_eq!(hist.len(), 4);
+        let total: usize = hist.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, trips.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid histogram")]
+    fn bad_bins_rejected() {
+        length_histogram(&[], &GeoBounds::nyc(), 0.0, 10.0);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests for the synthetic city generator: mass
+//! consistency between the three generation views (analytic mean field,
+//! gridded Poisson counts, point events) and basic sanity of sampled data.
+
+use gridtuner_datagen::{City, IntensityField, TemporalProfile};
+use gridtuner_spatial::{GeoBounds, GridSpec, Point, SlotId};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn small_city(volume: f64, sigma: f64) -> City {
+    City::custom(
+        "prop",
+        GeoBounds::xian(),
+        IntensityField::new()
+            .hotspot(Point::new(0.4, 0.6), sigma, 1.0)
+            .background(1.0),
+        TemporalProfile::taxi_default(48),
+        volume,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The analytic mean field integrates to the slot's expected total at
+    /// any resolution.
+    #[test]
+    fn mean_field_mass_is_resolution_invariant(side in 1u32..40,
+                                               volume in 100.0f64..5_000.0,
+                                               sigma in 0.05f64..0.3) {
+        let city = small_city(volume, sigma);
+        let slot = SlotId(16);
+        let field = city.mean_field(GridSpec::new(side), slot);
+        let expect = city.expected_slot_total(slot);
+        prop_assert!((field.total() - expect).abs() / expect < 1e-9);
+    }
+
+    /// Sampled gridded counts concentrate around the analytic mean
+    /// (within 6σ of the Poisson total).
+    #[test]
+    fn sampled_counts_track_expectation(seed in 0u64..200, side in 1u32..12) {
+        let city = small_city(2_000.0, 0.15);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let series = city.sample_count_series(GridSpec::new(side), 8, &mut rng);
+        let expect: f64 = (0..8).map(|t| city.expected_slot_total(SlotId(t))).sum();
+        let got: f64 = (0..8).map(|t| series.slot_total(SlotId(t))).sum();
+        let sd = expect.sqrt();
+        prop_assert!((got - expect).abs() < 6.0 * sd,
+            "total {} vs expected {} (sd {})", got, expect, sd);
+    }
+
+    /// Point events and gridded counts describe the same process: binning
+    /// sampled events reproduces the slot total exactly, and every event
+    /// is inside the map and its slot.
+    #[test]
+    fn events_bin_consistently(seed in 0u64..200) {
+        let city = small_city(3_000.0, 0.2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let slot = SlotId(17);
+        let events = city.sample_slot_events(slot, &mut rng);
+        for e in &events {
+            prop_assert!(e.loc.in_unit_square());
+            prop_assert_eq!(e.slot(city.clock()), slot);
+        }
+        let spec = GridSpec::new(9);
+        let binned: f64 = {
+            let mut c = 0.0;
+            for e in &events {
+                if spec.cell_of(&e.loc).is_some() {
+                    c += 1.0;
+                }
+            }
+            c
+        };
+        prop_assert_eq!(binned as usize, events.len());
+    }
+
+    /// Scaling a city's volume scales every expected total linearly.
+    #[test]
+    fn scaling_is_linear(scale in 0.01f64..10.0) {
+        let base = small_city(1_000.0, 0.2);
+        let scaled = base.clone().scaled(scale);
+        let slot = SlotId(30);
+        let a = base.expected_slot_total(slot);
+        let b = scaled.expected_slot_total(slot);
+        prop_assert!((b / a - scale).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,143 @@
+//! The prediction-free baseline: nearest-available-driver dispatch.
+//!
+//! This is what every prediction-guided algorithm must beat. It ignores
+//! the demand view entirely and matches each order to the closest free
+//! driver (grid-index accelerated), processing orders in arrival order.
+
+use crate::model::{Driver, Order};
+use crate::sim::{Dispatcher, SlotContext};
+use gridtuner_spatial::GridIndex;
+
+/// Greedy nearest-driver dispatcher.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Nearest;
+
+impl Nearest {
+    /// Creates the baseline dispatcher.
+    pub fn new() -> Self {
+        Nearest
+    }
+}
+
+impl Dispatcher for Nearest {
+    fn name(&self) -> &'static str {
+        "nearest"
+    }
+
+    fn assign(
+        &mut self,
+        ctx: &SlotContext,
+        orders: &[Order],
+        drivers: &[Driver],
+    ) -> Vec<(usize, usize)> {
+        if orders.is_empty() || drivers.is_empty() {
+            return Vec::new();
+        }
+        let mut index = GridIndex::new(
+            (drivers.len() as f64).sqrt().ceil().max(4.0) as u32,
+            ctx.geo.width_km(),
+            ctx.geo.height_km(),
+        );
+        for (di, d) in drivers.iter().enumerate() {
+            index.insert(di, d.pos);
+        }
+        // Speed converts the wait cap into a km radius once.
+        let max_km = ctx.fleet.max_wait_min * ctx.fleet.speed_km_per_min;
+        let mut out = Vec::new();
+        for (oi, o) in orders.iter().enumerate() {
+            if let Some((di, km)) = index.nearest(&o.pickup) {
+                if km <= max_km {
+                    index.remove(di, drivers[di].pos);
+                    out.push((oi, di));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::FleetConfig;
+    use crate::sim::DemandView;
+    use gridtuner_spatial::{CountMatrix, GeoBounds, Point, SlotId};
+
+    fn ctx<'a>(
+        demand: &'a DemandView,
+        fleet: &'a FleetConfig,
+        geo: &'a GeoBounds,
+    ) -> SlotContext<'a> {
+        SlotContext {
+            slot: SlotId(0),
+            minute: 0,
+            demand,
+            geo,
+            fleet,
+        }
+    }
+
+    fn driver(id: usize, x: f64, y: f64) -> Driver {
+        Driver {
+            id,
+            pos: Point::new(x, y),
+            free_at: 0,
+        }
+    }
+
+    fn order(id: usize, x: f64, y: f64) -> Order {
+        Order {
+            id,
+            pickup: Point::new(x, y),
+            dropoff: Point::new(0.5, 0.5),
+            minute: 0,
+            revenue: 5.0,
+        }
+    }
+
+    #[test]
+    fn picks_the_closest_driver_per_order() {
+        let demand = DemandView::from_hgrid(CountMatrix::zeros(2));
+        let fleet = FleetConfig {
+            max_wait_min: 100.0,
+            ..FleetConfig::default()
+        };
+        let geo = GeoBounds::xian();
+        let c = ctx(&demand, &fleet, &geo);
+        let orders = vec![order(0, 0.1, 0.1), order(1, 0.9, 0.9)];
+        let drivers = vec![driver(0, 0.85, 0.9), driver(1, 0.15, 0.1)];
+        let pairs = Nearest::new().assign(&c, &orders, &drivers);
+        assert_eq!(pairs, vec![(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn respects_the_wait_radius() {
+        let demand = DemandView::from_hgrid(CountMatrix::zeros(2));
+        let fleet = FleetConfig {
+            max_wait_min: 1.0,
+            speed_km_per_min: 0.1,
+            ..FleetConfig::default()
+        };
+        let geo = GeoBounds::nyc();
+        let c = ctx(&demand, &fleet, &geo);
+        let orders = vec![order(0, 0.9, 0.9)];
+        let drivers = vec![driver(0, 0.1, 0.1)];
+        assert!(Nearest::new().assign(&c, &orders, &drivers).is_empty());
+    }
+
+    #[test]
+    fn each_driver_assigned_once() {
+        let demand = DemandView::from_hgrid(CountMatrix::zeros(2));
+        let fleet = FleetConfig {
+            max_wait_min: 500.0,
+            ..FleetConfig::default()
+        };
+        let geo = GeoBounds::xian();
+        let c = ctx(&demand, &fleet, &geo);
+        let orders: Vec<Order> = (0..5).map(|i| order(i, 0.5, 0.5)).collect();
+        let drivers = vec![driver(0, 0.5, 0.5), driver(1, 0.6, 0.5)];
+        let pairs = Nearest::new().assign(&c, &orders, &drivers);
+        assert_eq!(pairs.len(), 2);
+        assert_ne!(pairs[0].1, pairs[1].1);
+    }
+}

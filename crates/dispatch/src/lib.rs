@@ -1,0 +1,42 @@
+//! Prediction-guided dispatching: the paper's case study substrate.
+//!
+//! The paper measures how the grid size `n` chosen for the prediction model
+//! propagates into three downstream crowdsourcing algorithms (Sec. V-D):
+//!
+//! * **POLAR** \[Tong et al., VLDB'17\] — two-stage task assignment:
+//!   predictive repositioning of idle drivers, then order–driver matching
+//!   maximizing the number of served orders;
+//! * **LS** \[Cheng et al., ICDE'19\] — queueing-theoretic dispatching that
+//!   scores assignments by immediate revenue plus the expected value of the
+//!   driver's destination, maximizing total revenue;
+//! * **DAIF** \[Wang et al., VLDB'20\] — demand-aware insertion-based route
+//!   planning for shared mobility, maximizing served requests and
+//!   minimizing a unified cost.
+//!
+//! All three are re-implemented from their core ideas on a common
+//! slot-stepped simulator ([`sim`]). They consume demand predictions
+//! exclusively through the per-HGrid view `λ̂_i / m` ([`sim::DemandView`]),
+//! which is exactly how grid-size-induced real error reaches a production
+//! dispatcher.
+//!
+//! The matching substrate ([`matching`]) provides an exact Hungarian
+//! (Kuhn–Munkres) solver and a scalable greedy matcher; the simulator
+//! switches between them by instance size.
+
+pub mod baseline;
+pub mod daif;
+pub mod ls;
+pub mod matching;
+pub mod metrics;
+pub mod model;
+pub mod polar;
+pub mod sim;
+
+pub use baseline::Nearest;
+pub use daif::Daif;
+pub use ls::Ls;
+pub use matching::{assignment_cost, greedy_assignment, hungarian, INFEASIBLE};
+pub use metrics::DispatchOutcome;
+pub use model::{Driver, FleetConfig, Order};
+pub use polar::Polar;
+pub use sim::{DemandView, Dispatcher, SimConfig, Simulator};

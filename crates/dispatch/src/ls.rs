@@ -1,0 +1,214 @@
+//! LS-style queueing-theoretic dispatching (Cheng et al., ICDE'19).
+//!
+//! LS maximizes *revenue*: each feasible (order, driver) pair is scored by
+//! the order's immediate revenue plus the discounted expected value of the
+//! driver's future position, minus a travel cost. The future value is the
+//! queueing-theoretic part: a driver dropped where predicted demand exceeds
+//! supply waits less for the next order, so
+//!
+//! ```text
+//! score = revenue + γ · demand(dropoff) / (supply(dropoff) + 1) − β · travel_min
+//! ```
+//!
+//! Pairs are taken greedily by descending score. The demand term is read
+//! from the HGrid view, so its fidelity — and hence LS's revenue — depends
+//! on the grid size `n` exactly as in the paper's Figs. 6–8.
+
+use crate::model::{Driver, Order};
+use crate::sim::{Dispatcher, SlotContext};
+
+/// LS configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LsConfig {
+    /// Weight of the destination's expected future value.
+    pub gamma: f64,
+    /// Cost per minute of pick-up travel.
+    pub beta: f64,
+}
+
+impl Default for LsConfig {
+    fn default() -> Self {
+        LsConfig {
+            gamma: 2.0,
+            beta: 0.25,
+        }
+    }
+}
+
+/// The LS dispatcher.
+#[derive(Debug, Clone, Default)]
+pub struct Ls {
+    cfg: LsConfig,
+}
+
+impl Ls {
+    /// LS with default parameters.
+    pub fn new() -> Self {
+        Ls::default()
+    }
+
+    /// LS with explicit parameters.
+    pub fn with_config(cfg: LsConfig) -> Self {
+        Ls { cfg }
+    }
+}
+
+impl Dispatcher for Ls {
+    fn name(&self) -> &'static str {
+        "ls"
+    }
+
+    fn assign(
+        &mut self,
+        ctx: &SlotContext,
+        orders: &[Order],
+        drivers: &[Driver],
+    ) -> Vec<(usize, usize)> {
+        if orders.is_empty() || drivers.is_empty() {
+            return Vec::new();
+        }
+        let refs: Vec<&Driver> = drivers.iter().collect();
+        let supply = ctx.demand.supply_field(&refs);
+        let spec = ctx.demand.spec();
+        let mut scored: Vec<(f64, usize, usize)> = Vec::new();
+        for (oi, o) in orders.iter().enumerate() {
+            let future = spec
+                .cell_of(&o.dropoff)
+                .map(|c| ctx.demand.cell_demand(c) / (supply.get(c) + 1.0))
+                .unwrap_or(0.0);
+            for (di, d) in drivers.iter().enumerate() {
+                let t = ctx.travel_minutes(&d.pos, &o.pickup);
+                if t > ctx.fleet.max_wait_min {
+                    continue;
+                }
+                let score = o.revenue + self.cfg.gamma * future - self.cfg.beta * t;
+                scored.push((score, oi, di));
+            }
+        }
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores"));
+        let mut order_used = vec![false; orders.len()];
+        let mut driver_used = vec![false; drivers.len()];
+        let mut out = Vec::new();
+        for (_, oi, di) in scored {
+            if !order_used[oi] && !driver_used[di] {
+                order_used[oi] = true;
+                driver_used[di] = true;
+                out.push((oi, di));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::FleetConfig;
+    use crate::sim::DemandView;
+    use gridtuner_spatial::{CountMatrix, GeoBounds, Point, SlotId};
+
+    fn ctx<'a>(
+        demand: &'a DemandView,
+        fleet: &'a FleetConfig,
+        geo: &'a GeoBounds,
+    ) -> SlotContext<'a> {
+        SlotContext {
+            slot: SlotId(0),
+            minute: 0,
+            demand,
+            geo,
+            fleet,
+        }
+    }
+
+    fn order(id: usize, revenue: f64, dropoff: Point) -> Order {
+        Order {
+            id,
+            pickup: Point::new(0.5, 0.5),
+            dropoff,
+            minute: 0,
+            revenue,
+        }
+    }
+
+    fn driver(id: usize, x: f64, y: f64) -> Driver {
+        Driver {
+            id,
+            pos: Point::new(x, y),
+            free_at: 0,
+        }
+    }
+
+    #[test]
+    fn prefers_high_revenue_when_drivers_scarce() {
+        let demand = DemandView::from_hgrid(CountMatrix::zeros(2));
+        let fleet = FleetConfig {
+            max_wait_min: 100.0,
+            ..FleetConfig::default()
+        };
+        let geo = GeoBounds::xian();
+        let c = ctx(&demand, &fleet, &geo);
+        let orders = vec![
+            order(0, 3.0, Point::new(0.6, 0.5)),
+            order(1, 30.0, Point::new(0.6, 0.5)),
+        ];
+        let drivers = vec![driver(0, 0.5, 0.5)];
+        let pairs = Ls::new().assign(&c, &orders, &drivers);
+        assert_eq!(pairs, vec![(1, 0)]);
+    }
+
+    #[test]
+    fn future_value_breaks_revenue_ties() {
+        // Equal revenue; one drop-off lands in a high-demand cell.
+        let mut field = CountMatrix::zeros(2);
+        *field.get_mut(gridtuner_spatial::CellId(3)) = 20.0; // top-right
+        let demand = DemandView::from_hgrid(field);
+        let fleet = FleetConfig {
+            max_wait_min: 100.0,
+            ..FleetConfig::default()
+        };
+        let geo = GeoBounds::xian();
+        let c = ctx(&demand, &fleet, &geo);
+        let orders = vec![
+            order(0, 5.0, Point::new(0.1, 0.1)), // cold cell
+            order(1, 5.0, Point::new(0.9, 0.9)), // hot cell
+        ];
+        let drivers = vec![driver(0, 0.5, 0.5)];
+        let pairs = Ls::new().assign(&c, &orders, &drivers);
+        assert_eq!(pairs, vec![(1, 0)], "hot drop-off must win the driver");
+    }
+
+    #[test]
+    fn travel_cost_penalizes_distant_drivers() {
+        let demand = DemandView::from_hgrid(CountMatrix::zeros(2));
+        let fleet = FleetConfig {
+            max_wait_min: 500.0,
+            ..FleetConfig::default()
+        };
+        let geo = GeoBounds::xian();
+        let c = ctx(&demand, &fleet, &geo);
+        let orders = vec![order(0, 5.0, Point::new(0.6, 0.5))];
+        let drivers = vec![driver(0, 0.9, 0.9), driver(1, 0.51, 0.5)];
+        let pairs = Ls::with_config(LsConfig {
+            gamma: 0.0,
+            beta: 1.0,
+        })
+        .assign(&c, &orders, &drivers);
+        assert_eq!(pairs, vec![(0, 1)], "near driver must win");
+    }
+
+    #[test]
+    fn respects_wait_cap() {
+        let demand = DemandView::from_hgrid(CountMatrix::zeros(2));
+        let fleet = FleetConfig {
+            max_wait_min: 0.5,
+            speed_km_per_min: 0.1,
+            ..FleetConfig::default()
+        };
+        let geo = GeoBounds::nyc();
+        let c = ctx(&demand, &fleet, &geo);
+        let orders = vec![order(0, 5.0, Point::new(0.6, 0.5))];
+        let drivers = vec![driver(0, 0.9, 0.9)];
+        assert!(Ls::new().assign(&c, &orders, &drivers).is_empty());
+    }
+}

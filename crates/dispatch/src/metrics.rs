@@ -1,0 +1,46 @@
+//! Outcome metrics for dispatch runs.
+
+/// What a dispatch run produced. The paper's case-study metrics map to:
+/// served order number (`served`), total revenue (`revenue`), served
+/// requests (`served` for DAIF) and unified cost (`unified_cost`).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DispatchOutcome {
+    /// Orders/requests served.
+    pub served: usize,
+    /// Total orders/requests offered.
+    pub total_orders: usize,
+    /// Revenue collected from served orders.
+    pub revenue: f64,
+    /// Total distance driven (km), including repositioning.
+    pub travel_km: f64,
+    /// Travel cost + penalty per unserved request (DAIF's objective).
+    pub unified_cost: f64,
+}
+
+impl DispatchOutcome {
+    /// Fraction of orders served.
+    pub fn service_rate(&self) -> f64 {
+        if self.total_orders == 0 {
+            0.0
+        } else {
+            self.served as f64 / self.total_orders as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_rate_handles_empty_runs() {
+        let o = DispatchOutcome::default();
+        assert_eq!(o.service_rate(), 0.0);
+        let o = DispatchOutcome {
+            served: 3,
+            total_orders: 4,
+            ..DispatchOutcome::default()
+        };
+        assert!((o.service_rate() - 0.75).abs() < 1e-12);
+    }
+}

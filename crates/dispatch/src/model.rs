@@ -1,0 +1,150 @@
+//! Orders, drivers and the fleet configuration.
+
+use gridtuner_spatial::{GeoBounds, Point, TripRecord};
+use rand::Rng;
+
+/// A ride request inside the simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Order {
+    /// Stable identifier (index into the day's order list).
+    pub id: usize,
+    /// Pick-up location.
+    pub pickup: Point,
+    /// Drop-off location.
+    pub dropoff: Point,
+    /// Request minute (absolute).
+    pub minute: u32,
+    /// Revenue if served.
+    pub revenue: f64,
+}
+
+impl Order {
+    /// Converts trip records into orders, preserving order of appearance.
+    pub fn from_trips(trips: &[TripRecord]) -> Vec<Order> {
+        trips
+            .iter()
+            .enumerate()
+            .map(|(id, t)| Order {
+                id,
+                pickup: t.pickup,
+                dropoff: t.dropoff,
+                minute: t.minute,
+                revenue: t.revenue,
+            })
+            .collect()
+    }
+}
+
+/// A driver (or, for DAIF, a shared-mobility worker).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Driver {
+    /// Stable identifier.
+    pub id: usize,
+    /// Current position (updated as trips complete).
+    pub pos: Point,
+    /// First minute the driver is free again.
+    pub free_at: u32,
+}
+
+/// Fleet sizing and motion model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetConfig {
+    /// Number of drivers.
+    pub n_drivers: usize,
+    /// Driving speed in km/minute (24 km/h ≈ 0.4 km/min of city traffic).
+    pub speed_km_per_min: f64,
+    /// An order is lost if no driver can reach the pick-up within this many
+    /// minutes.
+    pub max_wait_min: f64,
+    /// Seed for the initial driver placement.
+    pub seed: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            n_drivers: 500,
+            speed_km_per_min: 0.4,
+            max_wait_min: 12.0,
+            seed: 0xd15_bacc,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// Travel time in minutes between two points under the Manhattan
+    /// street metric.
+    pub fn travel_minutes(&self, geo: &GeoBounds, a: &Point, b: &Point) -> f64 {
+        geo.manhattan_km(a, b) / self.speed_km_per_min
+    }
+
+    /// Spawns the initial fleet uniformly over the map.
+    pub fn spawn_fleet<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<Driver> {
+        (0..self.n_drivers)
+            .map(|id| Driver {
+                id,
+                pos: Point::new(rng.gen(), rng.gen()),
+                free_at: 0,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn orders_from_trips_keep_fields_and_ids() {
+        let trips = vec![
+            TripRecord {
+                pickup: Point::new(0.1, 0.1),
+                dropoff: Point::new(0.2, 0.2),
+                minute: 5,
+                revenue: 7.0,
+            },
+            TripRecord {
+                pickup: Point::new(0.3, 0.3),
+                dropoff: Point::new(0.4, 0.4),
+                minute: 9,
+                revenue: 9.0,
+            },
+        ];
+        let orders = Order::from_trips(&trips);
+        assert_eq!(orders.len(), 2);
+        assert_eq!(orders[0].id, 0);
+        assert_eq!(orders[1].id, 1);
+        assert_eq!(orders[1].revenue, 9.0);
+        assert_eq!(orders[0].pickup, trips[0].pickup);
+    }
+
+    #[test]
+    fn travel_minutes_uses_manhattan_metric() {
+        let cfg = FleetConfig::default();
+        let geo = GeoBounds::nyc();
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(0.1, 0.1);
+        let km = geo.manhattan_km(&a, &b);
+        assert!((cfg.travel_minutes(&geo, &a, &b) - km / 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fleet_spawns_inside_map_and_free() {
+        let cfg = FleetConfig {
+            n_drivers: 100,
+            ..FleetConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let fleet = cfg.spawn_fleet(&mut rng);
+        assert_eq!(fleet.len(), 100);
+        for d in &fleet {
+            assert!(d.pos.in_unit_square());
+            assert_eq!(d.free_at, 0);
+        }
+        // Distinct ids.
+        let mut ids: Vec<_> = fleet.iter().map(|d| d.id).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), 100);
+    }
+}

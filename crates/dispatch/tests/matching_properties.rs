@@ -1,0 +1,101 @@
+//! Property-based tests for the matching substrate: validity of
+//! assignments, optimality of Hungarian against brute force, and the
+//! greedy/exact relationship on random instances.
+
+use gridtuner_dispatch::{assignment_cost, greedy_assignment, hungarian};
+use proptest::prelude::*;
+
+fn brute_force_min(cost: &[f64], n: usize) -> f64 {
+    fn go(cost: &[f64], n: usize, row: usize, used: &mut Vec<bool>, acc: f64, best: &mut f64) {
+        if row == n {
+            *best = best.min(acc);
+            return;
+        }
+        for c in 0..n {
+            if !used[c] {
+                used[c] = true;
+                go(cost, n, row + 1, used, acc + cost[row * n + c], best);
+                used[c] = false;
+            }
+        }
+    }
+    let mut best = f64::INFINITY;
+    go(cost, n, 0, &mut vec![false; n], 0.0, &mut best);
+    best
+}
+
+fn square_instance(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..50.0, n * n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn hungarian_is_optimal_on_squares(n in 2usize..6, cost in square_instance(5)) {
+        let n = n.min(5);
+        let cost = &cost[..n * n];
+        let assign = hungarian(cost, n, n);
+        // Valid: all rows matched, columns distinct.
+        let mut cols: Vec<usize> = assign.iter().map(|c| c.unwrap()).collect();
+        cols.sort_unstable();
+        cols.dedup();
+        prop_assert_eq!(cols.len(), n);
+        // Optimal.
+        let total = assignment_cost(cost, n, &assign);
+        let best = brute_force_min(cost, n);
+        prop_assert!((total - best).abs() < 1e-9, "hungarian {} vs brute {}", total, best);
+    }
+
+    #[test]
+    fn greedy_is_valid_and_never_beats_hungarian(n in 2usize..8, cost in square_instance(7)) {
+        let n = n.min(7);
+        let cost = &cost[..n * n];
+        let g = greedy_assignment(cost, n, n);
+        let h = hungarian(cost, n, n);
+        // Greedy matches everything on a complete instance.
+        prop_assert!(g.iter().all(|c| c.is_some()));
+        let mut cols: Vec<usize> = g.iter().map(|c| c.unwrap()).collect();
+        cols.sort_unstable();
+        cols.dedup();
+        prop_assert_eq!(cols.len(), n);
+        prop_assert!(
+            assignment_cost(cost, n, &g) >= assignment_cost(cost, n, &h) - 1e-9
+        );
+    }
+
+    #[test]
+    fn rectangular_instances_match_min_side(rows in 1usize..6, cols in 1usize..6,
+                                            seed in 0u64..1000) {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64 / 20.0
+        };
+        let cost: Vec<f64> = (0..rows * cols).map(|_| next()).collect();
+        let assign = hungarian(&cost, rows, cols);
+        let matched = assign.iter().flatten().count();
+        prop_assert_eq!(matched, rows.min(cols));
+        // Distinct columns among matched rows.
+        let mut used: Vec<usize> = assign.iter().flatten().copied().collect();
+        used.sort_unstable();
+        used.dedup();
+        prop_assert_eq!(used.len(), matched);
+    }
+
+    #[test]
+    fn permutation_of_rows_preserves_total(n in 2usize..5, cost in square_instance(4)) {
+        let n = n.min(4);
+        let cost = &cost[..n * n];
+        let base = assignment_cost(cost, n, &hungarian(cost, n, n));
+        // Reverse the row order: the optimal total must be identical.
+        let mut flipped = vec![0.0; n * n];
+        for r in 0..n {
+            flipped[(n - 1 - r) * n..(n - r) * n].copy_from_slice(&cost[r * n..(r + 1) * n]);
+        }
+        let flipped_total = assignment_cost(&flipped, n, &hungarian(&flipped, n, n));
+        prop_assert!((base - flipped_total).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,59 @@
+//! # GridTuner
+//!
+//! A from-scratch Rust reproduction of *"GridTuner: Reinvestigate Grid Size
+//! Selection for Spatiotemporal Prediction Models"* (ICDE 2022).
+//!
+//! Spatiotemporal prediction models divide a city into `n` **model grids**
+//! (MGrids) and forecast the event count of each. Downstream consumers —
+//! dispatchers, planners — need demand at much finer granularity, so the
+//! MGrid forecast is spread uniformly over **homogeneous grids** (HGrids).
+//! The paper shows the resulting **real error** decomposes into a *model
+//! error* (grows with `n`) and an *expression error* (shrinks with `n`),
+//! whose sum bounds it from above — and provides algorithms that pick the
+//! `n` minimizing that bound.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use gridtuner::core::tuner::{GridTuner, SearchStrategy, TunerConfig};
+//! use gridtuner::core::alpha::AlphaWindow;
+//! use gridtuner::datagen::City;
+//! use gridtuner::spatial::SlotClock;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // A small synthetic city (1% of Xi'an's volume keeps the doctest fast).
+//! let city = City::xian().scaled(0.01);
+//! let mut rng = StdRng::seed_from_u64(7);
+//! // History events at 8:00–8:30 for four weeks — the α-estimation window.
+//! let events = city.sample_history_events(16, 0..28, &mut rng);
+//!
+//! // Tune n with a toy model-error curve (real users plug in
+//! // `gridtuner::predict::CityModelError` here).
+//! let tuner = GridTuner::new(TunerConfig {
+//!     hgrid_budget_side: 32,
+//!     side_range: (2, 16),
+//!     strategy: SearchStrategy::Ternary,
+//!     alpha_window: AlphaWindow::default(),
+//! });
+//! let result = tuner.tune(&events, SlotClock::default(), |s: u32| (s * s) as f64 * 0.05);
+//! assert!(result.partition.mgrid_side() >= 2);
+//! ```
+//!
+//! ## Crate map
+//!
+//! * [`spatial`] — grids, partitions, time slots, count fields;
+//! * [`datagen`] — synthetic cities (the documented substitute for the
+//!   paper's proprietary taxi data);
+//! * [`nn`] — the from-scratch neural-network substrate;
+//! * [`predict`] — the predictor ladder (HA / MLP / DeepST-like /
+//!   DMVST-like);
+//! * [`core`] — the paper's contribution: error decomposition, expression
+//!   error algorithms, `D_α` analysis, OGSS search;
+//! * [`dispatch`] — the case-study dispatchers (POLAR / LS / DAIF).
+
+pub use gridtuner_core as core;
+pub use gridtuner_datagen as datagen;
+pub use gridtuner_dispatch as dispatch;
+pub use gridtuner_nn as nn;
+pub use gridtuner_predict as predict;
+pub use gridtuner_spatial as spatial;

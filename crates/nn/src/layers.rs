@@ -1,0 +1,530 @@
+//! Layers with hand-derived backward passes.
+//!
+//! The contract: `forward` caches whatever `backward` needs; `backward`
+//! *accumulates* into parameter gradients (so minibatches are a plain loop)
+//! and returns the gradient with respect to the layer input. Call
+//! [`Param::zero_grad`] (via the optimizer or net) between minibatches.
+
+use crate::init::he_uniform;
+use crate::net::Sequential;
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// A trainable parameter: value, accumulated gradient, and optimizer
+/// scratch state (used by momentum/Adam).
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Tensor,
+    /// First-moment optimizer state (velocity for SGD, `m` for Adam).
+    pub m: Vec<f32>,
+    /// Second-moment optimizer state (`v` for Adam; unused by SGD).
+    pub v: Vec<f32>,
+}
+
+impl Param {
+    /// Wraps a value tensor with zeroed gradient and state.
+    pub fn new(value: Tensor) -> Self {
+        let n = value.len();
+        let shape = value.shape().to_vec();
+        Param {
+            value,
+            grad: Tensor::zeros(&shape),
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+        }
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        for g in self.grad.as_mut_slice() {
+            *g = 0.0;
+        }
+    }
+}
+
+/// A differentiable layer.
+pub trait Layer {
+    /// Computes the output, caching anything `backward` will need.
+    fn forward(&mut self, input: &Tensor) -> Tensor;
+    /// Accumulates parameter gradients and returns `∂L/∂input`.
+    /// Must be called after `forward` with a matching gradient shape.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+    /// The layer's trainable parameters (empty for stateless layers).
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+    /// Human-readable layer name.
+    fn name(&self) -> &'static str;
+}
+
+/// Fully-connected layer: `y = W·x + b` on 1-D inputs.
+pub struct Dense {
+    w: Param, // [out, in]
+    b: Param, // [out]
+    input: Tensor,
+}
+
+impl Dense {
+    /// He-initialised dense layer.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, in_dim: usize, out_dim: usize) -> Self {
+        assert!(in_dim > 0 && out_dim > 0, "degenerate dense dimensions");
+        Dense {
+            w: Param::new(Tensor::from_vec(
+                &[out_dim, in_dim],
+                he_uniform(rng, in_dim, out_dim * in_dim),
+            )),
+            b: Param::new(Tensor::zeros(&[out_dim])),
+            input: Tensor::zeros(&[0]),
+        }
+    }
+
+    fn dims(&self) -> (usize, usize) {
+        (self.w.value.shape()[0], self.w.value.shape()[1])
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let (out_dim, in_dim) = self.dims();
+        assert_eq!(input.len(), in_dim, "dense input size mismatch");
+        self.input = input.reshaped(&[in_dim]);
+        let w = self.w.value.as_slice();
+        let b = self.b.value.as_slice();
+        let x = self.input.as_slice();
+        let mut y = vec![0.0f32; out_dim];
+        for (o, yo) in y.iter_mut().enumerate() {
+            let row = &w[o * in_dim..(o + 1) * in_dim];
+            let mut acc = b[o];
+            for (wi, xi) in row.iter().zip(x) {
+                acc += wi * xi;
+            }
+            *yo = acc;
+        }
+        Tensor::from_vec(&[out_dim], y)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (out_dim, in_dim) = self.dims();
+        assert_eq!(grad_out.len(), out_dim, "dense gradient size mismatch");
+        let g = grad_out.as_slice();
+        let x = self.input.as_slice();
+        assert_eq!(x.len(), in_dim, "backward called before forward");
+        let w = self.w.value.as_slice();
+        let mut dx = vec![0.0f32; in_dim];
+        {
+            let dw = self.w.grad.as_mut_slice();
+            let db = self.b.grad.as_mut_slice();
+            for o in 0..out_dim {
+                let go = g[o];
+                db[o] += go;
+                let row = o * in_dim;
+                for i in 0..in_dim {
+                    dw[row + i] += go * x[i];
+                    dx[i] += go * w[row + i];
+                }
+            }
+        }
+        Tensor::from_vec(&[in_dim], dx)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w, &mut self.b]
+    }
+
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+}
+
+/// Rectified linear unit, elementwise.
+#[derive(Default)]
+pub struct ReLU {
+    mask: Vec<bool>,
+}
+
+impl ReLU {
+    /// A fresh ReLU.
+    pub fn new() -> Self {
+        ReLU::default()
+    }
+}
+
+impl Layer for ReLU {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.mask = input.as_slice().iter().map(|&v| v > 0.0).collect();
+        let data = input
+            .as_slice()
+            .iter()
+            .map(|&v| if v > 0.0 { v } else { 0.0 })
+            .collect();
+        Tensor::from_vec(input.shape(), data)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert_eq!(grad_out.len(), self.mask.len(), "relu shape mismatch");
+        let data = grad_out
+            .as_slice()
+            .iter()
+            .zip(&self.mask)
+            .map(|(&g, &keep)| if keep { g } else { 0.0 })
+            .collect();
+        Tensor::from_vec(grad_out.shape(), data)
+    }
+
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+}
+
+/// Flattens any input to 1-D (and restores the shape on the way back).
+#[derive(Default)]
+pub struct Flatten {
+    input_shape: Vec<usize>,
+}
+
+impl Flatten {
+    /// A fresh flatten layer.
+    pub fn new() -> Self {
+        Flatten::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.input_shape = input.shape().to_vec();
+        input.reshaped(&[input.len()])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        grad_out.reshaped(&self.input_shape)
+    }
+
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+}
+
+/// 2-D convolution on `[C, H, W]` tensors: square kernels, stride 1, same
+/// padding (output spatial size equals input). Naive loops — fine at the
+/// channel counts this workspace uses.
+pub struct Conv2d {
+    k: Param, // [oc, ic, ks, ks]
+    b: Param, // [oc]
+    ks: usize,
+    input: Tensor,
+}
+
+impl Conv2d {
+    /// He-initialised conv layer with `ks × ks` kernels (`ks` odd).
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, in_ch: usize, out_ch: usize, ks: usize) -> Self {
+        assert!(ks % 2 == 1, "kernel size must be odd for same padding");
+        assert!(in_ch > 0 && out_ch > 0);
+        let fan_in = in_ch * ks * ks;
+        Conv2d {
+            k: Param::new(Tensor::from_vec(
+                &[out_ch, in_ch, ks, ks],
+                he_uniform(rng, fan_in, out_ch * fan_in),
+            )),
+            b: Param::new(Tensor::zeros(&[out_ch])),
+            ks,
+            input: Tensor::zeros(&[0]),
+        }
+    }
+
+    fn channels(&self) -> (usize, usize) {
+        (self.k.value.shape()[0], self.k.value.shape()[1])
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let (oc, ic) = self.channels();
+        assert_eq!(input.shape().len(), 3, "conv input must be [C, H, W]");
+        assert_eq!(input.shape()[0], ic, "conv input channel mismatch");
+        let (h, w) = (input.shape()[1], input.shape()[2]);
+        self.input = input.clone();
+        let pad = self.ks / 2;
+        let x = input.as_slice();
+        let k = self.k.value.as_slice();
+        let b = self.b.value.as_slice();
+        let mut out = vec![0.0f32; oc * h * w];
+        for o in 0..oc {
+            for r in 0..h {
+                for c in 0..w {
+                    let mut acc = b[o];
+                    for i in 0..ic {
+                        for kr in 0..self.ks {
+                            let rr = r + kr;
+                            if rr < pad || rr - pad >= h {
+                                continue;
+                            }
+                            let rr = rr - pad;
+                            for kc in 0..self.ks {
+                                let cc = c + kc;
+                                if cc < pad || cc - pad >= w {
+                                    continue;
+                                }
+                                let cc = cc - pad;
+                                acc += k[((o * ic + i) * self.ks + kr) * self.ks + kc]
+                                    * x[(i * h + rr) * w + cc];
+                            }
+                        }
+                    }
+                    out[(o * h + r) * w + c] = acc;
+                }
+            }
+        }
+        Tensor::from_vec(&[oc, h, w], out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (oc, ic) = self.channels();
+        let (h, w) = (self.input.shape()[1], self.input.shape()[2]);
+        assert_eq!(grad_out.shape(), &[oc, h, w], "conv gradient mismatch");
+        let pad = self.ks / 2;
+        let x = self.input.as_slice();
+        let g = grad_out.as_slice();
+        let k = self.k.value.as_slice();
+        let mut dx = vec![0.0f32; ic * h * w];
+        {
+            let dk = self.k.grad.as_mut_slice();
+            let db = self.b.grad.as_mut_slice();
+            for o in 0..oc {
+                for r in 0..h {
+                    for c in 0..w {
+                        let go = g[(o * h + r) * w + c];
+                        if go == 0.0 {
+                            continue;
+                        }
+                        db[o] += go;
+                        for i in 0..ic {
+                            for kr in 0..self.ks {
+                                let rr = r + kr;
+                                if rr < pad || rr - pad >= h {
+                                    continue;
+                                }
+                                let rr = rr - pad;
+                                for kc in 0..self.ks {
+                                    let cc = c + kc;
+                                    if cc < pad || cc - pad >= w {
+                                        continue;
+                                    }
+                                    let cc = cc - pad;
+                                    let ki = ((o * ic + i) * self.ks + kr) * self.ks + kc;
+                                    let xi = (i * h + rr) * w + cc;
+                                    dk[ki] += go * x[xi];
+                                    dx[xi] += go * k[ki];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(&[ic, h, w], dx)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.k, &mut self.b]
+    }
+
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+}
+
+/// Residual block: `y = x + f(x)` where `f` is a [`Sequential`] whose
+/// output shape equals its input shape. The skeleton of DeepST's residual
+/// units.
+pub struct Residual {
+    inner: Sequential,
+}
+
+impl Residual {
+    /// Wraps an inner network.
+    pub fn new(inner: Sequential) -> Self {
+        Residual { inner }
+    }
+}
+
+impl Layer for Residual {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let mut out = self.inner.forward(input);
+        assert_eq!(
+            out.shape(),
+            input.shape(),
+            "residual inner net must preserve shape"
+        );
+        out.add_assign(input);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut dx = self.inner.backward(grad_out);
+        dx.add_assign(grad_out);
+        dx
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.inner.params_mut()
+    }
+
+    fn name(&self) -> &'static str {
+        "residual"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::mse_loss;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    /// Numerically checks `∂loss/∂input` and parameter gradients of a layer
+    /// against finite differences.
+    fn grad_check<L: Layer>(layer: &mut L, input: &Tensor, target: &Tensor, tol: f32) {
+        // Analytic pass.
+        let out = layer.forward(input);
+        let (_, grad) = mse_loss(&out, target);
+        for p in layer.params_mut() {
+            p.zero_grad();
+        }
+        layer.forward(input);
+        let dx = layer.backward(&grad);
+
+        // Numeric input gradient.
+        let eps = 1e-3f32;
+        for i in 0..input.len() {
+            let mut plus = input.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = input.clone();
+            minus.as_mut_slice()[i] -= eps;
+            let (lp, _) = mse_loss(&layer.forward(&plus), target);
+            let (lm, _) = mse_loss(&layer.forward(&minus), target);
+            let num = (lp - lm) / (2.0 * eps as f64);
+            let ana = dx.as_slice()[i] as f64;
+            assert!(
+                (num - ana).abs() < tol as f64 * (1.0 + num.abs()),
+                "input grad {i}: numeric {num}, analytic {ana}"
+            );
+        }
+
+        // Numeric parameter gradients (first parameter tensor only, probed
+        // at a handful of indices to keep the test fast).
+        layer.forward(input);
+        layer.backward(&grad); // grads now hold 2× accumulation; rescale
+        let n_params = layer.params_mut().len();
+        for pi in 0..n_params {
+            let plen = layer.params_mut()[pi].value.len();
+            for idx in [0, plen / 2, plen - 1] {
+                let ana = layer.params_mut()[pi].grad.as_slice()[idx] as f64 / 2.0;
+                layer.params_mut()[pi].value.as_mut_slice()[idx] += eps;
+                let (lp, _) = mse_loss(&layer.forward(input), target);
+                layer.params_mut()[pi].value.as_mut_slice()[idx] -= 2.0 * eps;
+                let (lm, _) = mse_loss(&layer.forward(input), target);
+                layer.params_mut()[pi].value.as_mut_slice()[idx] += eps;
+                let num = (lp - lm) / (2.0 * eps as f64);
+                assert!(
+                    (num - ana).abs() < tol as f64 * (1.0 + num.abs()),
+                    "param {pi}[{idx}]: numeric {num}, analytic {ana}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dense_forward_known_values() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut d = Dense::new(&mut rng, 2, 2);
+        d.w.value = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        d.b.value = Tensor::vector(&[0.5, -0.5]);
+        let y = d.forward(&Tensor::vector(&[1.0, -1.0]));
+        assert_eq!(y.as_slice(), &[1.0 - 2.0 + 0.5, 3.0 - 4.0 - 0.5]);
+    }
+
+    #[test]
+    fn dense_gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut d = Dense::new(&mut rng, 4, 3);
+        let x = Tensor::vector(&[0.3, -0.7, 1.2, 0.05]);
+        let t = Tensor::vector(&[0.1, 0.2, -0.3]);
+        grad_check(&mut d, &x, &t, 1e-2);
+    }
+
+    #[test]
+    fn relu_masks_forward_and_backward() {
+        let mut r = ReLU::new();
+        let y = r.forward(&Tensor::vector(&[1.0, -1.0, 0.0, 2.0]));
+        assert_eq!(y.as_slice(), &[1.0, 0.0, 0.0, 2.0]);
+        let dx = r.backward(&Tensor::vector(&[5.0, 5.0, 5.0, 5.0]));
+        assert_eq!(dx.as_slice(), &[5.0, 0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn flatten_roundtrips_shape() {
+        let mut f = Flatten::new();
+        let x = Tensor::zeros(&[2, 3, 4]);
+        let y = f.forward(&x);
+        assert_eq!(y.shape(), &[24]);
+        let dx = f.backward(&Tensor::zeros(&[24]));
+        assert_eq!(dx.shape(), &[2, 3, 4]);
+    }
+
+    #[test]
+    fn conv_identity_kernel_passes_input_through() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut conv = Conv2d::new(&mut rng, 1, 1, 3);
+        // Kernel = delta at centre.
+        let mut k = vec![0.0f32; 9];
+        k[4] = 1.0;
+        conv.k.value = Tensor::from_vec(&[1, 1, 3, 3], k);
+        conv.b.value = Tensor::vector(&[0.0]);
+        let x = Tensor::from_vec(&[1, 3, 3], (1..=9).map(|v| v as f32).collect());
+        let y = conv.forward(&x);
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn conv_same_padding_shape_and_edges() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut conv = Conv2d::new(&mut rng, 2, 4, 3);
+        let x = Tensor::zeros(&[2, 5, 6]);
+        let y = conv.forward(&x);
+        assert_eq!(y.shape(), &[4, 5, 6]);
+    }
+
+    #[test]
+    fn conv_gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut conv = Conv2d::new(&mut rng, 2, 2, 3);
+        let x = Tensor::from_vec(
+            &[2, 3, 3],
+            (0..18).map(|i| (i as f32 * 0.37).sin()).collect(),
+        );
+        let t = Tensor::zeros(&[2, 3, 3]);
+        grad_check(&mut conv, &x, &t, 2e-2);
+    }
+
+    #[test]
+    fn residual_adds_skip_connection() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let inner = Sequential::new(vec![Box::new(Dense::new(&mut rng, 3, 3))]);
+        let mut res = Residual::new(inner);
+        let x = Tensor::vector(&[1.0, 2.0, 3.0]);
+        let y = res.forward(&x);
+        // y - x equals the inner dense output: check backward consistency.
+        let t = Tensor::vector(&[0.0, 0.0, 0.0]);
+        grad_check(&mut res, &x, &t, 1e-2);
+        assert_eq!(y.shape(), x.shape());
+    }
+
+    #[test]
+    #[should_panic(expected = "input size mismatch")]
+    fn dense_validates_input_size() {
+        let mut rng = StdRng::seed_from_u64(6);
+        Dense::new(&mut rng, 3, 2).forward(&Tensor::vector(&[1.0, 2.0]));
+    }
+}

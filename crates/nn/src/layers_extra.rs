@@ -1,0 +1,232 @@
+//! Additional layers: pointwise activations and dropout.
+
+use crate::layers::Layer;
+use crate::tensor::Tensor;
+
+/// Logistic sigmoid, elementwise.
+#[derive(Default)]
+pub struct Sigmoid {
+    output: Vec<f32>,
+}
+
+impl Sigmoid {
+    /// A fresh sigmoid layer.
+    pub fn new() -> Self {
+        Sigmoid::default()
+    }
+}
+
+impl Layer for Sigmoid {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.output = input
+            .as_slice()
+            .iter()
+            .map(|&v| 1.0 / (1.0 + (-v).exp()))
+            .collect();
+        Tensor::from_vec(input.shape(), self.output.clone())
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert_eq!(grad_out.len(), self.output.len(), "sigmoid shape mismatch");
+        let data = grad_out
+            .as_slice()
+            .iter()
+            .zip(&self.output)
+            .map(|(&g, &y)| g * y * (1.0 - y))
+            .collect();
+        Tensor::from_vec(grad_out.shape(), data)
+    }
+
+    fn name(&self) -> &'static str {
+        "sigmoid"
+    }
+}
+
+/// Hyperbolic tangent, elementwise.
+#[derive(Default)]
+pub struct Tanh {
+    output: Vec<f32>,
+}
+
+impl Tanh {
+    /// A fresh tanh layer.
+    pub fn new() -> Self {
+        Tanh::default()
+    }
+}
+
+impl Layer for Tanh {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.output = input.as_slice().iter().map(|&v| v.tanh()).collect();
+        Tensor::from_vec(input.shape(), self.output.clone())
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert_eq!(grad_out.len(), self.output.len(), "tanh shape mismatch");
+        let data = grad_out
+            .as_slice()
+            .iter()
+            .zip(&self.output)
+            .map(|(&g, &y)| g * (1.0 - y * y))
+            .collect();
+        Tensor::from_vec(grad_out.shape(), data)
+    }
+
+    fn name(&self) -> &'static str {
+        "tanh"
+    }
+}
+
+/// Inverted dropout with an internal xorshift stream (deterministic per
+/// layer seed). Call [`Dropout::set_training`] to toggle inference mode,
+/// where the layer is the identity.
+pub struct Dropout {
+    rate: f32,
+    training: bool,
+    state: u64,
+    mask: Vec<f32>,
+}
+
+impl Dropout {
+    /// Dropout that zeroes activations with probability `rate` during
+    /// training (inverted scaling keeps expectations unchanged).
+    pub fn new(rate: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&rate), "rate must be in [0, 1)");
+        Dropout {
+            rate,
+            training: true,
+            state: seed | 1,
+            mask: Vec::new(),
+        }
+    }
+
+    /// Toggles training mode.
+    pub fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+
+    fn next_unit(&mut self) -> f32 {
+        self.state ^= self.state << 13;
+        self.state ^= self.state >> 7;
+        self.state ^= self.state << 17;
+        ((self.state >> 11) as f64 / (1u64 << 53) as f64) as f32
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        if !self.training || self.rate == 0.0 {
+            self.mask = vec![1.0; input.len()];
+            return input.clone();
+        }
+        let keep = 1.0 - self.rate;
+        self.mask = (0..input.len())
+            .map(|_| {
+                if self.next_unit() < self.rate {
+                    0.0
+                } else {
+                    1.0 / keep
+                }
+            })
+            .collect();
+        let data = input
+            .as_slice()
+            .iter()
+            .zip(&self.mask)
+            .map(|(&v, &m)| v * m)
+            .collect();
+        Tensor::from_vec(input.shape(), data)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert_eq!(grad_out.len(), self.mask.len(), "dropout shape mismatch");
+        let data = grad_out
+            .as_slice()
+            .iter()
+            .zip(&self.mask)
+            .map(|(&g, &m)| g * m)
+            .collect();
+        Tensor::from_vec(grad_out.shape(), data)
+    }
+
+    fn name(&self) -> &'static str {
+        "dropout"
+    }
+}
+
+/// Clips every parameter gradient to `[-limit, limit]` — call between
+/// `backward` and the optimizer step to tame exploding count residuals.
+pub fn clip_gradients(params: &mut [&mut crate::layers::Param], limit: f32) {
+    assert!(limit > 0.0, "clip limit must be positive");
+    for p in params.iter_mut() {
+        for g in p.grad.as_mut_slice() {
+            *g = g.clamp(-limit, limit);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Param;
+
+    #[test]
+    fn sigmoid_values_and_gradient() {
+        let mut s = Sigmoid::new();
+        let y = s.forward(&Tensor::vector(&[0.0, 100.0, -100.0]));
+        assert!((y.as_slice()[0] - 0.5).abs() < 1e-6);
+        assert!(y.as_slice()[1] > 0.999);
+        assert!(y.as_slice()[2] < 0.001);
+        let g = s.backward(&Tensor::vector(&[1.0, 1.0, 1.0]));
+        assert!((g.as_slice()[0] - 0.25).abs() < 1e-6);
+        assert!(g.as_slice()[1] < 1e-3); // saturated
+    }
+
+    #[test]
+    fn tanh_gradient_matches_finite_difference() {
+        let mut t = Tanh::new();
+        let x = Tensor::vector(&[0.3, -0.7]);
+        let _ = t.forward(&x);
+        let g = t.backward(&Tensor::vector(&[1.0, 1.0]));
+        let eps = 1e-3f32;
+        for i in 0..2 {
+            let mut plus = x.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = x.clone();
+            minus.as_mut_slice()[i] -= eps;
+            let num = (t.forward(&plus).as_slice()[i] - t.forward(&minus).as_slice()[i])
+                / (2.0 * eps);
+            assert!((num - g.as_slice()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn dropout_inference_is_identity() {
+        let mut d = Dropout::new(0.5, 42);
+        d.set_training(false);
+        let x = Tensor::vector(&[1.0, 2.0, 3.0]);
+        assert_eq!(d.forward(&x), x);
+    }
+
+    #[test]
+    fn dropout_preserves_expectation() {
+        let mut d = Dropout::new(0.4, 7);
+        let x = Tensor::from_vec(&[10_000], vec![1.0; 10_000]);
+        let y = d.forward(&x);
+        let mean = y.sum() / 10_000.0;
+        assert!((mean - 1.0).abs() < 0.05, "inverted-dropout mean {mean}");
+        // Backward zeroes the same coordinates.
+        let g = d.backward(&Tensor::from_vec(&[10_000], vec![1.0; 10_000]));
+        for (a, b) in y.as_slice().iter().zip(g.as_slice()) {
+            assert_eq!(a == &0.0, b == &0.0);
+        }
+    }
+
+    #[test]
+    fn clip_limits_gradients() {
+        let mut p = Param::new(Tensor::vector(&[0.0, 0.0]));
+        p.grad = Tensor::vector(&[5.0, -7.0]);
+        clip_gradients(&mut [&mut p], 1.5);
+        assert_eq!(p.grad.as_slice(), &[1.5, -1.5]);
+    }
+}

@@ -1,0 +1,34 @@
+//! A minimal, from-scratch neural-network library.
+//!
+//! The paper trains its predictors (MLP, DeepST, DMVST-Net) in PyTorch on a
+//! GPU; this workspace cannot assume either, so `gridtuner-nn` provides the
+//! smallest substrate that preserves what the paper's evaluation actually
+//! needs: trainable models of *increasing capacity* over gridded count
+//! tensors. It is a real (if small) deep-learning library:
+//!
+//! * [`tensor::Tensor`] — dense `f32` tensors with shape tracking;
+//! * [`layers`] — `Dense`, `Conv2d` (same-padding, stride 1), `ReLU`,
+//!   `Flatten`, and `Residual` blocks, each with hand-derived backward
+//!   passes (gradient-checked in tests);
+//! * [`net::Sequential`] — layer composition with forward/backward;
+//! * [`loss`] — MSE / MAE / Huber with analytic gradients;
+//! * [`optim`] — SGD with momentum and Adam;
+//! * [`init`] — Xavier/He initialisation.
+//!
+//! Everything is CPU, single-threaded per model (parallelism lives a level
+//! up, across sweep points), deterministic given the RNG seed.
+
+pub mod init;
+pub mod layers;
+pub mod layers_extra;
+pub mod loss;
+pub mod net;
+pub mod optim;
+pub mod tensor;
+
+pub use layers::{Conv2d, Dense, Flatten, Layer, Param, ReLU, Residual};
+pub use layers_extra::{clip_gradients, Dropout, Sigmoid, Tanh};
+pub use loss::{huber_loss, mae_loss, mse_loss};
+pub use net::Sequential;
+pub use optim::{Adam, Optimizer, Sgd};
+pub use tensor::Tensor;

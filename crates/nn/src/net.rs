@@ -1,0 +1,157 @@
+//! Layer composition.
+
+use crate::layers::{Layer, Param};
+use crate::tensor::Tensor;
+
+/// A straight-line stack of layers. Implements [`Layer`] itself, so stacks
+/// nest (e.g. inside [`crate::layers::Residual`]).
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Builds a stack from boxed layers.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        Sequential { layers }
+    }
+
+    /// Appends a layer (builder style).
+    pub fn push(mut self, layer: Box<dyn Layer>) -> Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True when the stack has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Total number of trainable scalars.
+    pub fn n_parameters(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.value.len()).sum()
+    }
+
+    /// Zeroes every parameter gradient.
+    pub fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x);
+        }
+        x
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, ReLU};
+    use crate::loss::mse_loss;
+    use crate::optim::{Optimizer, Sgd};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn forward_composes_layers() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = Sequential::new(vec![
+            Box::new(Dense::new(&mut rng, 2, 8)),
+            Box::new(ReLU::new()),
+            Box::new(Dense::new(&mut rng, 8, 1)),
+        ]);
+        assert_eq!(net.len(), 3);
+        let y = net.forward(&Tensor::vector(&[0.5, -0.5]));
+        assert_eq!(y.shape(), &[1]);
+        assert_eq!(net.n_parameters(), 2 * 8 + 8 + 8 + 1);
+    }
+
+    #[test]
+    fn training_reduces_loss_on_a_toy_regression() {
+        // Fit y = 2x₀ - x₁ + 1 from 64 samples; the loss must drop by 10×.
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut net = Sequential::new(vec![
+            Box::new(Dense::new(&mut rng, 2, 16)),
+            Box::new(ReLU::new()),
+            Box::new(Dense::new(&mut rng, 16, 1)),
+        ]);
+        let data: Vec<(Tensor, Tensor)> = (0..64)
+            .map(|i| {
+                let x0 = (i % 8) as f32 / 8.0;
+                let x1 = (i / 8) as f32 / 8.0;
+                (
+                    Tensor::vector(&[x0, x1]),
+                    Tensor::vector(&[2.0 * x0 - x1 + 1.0]),
+                )
+            })
+            .collect();
+        let mut opt = Sgd::new(0.05, 0.9);
+        let loss_at = |net: &mut Sequential| -> f64 {
+            data.iter()
+                .map(|(x, t)| mse_loss(&net.forward(x), t).0)
+                .sum::<f64>()
+                / data.len() as f64
+        };
+        let before = loss_at(&mut net);
+        for _ in 0..200 {
+            net.zero_grad();
+            for (x, t) in &data {
+                let y = net.forward(x);
+                let (_, g) = mse_loss(&y, t);
+                net.backward(&g);
+            }
+            for p in net.params_mut() {
+                p.grad.scale(1.0 / data.len() as f32);
+            }
+            opt.step(&mut net.params_mut());
+        }
+        let after = loss_at(&mut net);
+        assert!(
+            after < before / 10.0,
+            "loss did not drop: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn zero_grad_clears_all_gradients() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut net = Sequential::new(vec![Box::new(Dense::new(&mut rng, 3, 3))]);
+        let x = Tensor::vector(&[1.0, 1.0, 1.0]);
+        let y = net.forward(&x);
+        let (_, g) = mse_loss(&y, &Tensor::vector(&[0.0, 0.0, 0.0]));
+        net.backward(&g);
+        assert!(net.params_mut().iter().any(|p| p.grad.max_abs() > 0.0));
+        net.zero_grad();
+        assert!(net.params_mut().iter().all(|p| p.grad.max_abs() == 0.0));
+    }
+}

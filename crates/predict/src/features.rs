@@ -1,0 +1,188 @@
+//! Feature construction: the closeness / period / trend windows.
+//!
+//! Following DeepST (and the paper's Sec. V-B): to predict slot `t`,
+//! *closeness* stacks the `C` immediately preceding slots, *period* the
+//! same slot-of-day on the `P` preceding days, and *trend* the same slot on
+//! the `Q` preceding weeks. Each window becomes one channel of a
+//! `[C+P+Q, side, side]` input tensor.
+
+use gridtuner_nn::Tensor;
+use gridtuner_spatial::{CountSeries, SlotClock, SlotId};
+
+/// Window sizes for the three feature families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeatureConfig {
+    /// Number of immediately-preceding slots (paper: 8).
+    pub closeness: usize,
+    /// Number of preceding days at the same slot-of-day.
+    pub period_days: usize,
+    /// Number of preceding weeks at the same slot-of-week.
+    pub trend_weeks: usize,
+}
+
+impl FeatureConfig {
+    /// Closeness-only window (the MLP's input in the paper).
+    pub fn closeness_only(c: usize) -> Self {
+        FeatureConfig {
+            closeness: c,
+            period_days: 0,
+            trend_weeks: 0,
+        }
+    }
+
+    /// Total channel count.
+    pub fn channels(&self) -> usize {
+        self.closeness + self.period_days + self.trend_weeks
+    }
+
+    /// Earliest global slot with a full feature window.
+    pub fn first_usable_slot(&self, clock: &SlotClock) -> u32 {
+        let c = self.closeness as u32;
+        let p = self.period_days as u32 * clock.slots_per_day();
+        let q = self.trend_weeks as u32 * clock.slots_per_week();
+        c.max(p).max(q)
+    }
+}
+
+/// One training/evaluation sample.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// The slot the target belongs to.
+    pub slot: SlotId,
+    /// `[channels, side, side]` feature tensor.
+    pub input: Tensor,
+    /// `[side²]` target counts.
+    pub target: Tensor,
+}
+
+/// Builds the feature tensor for predicting `slot` from strictly earlier
+/// history. Returns `None` when the window reaches before slot 0.
+pub fn features_for(
+    series: &CountSeries,
+    clock: &SlotClock,
+    cfg: &FeatureConfig,
+    slot: SlotId,
+) -> Option<Tensor> {
+    if slot.0 < cfg.first_usable_slot(clock) {
+        return None;
+    }
+    let side = series.side() as usize;
+    let cells = side * side;
+    let mut data = Vec::with_capacity(cfg.channels() * cells);
+    for c in 1..=cfg.closeness {
+        let s = SlotId(slot.0 - c as u32);
+        data.extend(series.slot(s).iter().map(|&v| v as f32));
+    }
+    for d in 1..=cfg.period_days {
+        let s = SlotId(slot.0 - d as u32 * clock.slots_per_day());
+        data.extend(series.slot(s).iter().map(|&v| v as f32));
+    }
+    for w in 1..=cfg.trend_weeks {
+        let s = SlotId(slot.0 - w as u32 * clock.slots_per_week());
+        data.extend(series.slot(s).iter().map(|&v| v as f32));
+    }
+    Some(Tensor::from_vec(&[cfg.channels(), side, side], data))
+}
+
+/// Builds all samples with slots in `[from, to)` that have a full window.
+pub fn build_samples(
+    series: &CountSeries,
+    clock: &SlotClock,
+    cfg: &FeatureConfig,
+    from: SlotId,
+    to: SlotId,
+) -> Vec<Sample> {
+    assert!(cfg.channels() > 0, "feature config selects no channels");
+    let to = (to.0 as usize).min(series.n_slots()) as u32;
+    let mut out = Vec::new();
+    for t in from.0..to {
+        let slot = SlotId(t);
+        if let Some(input) = features_for(series, clock, cfg, slot) {
+            let target: Vec<f32> = series.slot(slot).iter().map(|&v| v as f32).collect();
+            out.push(Sample {
+                slot,
+                input,
+                target: Tensor::from_vec(&[target.len()], target),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(side: u32, n_slots: usize) -> CountSeries {
+        let mut s = CountSeries::zeros(side, n_slots);
+        for t in 0..n_slots {
+            let v = s.slot_mut(SlotId(t as u32));
+            for (i, x) in v.iter_mut().enumerate() {
+                *x = (t * 100 + i) as f64;
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn closeness_channels_stack_recent_slots() {
+        let clock = SlotClock::default();
+        let s = series(2, 10);
+        let cfg = FeatureConfig::closeness_only(3);
+        let f = features_for(&s, &clock, &cfg, SlotId(5)).unwrap();
+        assert_eq!(f.shape(), &[3, 2, 2]);
+        // Channel 0 = slot 4, channel 1 = slot 3, channel 2 = slot 2.
+        assert_eq!(f.as_slice()[0], 400.0);
+        assert_eq!(f.as_slice()[4], 300.0);
+        assert_eq!(f.as_slice()[8], 200.0);
+    }
+
+    #[test]
+    fn period_and_trend_reach_back_days_and_weeks() {
+        let clock = SlotClock::default();
+        let n = 48 * 15;
+        let s = series(1, n);
+        let cfg = FeatureConfig {
+            closeness: 1,
+            period_days: 2,
+            trend_weeks: 1,
+        };
+        let slot = SlotId(48 * 14 + 5);
+        let f = features_for(&s, &clock, &cfg, slot).unwrap();
+        assert_eq!(f.shape(), &[4, 1, 1]);
+        assert_eq!(f.as_slice()[0], (slot.0 - 1) as f32 * 100.0);
+        assert_eq!(f.as_slice()[1], (slot.0 - 48) as f32 * 100.0);
+        assert_eq!(f.as_slice()[2], (slot.0 - 96) as f32 * 100.0);
+        assert_eq!(f.as_slice()[3], (slot.0 - 48 * 7) as f32 * 100.0);
+    }
+
+    #[test]
+    fn window_underflow_returns_none() {
+        let clock = SlotClock::default();
+        let s = series(2, 100);
+        let cfg = FeatureConfig {
+            closeness: 2,
+            period_days: 1,
+            trend_weeks: 0,
+        };
+        assert_eq!(cfg.first_usable_slot(&clock), 48);
+        assert!(features_for(&s, &clock, &cfg, SlotId(47)).is_none());
+        assert!(features_for(&s, &clock, &cfg, SlotId(48)).is_some());
+    }
+
+    #[test]
+    fn build_samples_covers_exactly_the_usable_range() {
+        let clock = SlotClock::default();
+        let s = series(2, 60);
+        let cfg = FeatureConfig::closeness_only(4);
+        let samples = build_samples(&s, &clock, &cfg, SlotId(0), SlotId(60));
+        assert_eq!(samples.len(), 56);
+        assert_eq!(samples[0].slot, SlotId(4));
+        assert_eq!(samples.last().unwrap().slot, SlotId(59));
+        // Targets match the series.
+        assert_eq!(samples[0].target.as_slice()[1], 401.0);
+        // Range past the horizon is clipped, not a panic.
+        let clipped = build_samples(&s, &clock, &cfg, SlotId(50), SlotId(1000));
+        assert_eq!(clipped.len(), 10);
+    }
+}

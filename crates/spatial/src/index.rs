@@ -1,0 +1,308 @@
+//! A grid-bucket spatial index for nearest-neighbour queries.
+//!
+//! Dispatchers repeatedly ask "which free driver is closest to this
+//! pick-up?" — a linear scan per query is `O(n)` and dominates large
+//! slots. [`GridIndex`] buckets points on a uniform grid and answers
+//! nearest-neighbour queries by expanding rings of cells, which is
+//! near-`O(1)` for uniformly-ish distributed fleets.
+//!
+//! Distances are measured with a caller-supplied anisotropy: city maps are
+//! rectangles, so one unit of `x` is usually a different number of
+//! kilometres than one unit of `y` (see
+//! [`crate::geom::GeoBounds::manhattan_km`]). The index takes the two
+//! scale factors explicitly to keep `gridtuner-spatial` free of geodesy.
+
+use crate::geom::Point;
+use crate::grid::GridSpec;
+
+/// A point registered in the index, with the caller's payload id.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Entry {
+    id: usize,
+    p: Point,
+}
+
+/// Grid-bucket index over unit-square points.
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    spec: GridSpec,
+    buckets: Vec<Vec<Entry>>,
+    len: usize,
+    /// Kilometres (or any unit) per unit of x / y.
+    scale_x: f64,
+    scale_y: f64,
+}
+
+impl GridIndex {
+    /// Creates an empty index with `side × side` buckets and the given
+    /// distance anisotropy (`scale_x`, `scale_y` multiply the coordinate
+    /// deltas; pass `1.0, 1.0` for plain unit-square L1 distance).
+    pub fn new(side: u32, scale_x: f64, scale_y: f64) -> Self {
+        assert!(scale_x > 0.0 && scale_y > 0.0, "scales must be positive");
+        let spec = GridSpec::new(side);
+        GridIndex {
+            spec,
+            buckets: vec![Vec::new(); spec.n_cells()],
+            len: 0,
+            scale_x,
+            scale_y,
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no points are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts a point with a payload id. Points outside the unit square
+    /// are clamped in.
+    pub fn insert(&mut self, id: usize, p: Point) {
+        let p = p.clamp_unit();
+        let cell = self.spec.cell_of(&p).expect("clamped point is inside");
+        self.buckets[cell.index()].push(Entry { id, p });
+        self.len += 1;
+    }
+
+    /// Removes one point by id (linear within its bucket). Returns whether
+    /// anything was removed. The caller must pass the same position the id
+    /// was inserted with.
+    pub fn remove(&mut self, id: usize, p: Point) -> bool {
+        let p = p.clamp_unit();
+        let cell = self.spec.cell_of(&p).expect("clamped point is inside");
+        let bucket = &mut self.buckets[cell.index()];
+        if let Some(i) = bucket.iter().position(|e| e.id == id) {
+            bucket.swap_remove(i);
+            self.len -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Anisotropic Manhattan distance used by queries.
+    fn dist(&self, a: &Point, b: &Point) -> f64 {
+        (a.x - b.x).abs() * self.scale_x + (a.y - b.y).abs() * self.scale_y
+    }
+
+    /// Nearest indexed point to `q` (id, distance), or `None` when empty.
+    ///
+    /// Ring expansion: examine the query's bucket, then the square ring of
+    /// cells at Chebyshev radius 1, 2, … — stopping once the best candidate
+    /// is provably closer than anything in un-examined rings.
+    pub fn nearest(&self, q: &Point) -> Option<(usize, f64)> {
+        if self.len == 0 {
+            return None;
+        }
+        let q = q.clamp_unit();
+        let side = self.spec.side() as isize;
+        let (qr, qc) = self.spec.row_col(self.spec.cell_of(&q).expect("clamped"));
+        let (qr, qc) = (qr as isize, qc as isize);
+        let cell_w = self.spec.cell_size();
+        // Lower bound on the distance to any point in a ring at Chebyshev
+        // radius r: (r-1) cells of clearance along the cheaper axis.
+        let ring_floor = |r: isize| -> f64 {
+            if r <= 0 {
+                0.0
+            } else {
+                (r - 1) as f64 * cell_w * self.scale_x.min(self.scale_y)
+            }
+        };
+        let mut best: Option<(usize, f64)> = None;
+        let max_r = side; // enough to cover the whole grid from any cell
+        for r in 0..=max_r {
+            if let Some((_, d)) = best {
+                if d < ring_floor(r) {
+                    break;
+                }
+            }
+            // Cells of the ring at Chebyshev radius r around (qr, qc).
+            for dr in -r..=r {
+                for dc in -r..=r {
+                    if dr.abs().max(dc.abs()) != r {
+                        continue;
+                    }
+                    let (rr, cc) = (qr + dr, qc + dc);
+                    if rr < 0 || cc < 0 || rr >= side || cc >= side {
+                        continue;
+                    }
+                    let cell = self.spec.cell_at(rr as usize, cc as usize);
+                    for e in &self.buckets[cell.index()] {
+                        let d = self.dist(&q, &e.p);
+                        if best.is_none_or(|(_, bd)| d < bd) {
+                            best = Some((e.id, d));
+                        }
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// All indexed points within `radius` of `q`, unsorted.
+    pub fn within(&self, q: &Point, radius: f64) -> Vec<(usize, f64)> {
+        let q = q.clamp_unit();
+        let side = self.spec.side() as isize;
+        let cell_w = self.spec.cell_size();
+        // How many cells the radius spans along the cheaper axis.
+        let span = (radius / (cell_w * self.scale_x.min(self.scale_y))).ceil() as isize + 1;
+        let (qr, qc) = self.spec.row_col(self.spec.cell_of(&q).expect("clamped"));
+        let (qr, qc) = (qr as isize, qc as isize);
+        let mut out = Vec::new();
+        for rr in (qr - span).max(0)..=(qr + span).min(side - 1) {
+            for cc in (qc - span).max(0)..=(qc + span).min(side - 1) {
+                let cell = self.spec.cell_at(rr as usize, cc as usize);
+                for e in &self.buckets[cell.index()] {
+                    let d = self.dist(&q, &e.p);
+                    if d <= radius {
+                        out.push((e.id, d));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_nearest(
+        points: &[(usize, Point)],
+        q: &Point,
+        sx: f64,
+        sy: f64,
+    ) -> Option<(usize, f64)> {
+        points
+            .iter()
+            .map(|&(id, p)| {
+                (
+                    id,
+                    (q.x - p.x).abs() * sx + (q.y - p.y).abs() * sy,
+                )
+            })
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+    }
+
+    fn pseudo_points(n: usize) -> Vec<(usize, Point)> {
+        let mut state = 0x853c_49e6_748f_ea9bu64;
+        let mut unit = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n).map(|id| (id, Point::new(unit(), unit()))).collect()
+    }
+
+    #[test]
+    fn empty_index_returns_none() {
+        let idx = GridIndex::new(8, 1.0, 1.0);
+        assert!(idx.is_empty());
+        assert_eq!(idx.nearest(&Point::new(0.5, 0.5)), None);
+        assert!(idx.within(&Point::new(0.5, 0.5), 1.0).is_empty());
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let points = pseudo_points(300);
+        let mut idx = GridIndex::new(10, 1.0, 1.0);
+        for &(id, p) in &points {
+            idx.insert(id, p);
+        }
+        for &(_, q) in points.iter().step_by(13) {
+            let probe = Point::new((q.x + 0.31) % 1.0, (q.y + 0.17) % 1.0);
+            let got = idx.nearest(&probe).unwrap();
+            let want = brute_nearest(&points, &probe, 1.0, 1.0).unwrap();
+            assert!(
+                (got.1 - want.1).abs() < 1e-12,
+                "probe {probe:?}: got {got:?}, want {want:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn nearest_respects_anisotropy() {
+        // Two candidates equidistant in unit space; the scale makes the
+        // x-neighbour cheaper.
+        let mut idx = GridIndex::new(4, 1.0, 10.0);
+        idx.insert(0, Point::new(0.6, 0.5)); // Δx = 0.1 → cost 0.1
+        idx.insert(1, Point::new(0.5, 0.6)); // Δy = 0.1 → cost 1.0
+        let (id, d) = idx.nearest(&Point::new(0.5, 0.5)).unwrap();
+        assert_eq!(id, 0);
+        assert!((d - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn anisotropic_nearest_matches_brute_force() {
+        let points = pseudo_points(200);
+        let (sx, sy) = (23.0, 37.0); // NYC-ish km scales
+        let mut idx = GridIndex::new(8, sx, sy);
+        for &(id, p) in &points {
+            idx.insert(id, p);
+        }
+        for k in 0..40 {
+            let probe = Point::new((k as f64 * 0.037) % 1.0, (k as f64 * 0.061) % 1.0);
+            let got = idx.nearest(&probe).unwrap();
+            let want = brute_nearest(&points, &probe, sx, sy).unwrap();
+            assert!((got.1 - want.1).abs() < 1e-12, "k={k}");
+        }
+    }
+
+    #[test]
+    fn within_returns_exactly_the_ball() {
+        let points = pseudo_points(400);
+        let mut idx = GridIndex::new(8, 1.0, 1.0);
+        for &(id, p) in &points {
+            idx.insert(id, p);
+        }
+        let q = Point::new(0.4, 0.6);
+        let r = 0.15;
+        let mut got: Vec<usize> = idx.within(&q, r).into_iter().map(|(id, _)| id).collect();
+        got.sort_unstable();
+        let mut want: Vec<usize> = points
+            .iter()
+            .filter(|(_, p)| (q.x - p.x).abs() + (q.y - p.y).abs() <= r)
+            .map(|&(id, _)| id)
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn remove_unregisters_points() {
+        let mut idx = GridIndex::new(4, 1.0, 1.0);
+        let p = Point::new(0.3, 0.3);
+        idx.insert(7, p);
+        assert_eq!(idx.len(), 1);
+        assert!(idx.remove(7, p));
+        assert!(!idx.remove(7, p), "double remove must fail");
+        assert!(idx.is_empty());
+        assert_eq!(idx.nearest(&p), None);
+    }
+
+    #[test]
+    fn boundary_points_are_clamped_not_lost() {
+        let mut idx = GridIndex::new(4, 1.0, 1.0);
+        idx.insert(0, Point::new(1.0, 1.0));
+        idx.insert(1, Point::new(-0.2, 0.5));
+        assert_eq!(idx.len(), 2);
+        let (id, _) = idx.nearest(&Point::new(0.99, 0.99)).unwrap();
+        assert_eq!(id, 0);
+    }
+
+    #[test]
+    fn duplicate_positions_supported() {
+        let mut idx = GridIndex::new(4, 1.0, 1.0);
+        let p = Point::new(0.5, 0.5);
+        idx.insert(0, p);
+        idx.insert(1, p);
+        let hits = idx.within(&p, 0.01);
+        assert_eq!(hits.len(), 2);
+    }
+}

@@ -1,0 +1,170 @@
+//! Time slots.
+//!
+//! The paper (and DeepST before it) divides each day into 48 half-hour slots
+//! and predicts one slot ahead. A [`SlotClock`] owns the slot length and the
+//! anchor day layout; a [`SlotId`] is a global slot index counted from the
+//! start of the dataset, so arithmetic like "same slot yesterday" or "same
+//! slot one week ago" is plain integer math.
+
+/// Slot length used throughout the paper, in minutes.
+pub const SLOT_MINUTES: u32 = 30;
+
+/// Number of slots per day at the default slot length.
+pub const SLOTS_PER_DAY: u32 = 24 * 60 / SLOT_MINUTES;
+
+/// Global slot index, counted from minute zero of the dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SlotId(pub u32);
+
+impl SlotId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Converts between absolute minutes, global slots and (day, slot-of-day)
+/// coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotClock {
+    slot_minutes: u32,
+}
+
+impl Default for SlotClock {
+    fn default() -> Self {
+        SlotClock::new(SLOT_MINUTES)
+    }
+}
+
+impl SlotClock {
+    /// Creates a clock with the given slot length. Panics unless the slot
+    /// length divides a day evenly (the paper's framing requires aligned
+    /// days for the *period* and *trend* features).
+    pub fn new(slot_minutes: u32) -> Self {
+        assert!(slot_minutes > 0, "slot length must be positive");
+        assert_eq!(
+            24 * 60 % slot_minutes,
+            0,
+            "slot length must divide 24h evenly"
+        );
+        SlotClock { slot_minutes }
+    }
+
+    /// Slot length in minutes.
+    pub fn slot_minutes(&self) -> u32 {
+        self.slot_minutes
+    }
+
+    /// Number of slots in one day.
+    pub fn slots_per_day(&self) -> u32 {
+        24 * 60 / self.slot_minutes
+    }
+
+    /// Number of slots in one week.
+    pub fn slots_per_week(&self) -> u32 {
+        7 * self.slots_per_day()
+    }
+
+    /// Global slot containing the given absolute minute.
+    pub fn slot_of_minute(&self, minute: u32) -> SlotId {
+        SlotId(minute / self.slot_minutes)
+    }
+
+    /// First absolute minute of a slot.
+    pub fn minute_of_slot(&self, slot: SlotId) -> u32 {
+        slot.0 * self.slot_minutes
+    }
+
+    /// Day index (0-based) of a slot.
+    pub fn day_of(&self, slot: SlotId) -> u32 {
+        slot.0 / self.slots_per_day()
+    }
+
+    /// Slot-of-day (0-based, e.g. 16 = 8:00 A.M. with 30-minute slots).
+    pub fn slot_of_day(&self, slot: SlotId) -> u32 {
+        slot.0 % self.slots_per_day()
+    }
+
+    /// Global slot for a (day, slot-of-day) pair.
+    pub fn slot_at(&self, day: u32, slot_of_day: u32) -> SlotId {
+        debug_assert!(slot_of_day < self.slots_per_day());
+        SlotId(day * self.slots_per_day() + slot_of_day)
+    }
+
+    /// Whether the slot falls on a weekday, assuming day 0 is a Monday.
+    /// The paper estimates `α_ij` from "the same period of all workdays in
+    /// the last one month", so weekday masks matter.
+    pub fn is_weekday(&self, slot: SlotId) -> bool {
+        self.day_of(slot) % 7 < 5
+    }
+
+    /// The slot-of-day corresponding to a wall-clock `HH:MM`.
+    pub fn slot_of_day_at(&self, hour: u32, minute: u32) -> u32 {
+        debug_assert!(hour < 24 && minute < 60);
+        (hour * 60 + minute) / self.slot_minutes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_clock_has_48_slots() {
+        let c = SlotClock::default();
+        assert_eq!(c.slots_per_day(), 48);
+        assert_eq!(c.slots_per_week(), 336);
+        assert_eq!(SLOTS_PER_DAY, 48);
+    }
+
+    #[test]
+    fn minute_slot_roundtrip() {
+        let c = SlotClock::default();
+        for minute in [0u32, 29, 30, 59, 60, 1439, 1440, 10_000] {
+            let s = c.slot_of_minute(minute);
+            let start = c.minute_of_slot(s);
+            assert!(start <= minute && minute < start + c.slot_minutes());
+        }
+    }
+
+    #[test]
+    fn day_and_slot_of_day_decompose() {
+        let c = SlotClock::default();
+        let s = SlotId(48 * 5 + 17);
+        assert_eq!(c.day_of(s), 5);
+        assert_eq!(c.slot_of_day(s), 17);
+        assert_eq!(c.slot_at(5, 17), s);
+    }
+
+    #[test]
+    fn weekday_mask_starts_monday() {
+        let c = SlotClock::default();
+        assert!(c.is_weekday(c.slot_at(0, 0))); // Monday
+        assert!(c.is_weekday(c.slot_at(4, 30))); // Friday
+        assert!(!c.is_weekday(c.slot_at(5, 0))); // Saturday
+        assert!(!c.is_weekday(c.slot_at(6, 47))); // Sunday
+        assert!(c.is_weekday(c.slot_at(7, 0))); // next Monday
+    }
+
+    #[test]
+    fn eight_am_is_slot_16() {
+        // The paper's default α-estimation window is 8:00–8:30 A.M.
+        let c = SlotClock::default();
+        assert_eq!(c.slot_of_day_at(8, 0), 16);
+        assert_eq!(c.slot_of_day_at(8, 29), 16);
+        assert_eq!(c.slot_of_day_at(8, 30), 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide 24h")]
+    fn uneven_slot_length_rejected() {
+        SlotClock::new(7);
+    }
+
+    #[test]
+    fn alternative_slot_lengths() {
+        let c = SlotClock::new(60);
+        assert_eq!(c.slots_per_day(), 24);
+        assert_eq!(c.slot_of_minute(61), SlotId(1));
+    }
+}

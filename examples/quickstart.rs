@@ -1,0 +1,72 @@
+//! Quickstart: tune the grid size for a synthetic city, end to end.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Generates an NYC-like city at the paper's full volume, estimates the
+//! per-HGrid mean field `α` from four weeks of 8:00–8:30 history, plugs a
+//! historical-average predictor into the upper-bound oracle (Algorithm 3),
+//! and compares the three search algorithms from the paper (Brute-force,
+//! Ternary Search, the Iterative Method). Takes a few minutes in release
+//! mode — most of it is the brute-force baseline's 45 model trainings.
+
+use gridtuner::core::alpha::AlphaWindow;
+use gridtuner::core::tuner::{GridTuner, SearchStrategy, TunerConfig};
+use gridtuner::datagen::{City, DataSplit};
+use gridtuner::predict::{CityModelError, HistoricalAverage, Predictor};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    // An NYC-like synthetic city at the paper's full volume. (Model
+    // training cost does not depend on volume — predictors see gridded
+    // counts — and the dense-count regime is where the U-shape lives.)
+    let city = City::nyc();
+    let clock = *city.clock();
+    println!("city: {} (daily volume {:.0})", city.name(), city.daily_volume());
+
+    // Historical events for the α window: 8:00–8:30 on 28 days.
+    let mut rng = StdRng::seed_from_u64(2022);
+    let events = city.sample_history_events(16, 0..28, &mut rng);
+    println!("history events in the α window: {}", events.len());
+
+    // The model-error leg: a historical-average predictor retrained at
+    // every probed grid size (swap in Mlp/DeepStLike/DmvstLike for the
+    // paper's full setup).
+    let split = DataSplit {
+        train_days: (0, 21),
+        val_days: (21, 24),
+        test_day: 24,
+    };
+    let make = move || -> CityModelError<_> {
+        CityModelError::new(
+            City::nyc(),
+            split,
+            7,
+            || Box::new(HistoricalAverage::new()) as Box<dyn Predictor>,
+        )
+        .with_max_eval_slots(24)
+    };
+
+    let budget = 64; // √N — the HGrid budget side
+    let range = (4, 48);
+    for (label, strategy) in [
+        ("brute-force", SearchStrategy::BruteForce),
+        ("ternary search", SearchStrategy::Ternary),
+        ("iterative method", SearchStrategy::Iterative { init: 16, bound: 4 }),
+    ] {
+        let tuner = GridTuner::new(TunerConfig {
+            hgrid_budget_side: budget,
+            side_range: range,
+            strategy,
+            alpha_window: AlphaWindow::default(),
+        });
+        let result = tuner.tune(&events, clock, make());
+        println!(
+            "{label:>17}: optimal n = {s}x{s}  e(√n) = {e:.1}  ({k} model trainings)",
+            s = result.outcome.side,
+            e = result.outcome.error,
+            k = result.outcome.evals,
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! Dispatch case study wiring: predictions at different grid sizes feed
+//! POLAR / LS / DAIF and move their metrics in the paper's direction.
+
+use gridtuner::datagen::{City, TripGenerator};
+use gridtuner::dispatch::{
+    Daif, DemandView, FleetConfig, Ls, Order, Polar, SimConfig, Simulator,
+};
+use gridtuner::dispatch::daif::DaifConfig;
+use gridtuner::spatial::{Partition, SlotId};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn test_day_orders(city: &City, seed: u64) -> Vec<Order> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let trips = TripGenerator::default().trips_for_day(city, 0, &mut rng);
+    Order::from_trips(&trips)
+}
+
+/// Ground-truth mean demand spread from a given MGrid resolution — the
+/// "perfect model at grid size s" view.
+fn demand_at_resolution(
+    city: &City,
+    side: u32,
+    budget: u32,
+) -> impl FnMut(SlotId) -> DemandView + '_ {
+    let partition = Partition::for_budget(side, budget);
+    move |slot| {
+        let mgrid = city.mean_field(partition.mgrid_spec(), slot);
+        DemandView::from_mgrid(&mgrid, &partition)
+    }
+}
+
+#[test]
+fn polar_serves_most_orders_with_ample_fleet() {
+    let city = City::xian().scaled(0.004); // ~440 orders
+    let orders = test_day_orders(&city, 1);
+    assert!(orders.len() > 100, "need a meaningful day: {}", orders.len());
+    let sim = Simulator::new(SimConfig {
+        fleet: FleetConfig {
+            n_drivers: 400,
+            ..FleetConfig::default()
+        },
+        geo: *city.geo(),
+        unserved_penalty_km: 10.0,
+    });
+    let mut demand = demand_at_resolution(&city, 8, 32);
+    let out = sim.run(&orders, &mut Polar::new(), &mut demand);
+    assert!(
+        out.service_rate() > 0.8,
+        "ample fleet should serve most orders: {out:?}"
+    );
+    assert!(out.revenue > 0.0);
+}
+
+#[test]
+fn finer_demand_view_helps_polar_when_model_is_perfect() {
+    // With ground-truth demand (zero model error), the real error equals
+    // the expression error, which shrinks with n — so POLAR with the fine
+    // view must not serve fewer orders than with the n=1 view (the paper's
+    // "real order data" curves keep rising with n).
+    let city = City::nyc().scaled(0.004);
+    let orders = test_day_orders(&city, 2);
+    let sim = Simulator::new(SimConfig {
+        fleet: FleetConfig {
+            n_drivers: 120,
+            ..FleetConfig::default()
+        },
+        geo: *city.geo(),
+        unserved_penalty_km: 10.0,
+    });
+    let coarse = sim.run(
+        &orders,
+        &mut Polar::new(),
+        &mut demand_at_resolution(&city, 1, 32),
+    );
+    let fine = sim.run(
+        &orders,
+        &mut Polar::new(),
+        &mut demand_at_resolution(&city, 16, 32),
+    );
+    assert!(
+        fine.served as f64 >= coarse.served as f64 * 0.98,
+        "fine view must not lose orders: fine {} vs coarse {}",
+        fine.served,
+        coarse.served
+    );
+}
+
+#[test]
+fn ls_collects_more_revenue_than_blind_dispatch() {
+    // LS with a real demand view vs LS with an all-zero view (no future
+    // value signal): the informed one must not earn less.
+    let city = City::chengdu().scaled(0.004);
+    let orders = test_day_orders(&city, 3);
+    let sim = Simulator::new(SimConfig {
+        fleet: FleetConfig {
+            n_drivers: 80,
+            ..FleetConfig::default()
+        },
+        geo: *city.geo(),
+        unserved_penalty_km: 10.0,
+    });
+    let informed = sim.run(
+        &orders,
+        &mut Ls::new(),
+        &mut demand_at_resolution(&city, 8, 32),
+    );
+    let side = Partition::for_budget(8, 32).hgrid_spec().side();
+    let blind = sim.run(&orders, &mut Ls::new(), &mut |_| {
+        DemandView::from_hgrid(gridtuner::spatial::CountMatrix::zeros(side))
+    });
+    assert!(
+        informed.revenue >= blind.revenue * 0.95,
+        "informed {} vs blind {}",
+        informed.revenue,
+        blind.revenue
+    );
+    assert!(informed.served > 0 && blind.served > 0);
+}
+
+#[test]
+fn daif_runs_a_full_day_and_reports_unified_cost() {
+    let city = City::xian().scaled(0.002);
+    let orders = test_day_orders(&city, 4);
+    let daif = Daif::new(DaifConfig {
+        n_workers: 120,
+        ..DaifConfig::default()
+    });
+    let mut demand = demand_at_resolution(&city, 8, 32);
+    let out = daif.run(city.geo(), &orders, &mut demand);
+    assert!(out.served > 0, "DAIF must serve something: {out:?}");
+    assert!(out.served <= out.total_orders);
+    let expected = out.travel_km + 10.0 * (out.total_orders - out.served) as f64;
+    assert!((out.unified_cost - expected).abs() < 1e-6);
+}

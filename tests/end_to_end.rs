@@ -1,0 +1,113 @@
+//! End-to-end pipeline: synthetic city → α estimation → upper-bound oracle
+//! with a real (retrained-per-n) predictor → search → sane partition.
+
+use gridtuner::core::alpha::AlphaWindow;
+use gridtuner::core::tuner::{GridTuner, SearchStrategy, TunerConfig};
+use gridtuner::core::upper_bound::{ModelErrorFn, UpperBoundOracle};
+use gridtuner::datagen::{City, DataSplit};
+use gridtuner::predict::{CityModelError, HistoricalAverage, Predictor};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn small_city() -> City {
+    City::xian().scaled(0.02)
+}
+
+fn split() -> DataSplit {
+    DataSplit {
+        train_days: (0, 14),
+        val_days: (14, 16),
+        test_day: 16,
+    }
+}
+
+fn model_oracle() -> impl ModelErrorFn {
+    CityModelError::new(small_city(), split(), 5, || {
+        Box::new(HistoricalAverage::new()) as Box<dyn Predictor>
+    })
+    .with_max_eval_slots(12)
+}
+
+#[test]
+fn tuner_produces_interior_optimum_on_uneven_city() {
+    let city = small_city();
+    let mut rng = StdRng::seed_from_u64(1);
+    let events = city.sample_history_events(16, 0..14, &mut rng);
+    let tuner = GridTuner::new(TunerConfig {
+        hgrid_budget_side: 32,
+        side_range: (1, 20),
+        strategy: SearchStrategy::BruteForce,
+        alpha_window: AlphaWindow {
+            slot_of_day: 16,
+            day_start: 0,
+            day_end: 14,
+            weekdays_only: true,
+        },
+    });
+    let result = tuner.tune(&events, *city.clock(), model_oracle());
+    // The optimum must be strictly inside the range: the error curve is
+    // U-shaped (Sec. III-C).
+    assert!(
+        result.outcome.side > 1 && result.outcome.side < 20,
+        "boundary optimum at side {}",
+        result.outcome.side
+    );
+    assert_eq!(result.partition.mgrid_side(), result.outcome.side);
+    assert!(result.partition.total_hgrids() >= 32 * 32);
+}
+
+#[test]
+fn upper_bound_oracle_decomposition_is_consistent() {
+    let city = small_city();
+    let mut rng = StdRng::seed_from_u64(2);
+    let events = city.sample_history_events(16, 0..14, &mut rng);
+    let window = AlphaWindow {
+        slot_of_day: 16,
+        day_start: 0,
+        day_end: 14,
+        weekdays_only: true,
+    };
+    let mut oracle =
+        UpperBoundOracle::new(events, *city.clock(), window, 32, model_oracle());
+    for side in [2u32, 8, 16] {
+        let e = gridtuner::core::search::ErrorOracle::eval(&mut oracle, side);
+        let expr = oracle.expression_error(side);
+        let model = oracle.model_error(side);
+        assert!(
+            (e - (expr + model)).abs() < 1e-6,
+            "decomposition broken at side {side}"
+        );
+        assert!(expr >= 0.0 && model >= 0.0);
+    }
+    // Monotone legs (the paper's core tension).
+    assert!(oracle.expression_error(2) > oracle.expression_error(16));
+    assert!(oracle.model_error(16) > oracle.model_error(2));
+}
+
+#[test]
+fn heuristic_searches_close_to_brute_force_end_to_end() {
+    let city = small_city();
+    let mut rng = StdRng::seed_from_u64(3);
+    let events = city.sample_history_events(16, 0..14, &mut rng);
+    let cfg = |strategy| TunerConfig {
+        hgrid_budget_side: 32,
+        side_range: (1, 20),
+        strategy,
+        alpha_window: AlphaWindow {
+            slot_of_day: 16,
+            day_start: 0,
+            day_end: 14,
+            weekdays_only: true,
+        },
+    };
+    let clock = *city.clock();
+    let bf = GridTuner::new(cfg(SearchStrategy::BruteForce)).tune(&events, clock, model_oracle());
+    let it = GridTuner::new(cfg(SearchStrategy::Iterative { init: 16, bound: 4 }))
+        .tune(&events, clock, model_oracle());
+    assert!(
+        it.outcome.error <= bf.outcome.error * 1.10,
+        "iterative {} vs brute {}",
+        it.outcome.error,
+        bf.outcome.error
+    );
+    assert!(it.outcome.evals < bf.outcome.evals);
+}

@@ -1,0 +1,84 @@
+//! Search algorithms against realistic upper-bound curves: Table IV's
+//! qualitative claims, cross-crate.
+
+use gridtuner::core::search::{
+    brute_force, iterative_method, ternary_search, ErrorOracle, MemoOracle,
+};
+use gridtuner::core::upper_bound::UpperBoundOracle;
+use gridtuner::core::alpha::AlphaWindow;
+use gridtuner::datagen::City;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// A realistic (jagged, roughly U-shaped) oracle: analytic expression error
+/// of a preset city plus a quadratic model-error surrogate.
+fn city_oracle(city: City, coef: f64) -> impl ErrorOracle {
+    let mut rng = StdRng::seed_from_u64(4);
+    let events = city.sample_history_events(16, 0..14, &mut rng);
+    let clock = *city.clock();
+    let window = AlphaWindow {
+        slot_of_day: 16,
+        day_start: 0,
+        day_end: 14,
+        weekdays_only: true,
+    };
+    let oracle = UpperBoundOracle::new(events, clock, window, 64, move |s: u32| {
+        (s * s) as f64 * coef
+    });
+    oracle
+}
+
+#[test]
+fn heuristics_beat_brute_force_on_evaluations() {
+    let city = City::chengdu().scaled(0.05);
+    let bf = brute_force(city_oracle(city.clone(), 1.0), 2, 32);
+    let ts = ternary_search(city_oracle(city.clone(), 1.0), 2, 32);
+    let it = iterative_method(city_oracle(city, 1.0), 2, 32, 16, 4);
+    assert_eq!(bf.evals, 31);
+    assert!(ts.evals < bf.evals / 2, "ternary evals {}", ts.evals);
+    assert!(it.evals < bf.evals, "iterative evals {}", it.evals);
+    // Optimal-ratio style check on the error values (Table IV: ≥ 97%).
+    assert!(ts.error <= bf.error * 1.10, "{} vs {}", ts.error, bf.error);
+    assert!(it.error <= bf.error * 1.10, "{} vs {}", it.error, bf.error);
+}
+
+#[test]
+fn per_slot_optima_vary_across_the_day() {
+    // Fig. 18: different time slots have different optimal n because the
+    // α field (and total volume) changes. Compare the morning-peak slot to
+    // a night slot: the optimum differs or at least both are interior.
+    let city = City::nyc().scaled(0.05);
+    let clock = *city.clock();
+    let mut optima = Vec::new();
+    for sod in [4u32, 16] {
+        let mut rng = StdRng::seed_from_u64(8);
+        let events = city.sample_history_events(sod, 0..14, &mut rng);
+        let window = AlphaWindow {
+            slot_of_day: sod,
+            day_start: 0,
+            day_end: 14,
+            weekdays_only: true,
+        };
+        let oracle = UpperBoundOracle::new(events, clock, window, 64, |s: u32| {
+            (s * s) as f64 * 0.6
+        });
+        let out = brute_force(oracle, 1, 28);
+        assert!(out.side >= 1 && out.side <= 28);
+        optima.push((sod, out.side));
+    }
+    // The busy morning slot supports at least as fine a grid as the quiet
+    // night slot (more data ⇒ larger optimal n).
+    assert!(
+        optima[1].1 >= optima[0].1,
+        "morning optimum should not be coarser: {optima:?}"
+    );
+}
+
+#[test]
+fn memoization_shares_work_across_strategies() {
+    let city = City::xian().scaled(0.05);
+    let mut memo = MemoOracle::new(city_oracle(city, 1.0));
+    let a = memo.eval(10);
+    let b = memo.eval(10);
+    assert_eq!(a, b);
+    assert_eq!(memo.unique_evals(), 1);
+}
