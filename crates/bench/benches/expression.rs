@@ -3,8 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gridtuner_core::expression::{
-    expression_error_alg1, expression_error_alg2, expression_error_naive,
-    expression_error_windowed,
+    expression_error_alg1, expression_error_alg2, expression_error_naive, expression_error_windowed,
 };
 use std::time::Duration;
 

@@ -11,10 +11,7 @@ fn bench_spatial(c: &mut Criterion) {
     let events: Vec<Event> = (0..100_000)
         .map(|i| {
             Event::new(
-                Point::new(
-                    (i as f64 * 0.618_034) % 1.0,
-                    (i as f64 * 0.414_214) % 1.0,
-                ),
+                Point::new((i as f64 * 0.618_034) % 1.0, (i as f64 * 0.414_214) % 1.0),
                 (i % (48 * 30)) as u32,
             )
         })
@@ -26,7 +23,9 @@ fn bench_spatial(c: &mut Criterion) {
     for (i, v) in field.as_mut_slice().iter_mut().enumerate() {
         *v = (i % 17) as f64;
     }
-    g.bench_function("coarsen_128_to_16", |b| b.iter(|| field.coarsen(8).unwrap()));
+    g.bench_function("coarsen_128_to_16", |b| {
+        b.iter(|| field.coarsen(8).unwrap())
+    });
     let coarse = field.coarsen(8).unwrap();
     g.bench_function("spread_16_to_128", |b| b.iter(|| coarse.spread(8).unwrap()));
     g.finish();

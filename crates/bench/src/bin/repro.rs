@@ -12,9 +12,27 @@ use gridtuner_bench::{experiments as ex, RunCfg};
 use std::time::Instant;
 
 const IDS: &[&str] = &[
-    "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig13", "fig14",
-    "fig15", "fig16", "fig17", "fig18", "fig19", "tab3", "tab4", "abl-matching",
-    "abl-reposition", "abl-kselect",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "tab3",
+    "tab4",
+    "abl-matching",
+    "abl-reposition",
+    "abl-kselect",
 ];
 
 fn usage() -> ! {

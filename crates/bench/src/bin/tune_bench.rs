@@ -1,0 +1,155 @@
+//! End-to-end tuning benchmark: times a full brute-force tune at the
+//! paper's defaults (`√N = 128`, sides 4..=76) and writes `BENCH_tune.json`
+//! with `{wall_ms, probes, alpha_rescans, ...}`.
+//!
+//! Two sweeps are timed over the same event history and the same analytic
+//! model leg:
+//!
+//! * **naive** — the pre-optimisation hot path: every probe rescans the
+//!   full event log (`estimate_alpha`) and evaluates `E_e` per cell with
+//!   no memoisation;
+//! * **cached** — the production path: one log pass into the
+//!   [`AlphaFieldCache`], `O(digest)` α derivation per probe, memoised
+//!   per-MGrid expression errors, worker-pool parallel sweep.
+//!
+//! ```text
+//! cargo run --release -p gridtuner-bench --bin tune_bench [-- --scale X]
+//! ```
+
+use gridtuner_core::alpha::AlphaWindow;
+use gridtuner_core::estimate_alpha;
+use gridtuner_core::expression::expression_error_windowed;
+use gridtuner_core::tuner::{GridTuner, SearchStrategy, TunerConfig};
+use gridtuner_datagen::City;
+use gridtuner_spatial::{Event, Partition, SlotClock};
+use rand::{rngs::StdRng, SeedableRng};
+use std::time::Instant;
+
+/// The seed code path: full log scan per probe, unmemoised per-cell sums.
+fn naive_sweep(
+    events: &[Event],
+    clock: &SlotClock,
+    window: &AlphaWindow,
+    budget: u32,
+    (lo, hi): (u32, u32),
+    model: impl Fn(u32) -> f64,
+) -> (u32, f64, u64) {
+    let mut rescans = 0u64;
+    let mut best = (lo, f64::INFINITY);
+    for s in lo..=hi {
+        let part = Partition::for_budget(s, budget);
+        let alpha = estimate_alpha(events, part.hgrid_spec(), clock, window);
+        rescans += 1;
+        let expr: f64 = part
+            .mgrid_spec()
+            .cells()
+            .map(|mcell| {
+                let alphas: Vec<f64> = part
+                    .hgrids_of(mcell)
+                    .into_iter()
+                    .map(|h| alpha.get(h))
+                    .collect();
+                let m = alphas.len();
+                if m <= 1 {
+                    return 0.0;
+                }
+                let total: f64 = alphas.iter().sum();
+                alphas
+                    .iter()
+                    .map(|&a| expression_error_windowed(a, (total - a).max(0.0), m))
+                    .sum()
+            })
+            .sum();
+        let e = expr + model(s);
+        if e < best.1 {
+            best = (s, e);
+        }
+    }
+    (best.0, best.1, rescans)
+}
+
+fn main() {
+    let mut scale = 1.0f64;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--scale" {
+            i += 1;
+            scale = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+        }
+        i += 1;
+    }
+
+    // Paper defaults: NYC-volume history, √N = 128, sides 4..=76, α window
+    // = slot 16 over one month of workdays.
+    let city = City::nyc().scaled(scale);
+    let clock = *city.clock();
+    let window = AlphaWindow::default();
+    let mut rng = StdRng::seed_from_u64(7);
+    let events = city.sample_history_events(
+        window.slot_of_day,
+        window.day_start..window.day_end,
+        &mut rng,
+    );
+    let cfg = TunerConfig {
+        strategy: SearchStrategy::BruteForce,
+        alpha_window: window,
+        ..TunerConfig::default()
+    };
+    let model = |s: u32| (s * s) as f64 * 0.05;
+    eprintln!(
+        "[tune_bench] {} events, budget side {}, sides {}..={}",
+        events.len(),
+        cfg.hgrid_budget_side,
+        cfg.side_range.0,
+        cfg.side_range.1
+    );
+
+    // Naive (seed) sweep.
+    let t0 = Instant::now();
+    let (naive_side, naive_err, naive_rescans) = naive_sweep(
+        &events,
+        &clock,
+        &window,
+        cfg.hgrid_budget_side,
+        cfg.side_range,
+        model,
+    );
+    let naive_ms = t0.elapsed().as_secs_f64() * 1e3;
+    eprintln!(
+        "[tune_bench] naive: side {naive_side} err {naive_err:.3} in {naive_ms:.1} ms ({naive_rescans} log scans)"
+    );
+
+    // Cached + parallel sweep.
+    let tuner = GridTuner::new(cfg);
+    let t1 = Instant::now();
+    let result = tuner.tune_brute_parallel(&events, clock, model);
+    let wall_ms = t1.elapsed().as_secs_f64() * 1e3;
+    eprintln!(
+        "[tune_bench] cached: side {} err {:.3} in {wall_ms:.1} ms ({} log scans)",
+        result.outcome.side, result.outcome.error, result.alpha_rescans
+    );
+
+    assert_eq!(
+        result.outcome.side, naive_side,
+        "sweeps disagree on the optimum"
+    );
+    assert!(
+        (result.outcome.error - naive_err).abs() <= 1e-9 * (1.0 + naive_err.abs()),
+        "sweeps disagree on the optimal error: {} vs {naive_err}",
+        result.outcome.error
+    );
+
+    let speedup = naive_ms / wall_ms.max(1e-9);
+    let json = format!(
+        "{{\n  \"wall_ms\": {wall_ms:.3},\n  \"probes\": {},\n  \"alpha_rescans\": {},\n  \"events\": {},\n  \"selected_side\": {},\n  \"naive_wall_ms\": {naive_ms:.3},\n  \"naive_alpha_rescans\": {naive_rescans},\n  \"speedup\": {speedup:.2},\n  \"threads\": {}\n}}\n",
+        result.outcome.evals,
+        result.alpha_rescans,
+        events.len(),
+        result.outcome.side,
+        gridtuner_par::max_threads(),
+    );
+    std::fs::write("BENCH_tune.json", &json).expect("cannot write BENCH_tune.json");
+    print!("{json}");
+    eprintln!("[tune_bench] speedup {speedup:.2}x, wrote BENCH_tune.json");
+}

@@ -7,9 +7,7 @@ use gridtuner_core::errors::{evaluate_errors, ErrorReport, ErrorSample};
 use gridtuner_core::expression::total_expression_error;
 use gridtuner_datagen::{City, DataSplit, TripGenerator};
 use gridtuner_dispatch::{DemandView, Order};
-use gridtuner_predict::{
-    DeepStLike, DmvstLike, HistoricalAverage, Mlp, Predictor, TrainConfig,
-};
+use gridtuner_predict::{DeepStLike, DmvstLike, HistoricalAverage, Mlp, Predictor, TrainConfig};
 use gridtuner_spatial::{CountSeries, Partition, SlotClock, SlotId};
 use rand::{rngs::StdRng, SeedableRng};
 
@@ -172,8 +170,7 @@ pub fn alpha_window(slot_of_day: u32) -> AlphaWindow {
 /// The test day's orders for a city (deterministic per seed).
 pub fn test_day_orders(city: &City, seed: u64) -> Vec<Order> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let trips =
-        TripGenerator::default().trips_for_day(city, harness_split().test_day, &mut rng);
+    let trips = TripGenerator::default().trips_for_day(city, harness_split().test_day, &mut rng);
     Order::from_trips(&trips)
 }
 

@@ -103,7 +103,13 @@ pub fn run_kselect(cfg: &RunCfg) {
     let scales: &[(f64, f64)] = if cfg.quick {
         &[(2.0, 30.0), (50.0, 800.0)]
     } else {
-        &[(0.5, 8.0), (2.0, 30.0), (10.0, 150.0), (50.0, 800.0), (200.0, 3000.0)]
+        &[
+            (0.5, 8.0),
+            (2.0, 30.0),
+            (10.0, 150.0),
+            (50.0, 800.0),
+            (200.0, 3000.0),
+        ]
     };
     for &(a, b) in scales {
         let reference = expression_error_windowed(a, b, m);

@@ -31,7 +31,11 @@ pub fn run_fig10(cfg: &RunCfg) {
         let total = counts.total().max(1.0);
         for cell in spec.cells() {
             let (r, c) = spec.row_col(cell);
-            println!("{}\t{r}\t{c}\t{}", city.name(), fmt(counts.get(cell) / total));
+            println!(
+                "{}\t{r}\t{c}\t{}",
+                city.name(),
+                fmt(counts.get(cell) / total)
+            );
         }
     }
 }

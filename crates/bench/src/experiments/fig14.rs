@@ -24,7 +24,13 @@ pub fn run(cfg: &RunCfg) {
     header(
         "fig14",
         "D_alpha(N) vs HGrid side under 1-week and 4-week alpha windows (nyc)",
-        &["side", "N", "d_alpha_1week", "d_alpha_4weeks", "d_alpha_true"],
+        &[
+            "side",
+            "N",
+            "d_alpha_1week",
+            "d_alpha_4weeks",
+            "d_alpha_true",
+        ],
     );
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xf14);
     let events = city.sample_history_events(16, 0..28, &mut rng);

@@ -6,8 +6,7 @@
 
 use crate::{fmt, header, RunCfg};
 use gridtuner_core::expression::{
-    expression_error_alg1, expression_error_alg2, expression_error_naive,
-    expression_error_windowed,
+    expression_error_alg1, expression_error_alg2, expression_error_naive, expression_error_windowed,
 };
 use std::time::Instant;
 

@@ -70,8 +70,7 @@ pub fn run(cfg: &RunCfg) {
         let mut o = test_day_orders(&city, cfg.seed ^ 0xf19e);
         // test_day_orders uses the harness split's test day; shift the
         // minutes to this experiment's test day.
-        let delta = (test_day as i64 - crate::ctx::harness_split().test_day as i64)
-            * 24 * 60;
+        let delta = (test_day as i64 - crate::ctx::harness_split().test_day as i64) * 24 * 60;
         for ord in o.iter_mut() {
             ord.minute = (ord.minute as i64 + delta) as u32;
         }
@@ -113,7 +112,10 @@ pub fn run(cfg: &RunCfg) {
         let mut demand = |slot: SlotId| {
             // Map the global slot to the tail series' local coordinates.
             let local = SlotId(slot.0 - global_shift * clock.slots_per_day());
-            let lookup = clock.slot_at(local_test_day.min(clock.day_of(local)), clock.slot_of_day(local));
+            let lookup = clock.slot_at(
+                local_test_day.min(clock.day_of(local)),
+                clock.slot_of_day(local),
+            );
             let pred = ha.predict(&series, &clock, lookup);
             DemandView::from_mgrid(&pred, &partition)
         };

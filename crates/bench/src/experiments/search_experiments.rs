@@ -185,7 +185,11 @@ pub fn run_fig17(cfg: &RunCfg) {
     let city = City::nyc();
     let sc = build_curves(&city, cfg, budget(), lo, hi);
     let spd = sc.curves.len();
-    let bounds: &[u32] = if cfg.quick { &[1, 4, 8] } else { &[1, 2, 3, 4, 5, 6, 7, 8] };
+    let bounds: &[u32] = if cfg.quick {
+        &[1, 4, 8]
+    } else {
+        &[1, 2, 3, 4, 5, 6, 7, 8]
+    };
     let optima: Vec<SearchOutcome> = (0..spd)
         .map(|sod| brute_force(sc.oracle(sod), lo, hi))
         .collect();

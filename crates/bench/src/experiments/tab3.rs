@@ -10,8 +10,8 @@ use crate::ctx::{cities, test_day_orders, ModelKind, PredictedDemand};
 use crate::experiments::search_experiments::build_curves;
 use crate::{fmt, header, RunCfg};
 use gridtuner_core::search::brute_force;
-use gridtuner_dispatch::daif::DaifConfig;
 use gridtuner_datagen::City;
+use gridtuner_dispatch::daif::DaifConfig;
 use gridtuner_dispatch::{Daif, DispatchOutcome, Ls, Polar, SimConfig, Simulator};
 use gridtuner_dispatch::{Dispatcher, FleetConfig};
 
@@ -28,8 +28,8 @@ pub fn run(cfg: &RunCfg) {
     let budget = 128;
     let (lo, hi) = if cfg.quick { (4, 16) } else { (4, 50) };
     let city = cities(cfg).remove(0); // NYC, dispatch scale
-    // GridTuner's optimal side for the morning-peak slot, from the
-    // full-volume error curves (the paper tunes on the real dataset).
+                                      // GridTuner's optimal side for the morning-peak slot, from the
+                                      // full-volume error curves (the paper tunes on the real dataset).
     let sc = build_curves(&City::nyc(), cfg, budget, lo, hi);
     let best = brute_force(sc.oracle(16), lo, hi);
     let optimal = best.side;
@@ -73,7 +73,10 @@ pub fn run(cfg: &RunCfg) {
         "served_orders\tPOLAR\t16\t{}\t{optimal}\t{}\t{}",
         polar_orig.served,
         polar_opt.served,
-        fmt(improvement(polar_opt.served as f64, polar_orig.served as f64))
+        fmt(improvement(
+            polar_opt.served as f64,
+            polar_orig.served as f64
+        ))
     );
     println!(
         "total_revenue\tPOLAR\t16\t{}\t{optimal}\t{}\t{}",

@@ -99,7 +99,7 @@ mod tests {
     fn fmt_widths() {
         assert_eq!(fmt(0.0), "0");
         assert_eq!(fmt(1234.56), "1234.6");
-        assert_eq!(fmt(3.14159), "3.142");
+        assert_eq!(fmt(4.32109), "4.321");
         assert_eq!(fmt(0.001234), "0.00123");
     }
 }

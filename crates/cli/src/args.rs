@@ -53,7 +53,10 @@ impl Args {
 
     /// String flag with a default.
     pub fn str_or(&self, key: &str, default: &str) -> String {
-        self.flags.get(key).cloned().unwrap_or_else(|| default.into())
+        self.flags
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.into())
     }
 
     /// Typed flag with a default; errors when present but unparsable.

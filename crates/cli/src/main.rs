@@ -20,10 +20,10 @@ use gridtuner::core::alpha::AlphaWindow;
 use gridtuner::core::expression::{expression_error_alg2, expression_error_windowed};
 use gridtuner::core::tuner::{GridTuner, SearchStrategy, TunerConfig};
 use gridtuner::datagen::{City, DataSplit, TripGenerator};
+use gridtuner::dispatch::daif::DaifConfig;
 use gridtuner::dispatch::{
     Daif, DemandView, FleetConfig, Ls, Nearest, Order, Polar, SimConfig, Simulator,
 };
-use gridtuner::dispatch::daif::DaifConfig;
 use gridtuner::predict::{CityModelError, HistoricalAverage, Predictor};
 use gridtuner::spatial::Partition;
 use rand::{rngs::StdRng, SeedableRng};
@@ -139,18 +139,29 @@ fn cmd_generate(a: &Args) -> Result<(), ArgError> {
             t.minute, t.revenue
         );
     }
-    eprintln!("generated {} trips for {} day {day}", trips.len(), city.name());
+    eprintln!(
+        "generated {} trips for {} day {day}",
+        trips.len(),
+        city.name()
+    );
     Ok(())
 }
 
 fn cmd_simulate(a: &Args) -> Result<(), ArgError> {
-    a.expect_only(&["city", "scale", "algorithm", "side", "budget", "drivers", "seed"])?;
+    a.expect_only(&[
+        "city",
+        "scale",
+        "algorithm",
+        "side",
+        "budget",
+        "drivers",
+        "seed",
+    ])?;
     let city = city_by_name(&a.str_or("city", "xian"))?.scaled(a.get_or("scale", 0.01)?);
     let side: u32 = a.get_or("side", 16u32)?;
     let budget: u32 = a.get_or("budget", 64u32)?;
     let seed: u64 = a.get_or("seed", 2022u64)?;
-    let n_drivers: usize =
-        a.get_or("drivers", ((city.daily_volume() / 22.0) as usize).max(10))?;
+    let n_drivers: usize = a.get_or("drivers", ((city.daily_volume() / 22.0) as usize).max(10))?;
     let algorithm = a.str_or("algorithm", "polar");
     let mut rng = StdRng::seed_from_u64(seed);
     let trips = TripGenerator::default().trips_for_day(&city, 0, &mut rng);

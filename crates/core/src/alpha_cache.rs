@@ -1,0 +1,249 @@
+//! One-pass α-field derivation: the tuning hot path's cache.
+//!
+//! Every probe of the search algorithms (Algorithms 4/5) needs the α field
+//! on the probed partition's HGrid lattice. [`estimate_alpha`] rescans the
+//! **entire** event log per call — `O(|events|)` work that repeats per
+//! probe even though the (window, clock) filter never changes during a
+//! tuning run.
+//!
+//! [`AlphaFieldCache`] does the log scan **once**, at construction: it
+//! filters the log down to the window's matching (day, slot) pairs and
+//! keeps only those events' locations, in log order (the *digest*). The
+//! digest is typically a tiny fraction of the log (one slot-of-day out of
+//! 48, one month of days), so deriving α for a probed lattice is
+//! `O(|digest| + side²)` — independent of the log size — and each derived
+//! matrix is memoised per lattice side, so repeated probes of the same
+//! side (brute-force + reporting paths) are free.
+//!
+//! Because the digest preserves event order and the binning loop performs
+//! the same additions in the same order as [`estimate_alpha`], the derived
+//! matrix is **bit-identical** to the direct estimate — a property the
+//! test suite pins down for random events, windows and sides. (A
+//! block-aggregation scheme over a single finest lattice was considered
+//! and rejected: the paper's budget rule `q = ⌈√N / s⌉` produces lattice
+//! sides that do not divide one another, so exact aggregation is
+//! impossible in general.)
+
+use crate::alpha::AlphaWindow;
+use gridtuner_spatial::{CountMatrix, Event, GridSpec, Point, SlotClock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The α-field cache: one event-log pass at construction, `O(digest)`
+/// derivation per lattice side afterwards, memoised per side.
+///
+/// Thread-safe: [`alpha`](AlphaFieldCache::alpha) takes `&self` and may be
+/// called concurrently (e.g. from a parallel brute-force sweep).
+pub struct AlphaFieldCache {
+    /// Locations of the events matching the window, in event-log order.
+    digest: Vec<Point>,
+    /// Number of matching days (the averaging denominator); 0 disables.
+    n_days: usize,
+    /// Derived α matrices, keyed by lattice side. `Arc` so callers can
+    /// work on a field without holding the lock (or cloning the data).
+    derived: Mutex<HashMap<u32, Arc<CountMatrix>>>,
+    /// Full event-log scans performed (1 after construction, ever).
+    full_scans: AtomicU64,
+}
+
+impl AlphaFieldCache {
+    /// Builds the cache with a single pass over `events`.
+    pub fn new(events: &[Event], clock: &SlotClock, window: &AlphaWindow) -> Self {
+        let days = window.days(clock);
+        let mut digest = Vec::new();
+        if !days.is_empty() {
+            // Mark matching global slots for O(1) membership checks —
+            // mirrors estimate_alpha exactly.
+            let max_slot = days
+                .iter()
+                .map(|&d| clock.slot_at(d, window.slot_of_day).index())
+                .max()
+                .unwrap();
+            let mut matching = vec![false; max_slot + 1];
+            for &d in &days {
+                matching[clock.slot_at(d, window.slot_of_day).index()] = true;
+            }
+            for e in events {
+                let s = e.slot(clock).index();
+                if s < matching.len() && matching[s] && e.loc.in_unit_square() {
+                    digest.push(e.loc);
+                }
+            }
+        }
+        AlphaFieldCache {
+            digest,
+            n_days: days.len(),
+            derived: Mutex::new(HashMap::new()),
+            full_scans: AtomicU64::new(1),
+        }
+    }
+
+    /// The α field on `spec`'s lattice — bit-identical to
+    /// [`estimate_alpha`] over the original log, without touching it.
+    /// Memoised per side; the lock is held only for map access, so
+    /// concurrent probes of different sides derive in parallel.
+    pub fn alpha(&self, spec: GridSpec) -> Arc<CountMatrix> {
+        if let Some(m) = self.derived.lock().unwrap().get(&spec.side()) {
+            return Arc::clone(m);
+        }
+        let m = Arc::new(self.derive(spec));
+        Arc::clone(self.derived.lock().unwrap().entry(spec.side()).or_insert(m))
+    }
+
+    /// Runs `f` against the α field on `spec`'s lattice. The memo lock is
+    /// released before `f` runs.
+    pub fn with_alpha<T>(&self, spec: GridSpec, f: impl FnOnce(&CountMatrix) -> T) -> T {
+        f(&self.alpha(spec))
+    }
+
+    fn derive(&self, spec: GridSpec) -> CountMatrix {
+        let mut alpha = CountMatrix::zeros(spec.side());
+        if self.n_days == 0 {
+            return alpha;
+        }
+        for p in &self.digest {
+            if let Some(cell) = spec.cell_of(p) {
+                *alpha.get_mut(cell) += 1.0;
+            }
+        }
+        alpha.scale(1.0 / self.n_days as f64);
+        alpha
+    }
+
+    /// Number of events that survived the window filter.
+    pub fn digest_len(&self) -> usize {
+        self.digest.len()
+    }
+
+    /// Full event-log scans performed since construction — always 1; the
+    /// counter exists so benchmarks can assert the invariant end-to-end.
+    pub fn full_scans(&self) -> u64 {
+        self.full_scans.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct lattice sides derived so far.
+    pub fn derived_sides(&self) -> usize {
+        self.derived.lock().unwrap().len()
+    }
+}
+
+/// Convenience: the cache-derived α for a one-shot (events, spec) pair —
+/// equivalent to [`crate::alpha::estimate_alpha`] (used in tests and docs).
+pub fn cached_alpha(
+    events: &[Event],
+    spec: GridSpec,
+    clock: &SlotClock,
+    window: &AlphaWindow,
+) -> CountMatrix {
+    let cache = AlphaFieldCache::new(events, clock, window);
+    cache.derive(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alpha::estimate_alpha;
+    use gridtuner_spatial::Point;
+
+    fn clock() -> SlotClock {
+        SlotClock::default()
+    }
+
+    fn window(day_end: u32) -> AlphaWindow {
+        AlphaWindow {
+            slot_of_day: 0,
+            day_start: 0,
+            day_end,
+            weekdays_only: false,
+        }
+    }
+
+    fn scattered_events(n: usize, days: u32) -> Vec<Event> {
+        (0..n)
+            .map(|i| {
+                Event::new(
+                    Point::new((i as f64 * 0.6180339) % 1.0, (i as f64 * 0.3141592) % 1.0),
+                    (i as u32 % days) * 24 * 60 + (i as u32 % 40),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cache_matches_direct_estimate_bitwise() {
+        let events = scattered_events(500, 5);
+        let c = clock();
+        let w = window(5);
+        let cache = AlphaFieldCache::new(&events, &c, &w);
+        for side in [1u32, 2, 3, 7, 16, 33, 128, 130] {
+            let direct = estimate_alpha(&events, GridSpec::new(side), &c, &w);
+            let derived = cache.alpha(GridSpec::new(side));
+            assert_eq!(
+                direct.as_slice(),
+                derived.as_slice(),
+                "side {side}: cache must be bit-identical"
+            );
+        }
+        assert_eq!(cache.full_scans(), 1);
+        assert_eq!(cache.derived_sides(), 8);
+    }
+
+    #[test]
+    fn repeated_probes_hit_the_memo() {
+        let events = scattered_events(100, 3);
+        let cache = AlphaFieldCache::new(&events, &clock(), &window(3));
+        let a = cache.alpha(GridSpec::new(8));
+        let b = cache.alpha(GridSpec::new(8));
+        assert_eq!(a.as_slice(), b.as_slice());
+        assert_eq!(cache.derived_sides(), 1);
+    }
+
+    #[test]
+    fn empty_window_yields_zero_fields() {
+        let events = scattered_events(50, 2);
+        let w = AlphaWindow {
+            slot_of_day: 0,
+            day_start: 4,
+            day_end: 4,
+            weekdays_only: false,
+        };
+        let cache = AlphaFieldCache::new(&events, &clock(), &w);
+        assert_eq!(cache.digest_len(), 0);
+        assert_eq!(cache.alpha(GridSpec::new(4)).total(), 0.0);
+    }
+
+    #[test]
+    fn digest_drops_non_matching_slots() {
+        // Events at slot 1 must not enter a slot-0 window's digest.
+        let events = vec![
+            Event::new(Point::new(0.5, 0.5), 0),  // slot 0: kept
+            Event::new(Point::new(0.5, 0.5), 45), // slot 1: dropped
+        ];
+        let cache = AlphaFieldCache::new(&events, &clock(), &window(1));
+        assert_eq!(cache.digest_len(), 1);
+    }
+
+    #[test]
+    fn with_alpha_avoids_cloning() {
+        let events = scattered_events(200, 4);
+        let cache = AlphaFieldCache::new(&events, &clock(), &window(4));
+        let total = cache.with_alpha(GridSpec::new(9), |a| a.total());
+        let direct = estimate_alpha(&events, GridSpec::new(9), &clock(), &window(4)).total();
+        assert_eq!(total, direct);
+    }
+
+    #[test]
+    fn concurrent_probes_are_safe() {
+        let events = scattered_events(300, 4);
+        let cache = AlphaFieldCache::new(&events, &clock(), &window(4));
+        let sides: Vec<u32> = (1..=16).collect();
+        let totals = gridtuner_par::par_map(&sides, |&s| cache.alpha(GridSpec::new(s)).total());
+        // Mass is resolution-invariant: every derived field carries the
+        // same total.
+        for t in &totals {
+            assert!((t - totals[0]).abs() < 1e-9);
+        }
+        assert_eq!(cache.full_scans(), 1);
+    }
+}

@@ -24,7 +24,10 @@ pub fn d_alpha(alpha: &CountMatrix) -> f64 {
 ///
 /// The input must be sorted by side and contain at least two points.
 pub fn select_hgrid_side(curve: &[(u32, f64)], flat_threshold: f64) -> u32 {
-    assert!(curve.len() >= 2, "need at least two (side, D_alpha) samples");
+    assert!(
+        curve.len() >= 2,
+        "need at least two (side, D_alpha) samples"
+    );
     assert!(
         curve.windows(2).all(|w| w[0].0 < w[1].0),
         "curve must be sorted by side"

@@ -191,21 +191,36 @@ pub fn expression_error_windowed(a: f64, b: f64, m: usize) -> f64 {
 
 /// Sum of `E_e(i,j)` over all HGrids of one MGrid with per-HGrid means
 /// `alphas` (`m = alphas.len()`). Uses the adaptive-window algorithm.
+///
+/// α values are estimated as `count / days`, so within one MGrid they take
+/// few distinct values (often mostly zeros). Since `b = total − a` is a
+/// function of `a` here, `E_e` is memoised per distinct `a` — the sum
+/// itself still runs in cell order, so the result is bit-identical to the
+/// unmemoised loop.
 pub fn mgrid_expression_error(alphas: &[f64]) -> f64 {
     let m = alphas.len();
     if m <= 1 {
         return 0.0;
     }
     let total: f64 = alphas.iter().sum();
+    let mut memo: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
     alphas
         .iter()
-        .map(|&a| expression_error_windowed(a, (total - a).max(0.0), m))
+        .map(|&a| {
+            *memo
+                .entry(a.to_bits())
+                .or_insert_with(|| expression_error_windowed(a, (total - a).max(0.0), m))
+        })
         .sum()
 }
 
 /// Total expression error `Σ_i Σ_j E_e(i,j)` for a partition, given the
 /// per-HGrid mean field `alpha` on the partition's HGrid lattice.
-/// MGrids are processed in parallel.
+///
+/// MGrids are processed in parallel (one contiguous chunk per worker, see
+/// [`gridtuner_par`]); per-chunk partials are reduced in chunk order, so
+/// for a fixed worker count the result is deterministic, and it always
+/// matches the sequential sum to floating-point reassociation tolerance.
 pub fn total_expression_error(alpha: &CountMatrix, partition: &Partition) -> f64 {
     assert_eq!(
         alpha.side(),
@@ -213,31 +228,37 @@ pub fn total_expression_error(alpha: &CountMatrix, partition: &Partition) -> f64
         "alpha field must live on the partition's HGrid lattice"
     );
     let mgrids: Vec<_> = partition.mgrid_spec().cells().collect();
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(mgrids.len().max(1));
-    let chunk = mgrids.len().div_ceil(threads);
-    let mut partials = vec![0.0; threads];
-    crossbeam::thread::scope(|scope| {
-        for (t, out) in partials.iter_mut().enumerate() {
-            let slice = &mgrids[(t * chunk).min(mgrids.len())..((t + 1) * chunk).min(mgrids.len())];
-            scope.spawn(move |_| {
-                let mut acc = 0.0;
-                for &mcell in slice {
-                    let alphas: Vec<f64> = partition
-                        .hgrids_of(mcell)
-                        .into_iter()
-                        .map(|h| alpha.get(h))
-                        .collect();
-                    acc += mgrid_expression_error(&alphas);
-                }
-                *out = acc;
-            });
-        }
+    gridtuner_par::par_sum(&mgrids, |&mcell| {
+        let alphas: Vec<f64> = partition
+            .hgrids_of(mcell)
+            .into_iter()
+            .map(|h| alpha.get(h))
+            .collect();
+        mgrid_expression_error(&alphas)
     })
-    .expect("expression-error worker panicked");
-    partials.iter().sum()
+}
+
+/// Sequential reference implementation of [`total_expression_error`]: the
+/// exact per-cell loop, single-threaded. Kept public so tests (and future
+/// regressions hunts) can pin the parallel path against it.
+pub fn total_expression_error_seq(alpha: &CountMatrix, partition: &Partition) -> f64 {
+    assert_eq!(
+        alpha.side(),
+        partition.hgrid_spec().side(),
+        "alpha field must live on the partition's HGrid lattice"
+    );
+    partition
+        .mgrid_spec()
+        .cells()
+        .map(|mcell| {
+            let alphas: Vec<f64> = partition
+                .hgrids_of(mcell)
+                .into_iter()
+                .map(|h| alpha.get(h))
+                .collect();
+            mgrid_expression_error(&alphas)
+        })
+        .sum()
 }
 
 /// Lemma III.1's closed-form bound on the (truncated) expression error:
@@ -420,7 +441,11 @@ mod tests {
         let total = total_expression_error(&alpha, &p);
         let mut manual = 0.0;
         for mcell in p.mgrid_spec().cells() {
-            let alphas: Vec<f64> = p.hgrids_of(mcell).into_iter().map(|h| alpha.get(h)).collect();
+            let alphas: Vec<f64> = p
+                .hgrids_of(mcell)
+                .into_iter()
+                .map(|h| alpha.get(h))
+                .collect();
             manual += mgrid_expression_error(&alphas);
         }
         assert!((total - manual).abs() < 1e-9);
@@ -446,8 +471,7 @@ mod tests {
         for r in 0..side as usize {
             for c in 0..side as usize {
                 // Hotspot in one corner.
-                alpha.as_mut_slice()[r * side as usize + c] =
-                    20.0 / (1.0 + (r * r + c * c) as f64);
+                alpha.as_mut_slice()[r * side as usize + c] = 20.0 / (1.0 + (r * r + c * c) as f64);
             }
         }
         let mut prev = f64::INFINITY;

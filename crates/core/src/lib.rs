@@ -20,6 +20,8 @@
 //!   variant for production field sweeps;
 //! * [`alpha`] — estimation of the per-HGrid mean `α_ij` from historical
 //!   events;
+//! * [`alpha_cache`] — the one-pass α-field cache that keeps the tuning
+//!   hot path off the raw event log;
 //! * [`dalpha`] — the unevenness metric `D_α(N)` (Eq. 2) and the rule for
 //!   picking the HGrid budget `N` (Theorem III.1);
 //! * [`errors`] — empirical estimators of real/model/expression error from
@@ -30,6 +32,7 @@
 //! * [`tuner`] — the `GridTuner` facade that wires the above together.
 
 pub mod alpha;
+pub mod alpha_cache;
 pub mod dalpha;
 pub mod errors;
 pub mod expression;
@@ -41,6 +44,7 @@ pub mod tuner;
 pub mod upper_bound;
 
 pub use alpha::estimate_alpha;
+pub use alpha_cache::{cached_alpha, AlphaFieldCache};
 pub use dalpha::{d_alpha, select_hgrid_side};
 pub use errors::ErrorReport;
 pub use expression::{
@@ -49,7 +53,8 @@ pub use expression::{
 };
 pub use kselect::{recommended_k, truncation_error_bound};
 pub use search::{
-    brute_force, iterative_method, ternary_search, ErrorOracle, MemoOracle, SearchOutcome,
+    brute_force, brute_force_parallel, iterative_method, ternary_search, ErrorOracle, MemoOracle,
+    SearchOutcome, SyncErrorOracle,
 };
 pub use tuner::{GridTuner, TunerConfig, TunerResult};
 pub use upper_bound::{ModelErrorFn, UpperBoundOracle};

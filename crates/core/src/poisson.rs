@@ -161,10 +161,7 @@ mod tests {
         for &lambda in &[0.01, 0.5, 3.0, 40.0, 500.0, 5_000.0, 50_000.0] {
             let (lo, hi) = mass_window(lambda, 0);
             let total: f64 = poisson_pmf_range(lambda, lo, hi).iter().sum();
-            assert!(
-                (total - 1.0).abs() < 1e-9,
-                "lambda={lambda}: total={total}"
-            );
+            assert!((total - 1.0).abs() < 1e-9, "lambda={lambda}: total={total}");
         }
     }
 

@@ -23,6 +23,23 @@ impl<F: FnMut(u32) -> f64> ErrorOracle for F {
     }
 }
 
+/// A thread-safe error oracle: evaluation through `&self`, so a sweep can
+/// probe many sides concurrently. Implemented by [`UpperBoundOracle`] when
+/// its model leg is a `Fn + Sync` closure, and by any such closure
+/// directly.
+///
+/// [`UpperBoundOracle`]: crate::upper_bound::UpperBoundOracle
+pub trait SyncErrorOracle: Sync {
+    /// Evaluates `e(s)`.
+    fn eval_sync(&self, side: u32) -> f64;
+}
+
+impl<F: Fn(u32) -> f64 + Sync> SyncErrorOracle for F {
+    fn eval_sync(&self, side: u32) -> f64 {
+        self(side)
+    }
+}
+
 /// Memoizing wrapper: caches evaluations and counts unique oracle calls.
 pub struct MemoOracle<O> {
     inner: O,
@@ -97,6 +114,34 @@ pub fn brute_force<O: ErrorOracle>(oracle: O, lo: u32, hi: u32) -> SearchOutcome
         error: best.1,
         evals: memo.unique_evals(),
         probes: memo.probes(),
+    }
+}
+
+/// Data-parallel Brute-force over `lo..=hi`: probes every side across the
+/// worker pool (`GRIDTUNER_THREADS` sized, see [`gridtuner_par`]), then
+/// reduces deterministically in side order — the outcome is identical to
+/// [`brute_force`] on the same oracle, including tie-breaking toward the
+/// smaller side.
+pub fn brute_force_parallel<O: SyncErrorOracle + ?Sized>(
+    oracle: &O,
+    lo: u32,
+    hi: u32,
+) -> SearchOutcome {
+    assert!(lo >= 1 && lo <= hi, "invalid side range [{lo}, {hi}]");
+    let sides: Vec<u32> = (lo..=hi).collect();
+    let errors = gridtuner_par::par_map(&sides, |&s| oracle.eval_sync(s));
+    let probes: Vec<(u32, f64)> = sides.into_iter().zip(errors).collect();
+    let mut best = (lo, f64::INFINITY);
+    for &(s, e) in &probes {
+        if e < best.1 {
+            best = (s, e);
+        }
+    }
+    SearchOutcome {
+        side: best.0,
+        error: best.1,
+        evals: probes.len(),
+        probes,
     }
 }
 
@@ -327,5 +372,26 @@ mod tests {
     #[should_panic(expected = "invalid side range")]
     fn empty_range_rejected() {
         brute_force(convex(5.0), 10, 3);
+    }
+
+    #[test]
+    fn parallel_brute_force_matches_sequential_exactly() {
+        for opt in [2.0, 20.0, 76.0] {
+            let seq = brute_force(convex(opt), 1, 76);
+            let par = brute_force_parallel(&|s: u32| convex(opt)(s), 1, 76);
+            assert_eq!(par.side, seq.side, "opt={opt}");
+            assert_eq!(par.error.to_bits(), seq.error.to_bits(), "opt={opt}");
+            assert_eq!(par.probes, seq.probes, "opt={opt}");
+            assert_eq!(par.evals, seq.evals);
+        }
+    }
+
+    #[test]
+    fn parallel_brute_force_breaks_ties_low_like_sequential() {
+        // A flat curve: every side ties; both variants must pick `lo`.
+        let seq = brute_force(|_s: u32| 1.0, 3, 30);
+        let par = brute_force_parallel(&|_s: u32| 1.0, 3, 30);
+        assert_eq!(seq.side, 3);
+        assert_eq!(par.side, 3);
     }
 }

@@ -7,7 +7,9 @@
 //! search trace.
 
 use crate::alpha::AlphaWindow;
-use crate::search::{brute_force, iterative_method, ternary_search, SearchOutcome};
+use crate::search::{
+    brute_force, brute_force_parallel, iterative_method, ternary_search, ErrorOracle, SearchOutcome,
+};
 use crate::upper_bound::{ModelErrorFn, UpperBoundOracle};
 use gridtuner_spatial::{Event, Partition, SlotClock};
 
@@ -58,6 +60,9 @@ pub struct TunerResult {
     pub partition: Partition,
     /// The search trace (selected side, error, evaluation count, probes).
     pub outcome: SearchOutcome,
+    /// Full event-log passes the oracle performed (the α-cache invariant:
+    /// always 1, however many sides were probed).
+    pub alpha_rescans: u64,
 }
 
 /// The facade itself. Stateless apart from its configuration; create one
@@ -91,6 +96,44 @@ impl GridTuner {
         clock: SlotClock,
         model: M,
     ) -> TunerResult {
+        let mut oracle = UpperBoundOracle::new(
+            events.to_vec(),
+            clock,
+            self.config.alpha_window,
+            self.config.hgrid_budget_side,
+            model,
+        );
+        let (lo, hi) = self.config.side_range;
+        let outcome = {
+            let probe = |s: u32| oracle.eval(s);
+            match self.config.strategy {
+                SearchStrategy::BruteForce => brute_force(probe, lo, hi),
+                SearchStrategy::Ternary => ternary_search(probe, lo, hi),
+                SearchStrategy::Iterative { init, bound } => {
+                    iterative_method(probe, lo, hi, init, bound)
+                }
+            }
+        };
+        TunerResult {
+            partition: Partition::for_budget(outcome.side, self.config.hgrid_budget_side),
+            outcome,
+            alpha_rescans: oracle.alpha_rescans(),
+        }
+    }
+
+    /// Brute-force over the configured side range with the probes spread
+    /// across the worker pool. Deterministic: the result (side, error,
+    /// probe trail) is identical to `tune` with
+    /// [`SearchStrategy::BruteForce`] and the same model closure. Requires
+    /// a shareable model leg (`Fn + Sync`) — cheap analytic models or
+    /// pre-tabulated `n·MAE` curves; per-probe training stays on the
+    /// sequential path.
+    pub fn tune_brute_parallel<M: Fn(u32) -> f64 + Sync>(
+        &self,
+        events: &[Event],
+        clock: SlotClock,
+        model: M,
+    ) -> TunerResult {
         let oracle = UpperBoundOracle::new(
             events.to_vec(),
             clock,
@@ -99,16 +142,11 @@ impl GridTuner {
             model,
         );
         let (lo, hi) = self.config.side_range;
-        let outcome = match self.config.strategy {
-            SearchStrategy::BruteForce => brute_force(oracle, lo, hi),
-            SearchStrategy::Ternary => ternary_search(oracle, lo, hi),
-            SearchStrategy::Iterative { init, bound } => {
-                iterative_method(oracle, lo, hi, init, bound)
-            }
-        };
+        let outcome = brute_force_parallel(&oracle, lo, hi);
         TunerResult {
             partition: Partition::for_budget(outcome.side, self.config.hgrid_budget_side),
             outcome,
+            alpha_rescans: oracle.alpha_rescans(),
         }
     }
 }
@@ -186,6 +224,22 @@ mod tests {
         let res = tuner.tune(&events, SlotClock::default(), |s: u32| (s * s) as f64);
         assert_eq!(res.partition.mgrid_side(), res.outcome.side);
         assert!(res.partition.total_hgrids() >= 64 * 64);
+    }
+
+    #[test]
+    fn parallel_brute_tune_matches_sequential_and_scans_once() {
+        let events = skewed_events();
+        let clock = SlotClock::default();
+        let model = |s: u32| (s * s) as f64 * 1.5;
+        let tuner = GridTuner::new(cfg(SearchStrategy::BruteForce));
+        let seq = tuner.tune(&events, clock, model);
+        let par = tuner.tune_brute_parallel(&events, clock, model);
+        assert_eq!(par.outcome.side, seq.outcome.side);
+        assert_eq!(par.outcome.error.to_bits(), seq.outcome.error.to_bits());
+        assert_eq!(par.outcome.probes, seq.outcome.probes);
+        // The α-cache invariant: one event-log pass regardless of probes.
+        assert_eq!(seq.alpha_rescans, 1);
+        assert_eq!(par.alpha_rescans, 1);
     }
 
     #[test]

@@ -13,9 +13,10 @@
 //! second is computed analytically from the α field estimated on the
 //! partition's HGrid lattice (Sec. III-B).
 
-use crate::alpha::{estimate_alpha, AlphaWindow};
+use crate::alpha::AlphaWindow;
+use crate::alpha_cache::AlphaFieldCache;
 use crate::expression::total_expression_error;
-use crate::search::ErrorOracle;
+use crate::search::{ErrorOracle, SyncErrorOracle};
 use gridtuner_spatial::{Event, Partition, SlotClock};
 
 /// The model-error leg of Algorithm 3: everything that knows how to train
@@ -33,16 +34,21 @@ impl<F: FnMut(u32) -> f64> ModelErrorFn for F {
 
 /// An [`ErrorOracle`] implementing Algorithm 3: expression error from
 /// historical events + model error from a [`ModelErrorFn`].
+///
+/// Construction performs the **single** event-log pass of the tuning run:
+/// the log is distilled into an [`AlphaFieldCache`], and every probe's α
+/// field is derived from the cache's digest — `expression_error` never
+/// touches the raw events again. [`alpha_rescans`](Self::alpha_rescans)
+/// exposes the pass count so harnesses can assert the invariant.
 pub struct UpperBoundOracle<M> {
-    events: Vec<Event>,
-    clock: SlotClock,
-    window: AlphaWindow,
+    alpha: AlphaFieldCache,
     hgrid_budget_side: u32,
     model: M,
 }
 
 impl<M: ModelErrorFn> UpperBoundOracle<M> {
     /// Creates the oracle. `hgrid_budget_side` is `√N` (128 in the paper).
+    /// Scans `events` exactly once, here.
     pub fn new(
         events: Vec<Event>,
         clock: SlotClock,
@@ -52,9 +58,7 @@ impl<M: ModelErrorFn> UpperBoundOracle<M> {
     ) -> Self {
         assert!(hgrid_budget_side > 0, "HGrid budget side must be positive");
         UpperBoundOracle {
-            events,
-            clock,
-            window,
+            alpha: AlphaFieldCache::new(&events, &clock, &window),
             hgrid_budget_side,
             model,
         }
@@ -66,21 +70,43 @@ impl<M: ModelErrorFn> UpperBoundOracle<M> {
     }
 
     /// Expression-error leg only (useful for reporting the decomposition).
+    /// Served from the α cache: no event-log access.
     pub fn expression_error(&self, side: u32) -> f64 {
         let part = self.partition_for(side);
-        let alpha = estimate_alpha(&self.events, part.hgrid_spec(), &self.clock, &self.window);
-        total_expression_error(&alpha, &part)
+        self.alpha.with_alpha(part.hgrid_spec(), |alpha| {
+            total_expression_error(alpha, &part)
+        })
     }
 
     /// Model-error leg only.
     pub fn model_error(&mut self, side: u32) -> f64 {
         self.model.total_model_error(side)
     }
+
+    /// Full event-log passes performed since construction (always 1).
+    pub fn alpha_rescans(&self) -> u64 {
+        self.alpha.full_scans()
+    }
+
+    /// The α cache backing this oracle.
+    pub fn alpha_cache(&self) -> &AlphaFieldCache {
+        &self.alpha
+    }
 }
 
 impl<M: ModelErrorFn> ErrorOracle for UpperBoundOracle<M> {
     fn eval(&mut self, side: u32) -> f64 {
         self.expression_error(side) + self.model.total_model_error(side)
+    }
+}
+
+/// When the model leg is a shareable closure the oracle can be probed
+/// through `&self`, enabling [`brute_force_parallel`].
+///
+/// [`brute_force_parallel`]: crate::search::brute_force_parallel
+impl<M: Fn(u32) -> f64 + Sync> SyncErrorOracle for UpperBoundOracle<M> {
+    fn eval_sync(&self, side: u32) -> f64 {
+        self.expression_error(side) + (self.model)(side)
     }
 }
 

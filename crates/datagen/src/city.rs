@@ -193,12 +193,7 @@ impl City {
     }
 
     /// [`City::mean_field`] with precomputed weights.
-    pub fn mean_field_with(
-        &self,
-        weights: &[f64],
-        spec: GridSpec,
-        slot: SlotId,
-    ) -> CountMatrix {
+    pub fn mean_field_with(&self, weights: &[f64], spec: GridSpec, slot: SlotId) -> CountMatrix {
         assert_eq!(weights.len(), spec.n_cells(), "weights/spec mismatch");
         let total = self.expected_slot_total(slot);
         CountMatrix::from_vec(spec.side(), weights.iter().map(|w| w * total).collect())
@@ -291,7 +286,10 @@ mod tests {
             d_alpha(&CountMatrix::from_vec(32, w).unwrap())
         };
         let (n, c, x) = (d(&City::nyc()), d(&City::chengdu()), d(&City::xian()));
-        assert!(n > c && c > x, "unevenness: nyc={n:.3} chengdu={c:.3} xian={x:.3}");
+        assert!(
+            n > c && c > x,
+            "unevenness: nyc={n:.3} chengdu={c:.3} xian={x:.3}"
+        );
     }
 
     #[test]
@@ -314,9 +312,7 @@ mod tests {
         let spec = GridSpec::new(8);
         let mut rng = StdRng::seed_from_u64(17);
         let series = city.sample_count_series(spec, 48, &mut rng);
-        let expected: f64 = (0..48)
-            .map(|s| city.expected_slot_total(SlotId(s)))
-            .sum();
+        let expected: f64 = (0..48).map(|s| city.expected_slot_total(SlotId(s))).sum();
         let got: f64 = (0..48).map(|s| series.slot_total(SlotId(s))).sum();
         assert!(
             (got - expected).abs() / expected < 0.05,
@@ -369,9 +365,7 @@ mod tests {
         let spec = GridSpec::new(4);
         let slot = SlotId(16);
         let field = city.mean_field(spec, slot);
-        assert!(
-            (field.total() - city.expected_slot_total(slot)).abs() < 1e-6
-        );
+        assert!((field.total() - city.expected_slot_total(slot)).abs() < 1e-6);
     }
 
     #[test]

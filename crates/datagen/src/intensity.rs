@@ -21,15 +21,8 @@ use rand::Rng;
 /// One mixture component.
 #[derive(Debug, Clone, PartialEq)]
 enum Component {
-    Gaussian {
-        center: Point,
-        sigma: f64,
-    },
-    Road {
-        a: Point,
-        b: Point,
-        width: f64,
-    },
+    Gaussian { center: Point, sigma: f64 },
+    Road { a: Point, b: Point, width: f64 },
     Uniform,
 }
 
@@ -40,8 +33,7 @@ impl Component {
         match self {
             Component::Gaussian { center, sigma } => {
                 let d2 = (p.x - center.x).powi(2) + (p.y - center.y).powi(2);
-                (-d2 / (2.0 * sigma * sigma)).exp()
-                    / (2.0 * std::f64::consts::PI * sigma * sigma)
+                (-d2 / (2.0 * sigma * sigma)).exp() / (2.0 * std::f64::consts::PI * sigma * sigma)
             }
             Component::Road { a, b, width } => {
                 // Density of "uniform along the segment × Gaussian across":
@@ -125,7 +117,8 @@ impl IntensityField {
     /// `width`.
     pub fn road(mut self, a: Point, b: Point, width: f64, weight: f64) -> Self {
         assert!(width > 0.0 && weight > 0.0, "invalid road parameters");
-        self.components.push((weight, Component::Road { a, b, width }));
+        self.components
+            .push((weight, Component::Road { a, b, width }));
         self
     }
 
@@ -243,12 +236,7 @@ mod tests {
 
     #[test]
     fn road_density_is_uniform_along_and_decays_across() {
-        let f = IntensityField::new().road(
-            Point::new(0.1, 0.5),
-            Point::new(0.9, 0.5),
-            0.02,
-            1.0,
-        );
+        let f = IntensityField::new().road(Point::new(0.1, 0.5), Point::new(0.9, 0.5), 0.02, 1.0);
         let on_a = f.density(&Point::new(0.3, 0.5));
         let on_b = f.density(&Point::new(0.7, 0.5));
         let off = f.density(&Point::new(0.3, 0.6));

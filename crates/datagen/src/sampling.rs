@@ -60,8 +60,7 @@ fn sample_ptrs<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
         if k < 0.0 || (us < 0.013 && v > us) {
             continue;
         }
-        if (v * inv_alpha / (a / (us * us) + b)).ln()
-            <= k * ln_lambda - lambda - ln_gamma(k + 1.0)
+        if (v * inv_alpha / (a / (us * us) + b)).ln() <= k * ln_lambda - lambda - ln_gamma(k + 1.0)
         {
             return k as u64;
         }
@@ -75,7 +74,9 @@ mod tests {
 
     fn stats(lambda: f64, n: usize, seed: u64) -> (f64, f64) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let samples: Vec<f64> = (0..n).map(|_| sample_poisson(&mut rng, lambda) as f64).collect();
+        let samples: Vec<f64> = (0..n)
+            .map(|_| sample_poisson(&mut rng, lambda) as f64)
+            .collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
         (mean, var)
@@ -94,10 +95,7 @@ mod tests {
         for &lambda in &[0.3, 1.0, 4.2, 9.5] {
             let (mean, var) = stats(lambda, 60_000, 11);
             let se = (lambda / 60_000.0f64).sqrt();
-            assert!(
-                (mean - lambda).abs() < 5.0 * se,
-                "λ={lambda}: mean={mean}"
-            );
+            assert!((mean - lambda).abs() < 5.0 * se, "λ={lambda}: mean={mean}");
             assert!(
                 (var - lambda).abs() < 0.05 * lambda + 5.0 * se,
                 "λ={lambda}: var={var}"
@@ -111,7 +109,10 @@ mod tests {
             let (mean, var) = stats(lambda, 60_000, 23);
             let rel = (mean - lambda).abs() / lambda;
             assert!(rel < 0.01, "λ={lambda}: mean={mean}");
-            assert!((var - lambda).abs() / lambda < 0.05, "λ={lambda}: var={var}");
+            assert!(
+                (var - lambda).abs() / lambda < 0.05,
+                "λ={lambda}: var={var}"
+            );
         }
     }
 

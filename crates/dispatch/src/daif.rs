@@ -199,7 +199,11 @@ impl Daif {
             if !hotspots.is_empty() && demand.total() > 0.0 {
                 let spec = demand.spec();
                 // Round-robin idle workers over the hotspot list.
-                for (h, w) in workers.iter_mut().filter(|w| w.route.is_empty()).enumerate() {
+                for (h, w) in workers
+                    .iter_mut()
+                    .filter(|w| w.route.is_empty())
+                    .enumerate()
+                {
                     let (cell, d) = hotspots[h % hotspots.len()];
                     if d <= 0.0 {
                         continue;
@@ -303,11 +307,9 @@ mod tests {
     #[test]
     fn serves_a_single_request() {
         let g = geo();
-        let out = planner(2, 3).run(
-            &g,
-            &[order(0, (0.4, 0.4), (0.6, 0.6), 10)],
-            &mut |_| flat_demand(),
-        );
+        let out = planner(2, 3).run(&g, &[order(0, (0.4, 0.4), (0.6, 0.6), 10)], &mut |_| {
+            flat_demand()
+        });
         assert_eq!(out.served, 1);
         assert!(out.travel_km > 0.0);
         assert!((out.unified_cost - out.travel_km).abs() < 1e-9);
@@ -364,11 +366,9 @@ mod tests {
         });
         // Worker spawns randomly; at 0.01 km/min nothing >1 minute away is
         // reachable, so a far-corner request must be rejected.
-        let out = daif.run(
-            &g,
-            &[order(0, (0.99, 0.99), (0.5, 0.5), 0)],
-            &mut |_| flat_demand(),
-        );
+        let out = daif.run(&g, &[order(0, (0.99, 0.99), (0.5, 0.5), 0)], &mut |_| {
+            flat_demand()
+        });
         assert_eq!(out.served, 0);
         assert_eq!(out.unified_cost, out.travel_km + 10.0);
     }
@@ -394,9 +394,7 @@ mod tests {
         });
         let orders = vec![order(0, (0.85, 0.85), (0.9, 0.9), 90)];
         let served_with_drift = daif
-            .run(&g, &orders, &mut |_| {
-                DemandView::from_hgrid(field.clone())
-            })
+            .run(&g, &orders, &mut |_| DemandView::from_hgrid(field.clone()))
             .served;
         let served_flat = daif.run(&g, &orders, &mut |_| flat_demand()).served;
         assert!(

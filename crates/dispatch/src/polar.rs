@@ -144,7 +144,11 @@ mod tests {
     use crate::sim::DemandView;
     use gridtuner_spatial::{CountMatrix, GeoBounds, SlotId};
 
-    fn ctx<'a>(demand: &'a DemandView, fleet: &'a FleetConfig, geo: &'a GeoBounds) -> SlotContext<'a> {
+    fn ctx<'a>(
+        demand: &'a DemandView,
+        fleet: &'a FleetConfig,
+        geo: &'a GeoBounds,
+    ) -> SlotContext<'a> {
         SlotContext {
             slot: SlotId(0),
             minute: 0,

@@ -203,21 +203,16 @@ impl Simulator {
         // Run from the start of the first order's day: predictive
         // repositioning needs the quiet early slots to pre-place drivers.
         let first_order_slot = self.clock.slot_of_minute(sorted[0].minute);
-        let first_slot = self
-            .clock
-            .slot_at(self.clock.day_of(first_order_slot), 0)
-            .0;
+        let first_slot = self.clock.slot_at(self.clock.day_of(first_order_slot), 0).0;
         let last_slot = self.clock.slot_of_minute(sorted.last().unwrap().minute).0;
         let mut cursor = 0usize;
-        let slot_budget_km =
-            self.cfg.fleet.speed_km_per_min * self.clock.slot_minutes() as f64;
+        let slot_budget_km = self.cfg.fleet.speed_km_per_min * self.clock.slot_minutes() as f64;
         for s in first_slot..=last_slot {
             let slot = SlotId(s);
             let minute = self.clock.minute_of_slot(slot);
             // Orders of this slot.
             let mut slot_orders: Vec<Order> = Vec::new();
-            while cursor < sorted.len()
-                && self.clock.slot_of_minute(sorted[cursor].minute) == slot
+            while cursor < sorted.len() && self.clock.slot_of_minute(sorted[cursor].minute) == slot
             {
                 slot_orders.push(*sorted[cursor]);
                 cursor += 1;
@@ -232,7 +227,11 @@ impl Simulator {
             };
             // Stage 1: reposition idle drivers (half the slot's budget, so
             // they remain available for stage 2).
-            let idle: Vec<Driver> = fleet.iter().filter(|d| d.free_at <= minute).copied().collect();
+            let idle: Vec<Driver> = fleet
+                .iter()
+                .filter(|d| d.free_at <= minute)
+                .copied()
+                .collect();
             for (idx, target) in dispatcher.reposition(&ctx, &idle) {
                 let id = idle[idx].id;
                 let d = &mut fleet[id];
@@ -249,7 +248,11 @@ impl Simulator {
                 continue;
             }
             // Stage 2: assignment.
-            let avail: Vec<Driver> = fleet.iter().filter(|d| d.free_at <= minute).copied().collect();
+            let avail: Vec<Driver> = fleet
+                .iter()
+                .filter(|d| d.free_at <= minute)
+                .copied()
+                .collect();
             if avail.is_empty() {
                 continue;
             }
@@ -452,7 +455,12 @@ mod tests {
             .collect();
         let few = sim(3).run(&orders, &mut Nearest, &mut |_| flat_demand(4));
         let many = sim(50).run(&orders, &mut Nearest, &mut |_| flat_demand(4));
-        assert!(many.served > few.served, "{} vs {}", many.served, few.served);
+        assert!(
+            many.served > few.served,
+            "{} vs {}",
+            many.served,
+            few.served
+        );
         assert!(many.unified_cost < few.unified_cost);
     }
 

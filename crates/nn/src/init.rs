@@ -4,7 +4,12 @@ use rand::Rng;
 
 /// Xavier/Glorot uniform initialisation: `U(-a, a)` with
 /// `a = √(6 / (fan_in + fan_out))`. Good default for linear layers.
-pub fn xavier_uniform<R: Rng + ?Sized>(rng: &mut R, fan_in: usize, fan_out: usize, n: usize) -> Vec<f32> {
+pub fn xavier_uniform<R: Rng + ?Sized>(
+    rng: &mut R,
+    fan_in: usize,
+    fan_out: usize,
+    n: usize,
+) -> Vec<f32> {
     assert!(fan_in + fan_out > 0, "degenerate fan sizes");
     let a = (6.0 / (fan_in + fan_out) as f64).sqrt() as f32;
     (0..n).map(|_| rng.gen_range(-a..=a)).collect()

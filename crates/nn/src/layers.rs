@@ -86,23 +86,45 @@ impl Dense {
     }
 }
 
+/// Dot product with four independent accumulators: breaks the serial
+/// dependency chain so the compiler can keep several FMAs in flight.
+/// Deterministic — the association depends only on the slice length.
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = [0.0f32; 4];
+    let mut ai = a.chunks_exact(4);
+    let mut bi = b.chunks_exact(4);
+    for (ca, cb) in (&mut ai).zip(&mut bi) {
+        acc[0] += ca[0] * cb[0];
+        acc[1] += ca[1] * cb[1];
+        acc[2] += ca[2] * cb[2];
+        acc[3] += ca[3] * cb[3];
+    }
+    let mut tail = 0.0f32;
+    for (ra, rb) in ai.remainder().iter().zip(bi.remainder()) {
+        tail += ra * rb;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
 impl Layer for Dense {
     fn forward(&mut self, input: &Tensor) -> Tensor {
         let (out_dim, in_dim) = self.dims();
         assert_eq!(input.len(), in_dim, "dense input size mismatch");
-        self.input = input.reshaped(&[in_dim]);
+        self.input = input.clone().into_reshaped(&[in_dim]);
         let w = self.w.value.as_slice();
         let b = self.b.value.as_slice();
         let x = self.input.as_slice();
         let mut y = vec![0.0f32; out_dim];
-        for (o, yo) in y.iter_mut().enumerate() {
-            let row = &w[o * in_dim..(o + 1) * in_dim];
-            let mut acc = b[o];
-            for (wi, xi) in row.iter().zip(x) {
-                acc += wi * xi;
+        // Row-blocked: each worker owns a contiguous block of output rows;
+        // every y[o] is one dot() call, so the result is bit-identical for
+        // any worker count.
+        let block = out_dim.div_ceil(gridtuner_par::workers_for(out_dim));
+        gridtuner_par::par_chunks_mut(&mut y, block.max(1), |base, rows| {
+            for (j, yo) in rows.iter_mut().enumerate() {
+                let o = base + j;
+                *yo = b[o] + dot(&w[o * in_dim..(o + 1) * in_dim], x);
             }
-            *yo = acc;
-        }
+        });
         Tensor::from_vec(&[out_dim], y)
     }
 
@@ -113,20 +135,38 @@ impl Layer for Dense {
         let x = self.input.as_slice();
         assert_eq!(x.len(), in_dim, "backward called before forward");
         let w = self.w.value.as_slice();
-        let mut dx = vec![0.0f32; in_dim];
         {
+            // dW rows and db entries are per-output-row independent:
+            // row-blocked like the forward.
             let dw = self.w.grad.as_mut_slice();
             let db = self.b.grad.as_mut_slice();
-            for o in 0..out_dim {
-                let go = g[o];
-                db[o] += go;
-                let row = o * in_dim;
-                for i in 0..in_dim {
-                    dw[row + i] += go * x[i];
-                    dx[i] += go * w[row + i];
+            let block = out_dim.div_ceil(gridtuner_par::workers_for(out_dim));
+            gridtuner_par::par_chunks_mut(dw, block.max(1) * in_dim, |base, rows| {
+                for (j, drow) in rows.chunks_mut(in_dim).enumerate() {
+                    let go = g[base / in_dim + j];
+                    for (d, xi) in drow.iter_mut().zip(x) {
+                        *d += go * xi;
+                    }
                 }
+            });
+            for (d, go) in db.iter_mut().zip(g) {
+                *d += go;
             }
         }
+        // dx = Wᵀ·g: each dx[i] is an independent column dot, so the input
+        // gradient parallelises without partials.
+        let mut dx = vec![0.0f32; in_dim];
+        let block = in_dim.div_ceil(gridtuner_par::workers_for(in_dim));
+        gridtuner_par::par_chunks_mut(&mut dx, block.max(1), |base, cols| {
+            for (j, d) in cols.iter_mut().enumerate() {
+                let i = base + j;
+                let mut acc = 0.0f32;
+                for (o, go) in g.iter().enumerate() {
+                    acc += go * w[o * in_dim + i];
+                }
+                *d = acc;
+            }
+        });
         Tensor::from_vec(&[in_dim], dx)
     }
 
@@ -239,6 +279,25 @@ impl Conv2d {
     }
 }
 
+/// Valid output range for one kernel tap offset `kt` (row or column):
+/// `out + kt - pad` must land in `0..dim`. Hoists the per-pixel bounds
+/// checks of the naive loop out to per-tap loop limits.
+fn tap_range(kt: usize, pad: usize, dim: usize) -> (usize, usize) {
+    let lo = pad.saturating_sub(kt);
+    let hi = (dim + pad - kt).min(dim);
+    (lo, hi.max(lo))
+}
+
+/// Row `r` of a `[H, W]` channel plane.
+fn x_row(plane: &[f32], r: usize, w: usize) -> &[f32] {
+    &plane[r * w..(r + 1) * w]
+}
+
+/// Mutable row `r` of a `[H, W]` channel plane.
+fn x_row_mut(plane: &mut [f32], r: usize, w: usize) -> &mut [f32] {
+    &mut plane[r * w..(r + 1) * w]
+}
+
 impl Layer for Conv2d {
     fn forward(&mut self, input: &Tensor) -> Tensor {
         let (oc, ic) = self.channels();
@@ -246,37 +305,40 @@ impl Layer for Conv2d {
         assert_eq!(input.shape()[0], ic, "conv input channel mismatch");
         let (h, w) = (input.shape()[1], input.shape()[2]);
         self.input = input.clone();
-        let pad = self.ks / 2;
+        let (ks, pad) = (self.ks, self.ks / 2);
         let x = input.as_slice();
         let k = self.k.value.as_slice();
         let b = self.b.value.as_slice();
         let mut out = vec![0.0f32; oc * h * w];
-        for o in 0..oc {
-            for r in 0..h {
-                for c in 0..w {
-                    let mut acc = b[o];
-                    for i in 0..ic {
-                        for kr in 0..self.ks {
-                            let rr = r + kr;
-                            if rr < pad || rr - pad >= h {
-                                continue;
-                            }
-                            let rr = rr - pad;
-                            for kc in 0..self.ks {
-                                let cc = c + kc;
-                                if cc < pad || cc - pad >= w {
-                                    continue;
-                                }
-                                let cc = cc - pad;
-                                acc += k[((o * ic + i) * self.ks + kr) * self.ks + kc]
-                                    * x[(i * h + rr) * w + cc];
+        // One worker per block of output channels; inside a channel the
+        // taps are the outer loops, so the inner loop walks contiguous
+        // input and output rows with no bounds checks. Each channel is
+        // produced by exactly one closure call — deterministic for any
+        // worker count.
+        gridtuner_par::par_chunks_mut(&mut out, h * w, |base, plane| {
+            let o = base / (h * w);
+            plane.fill(b[o]);
+            for i in 0..ic {
+                let xch = &x[i * h * w..(i + 1) * h * w];
+                for kr in 0..ks {
+                    let (r0, r1) = tap_range(kr, pad, h);
+                    for kc in 0..ks {
+                        let (c0, c1) = tap_range(kc, pad, w);
+                        if c0 >= c1 {
+                            continue;
+                        }
+                        let kv = k[((o * ic + i) * ks + kr) * ks + kc];
+                        for r in r0..r1 {
+                            let xrow = &x_row(xch, r + kr - pad, w)[c0 + kc - pad..c1 + kc - pad];
+                            let orow = &mut plane[r * w + c0..r * w + c1];
+                            for (ov, xv) in orow.iter_mut().zip(xrow) {
+                                *ov += kv * xv;
                             }
                         }
                     }
-                    out[(o * h + r) * w + c] = acc;
                 }
             }
-        }
+        });
         Tensor::from_vec(&[oc, h, w], out)
     }
 
@@ -284,46 +346,71 @@ impl Layer for Conv2d {
         let (oc, ic) = self.channels();
         let (h, w) = (self.input.shape()[1], self.input.shape()[2]);
         assert_eq!(grad_out.shape(), &[oc, h, w], "conv gradient mismatch");
-        let pad = self.ks / 2;
+        let (ks, pad) = (self.ks, self.ks / 2);
         let x = self.input.as_slice();
         let g = grad_out.as_slice();
         let k = self.k.value.as_slice();
-        let mut dx = vec![0.0f32; ic * h * w];
+        // dK and db are per-output-channel independent: one worker per
+        // channel block, taps outer, contiguous rows inner.
         {
             let dk = self.k.grad.as_mut_slice();
+            let tap_count = ic * ks * ks;
+            gridtuner_par::par_chunks_mut(dk, tap_count, |base, taps| {
+                let o = base / tap_count;
+                let gch = &g[o * h * w..(o + 1) * h * w];
+                for i in 0..ic {
+                    let xch = &x[i * h * w..(i + 1) * h * w];
+                    for kr in 0..ks {
+                        let (r0, r1) = tap_range(kr, pad, h);
+                        for kc in 0..ks {
+                            let (c0, c1) = tap_range(kc, pad, w);
+                            if c0 >= c1 {
+                                continue;
+                            }
+                            let mut acc = 0.0f32;
+                            for r in r0..r1 {
+                                let xrow =
+                                    &x_row(xch, r + kr - pad, w)[c0 + kc - pad..c1 + kc - pad];
+                                let grow = &gch[r * w + c0..r * w + c1];
+                                acc += dot(grow, xrow);
+                            }
+                            taps[(i * ks + kr) * ks + kc] += acc;
+                        }
+                    }
+                }
+            });
             let db = self.b.grad.as_mut_slice();
-            for o in 0..oc {
-                for r in 0..h {
-                    for c in 0..w {
-                        let go = g[(o * h + r) * w + c];
-                        if go == 0.0 {
+            for (o, d) in db.iter_mut().enumerate() {
+                *d += g[o * h * w..(o + 1) * h * w].iter().sum::<f32>();
+            }
+        }
+        // dx sums over output channels — a reduction, so workers fold
+        // channel blocks into private buffers combined in block order.
+        let os: Vec<usize> = (0..oc).collect();
+        let dx = gridtuner_par::par_accumulate(&os, ic * h * w, |_, &o, dx| {
+            let gch = &g[o * h * w..(o + 1) * h * w];
+            for i in 0..ic {
+                let dxch = &mut dx[i * h * w..(i + 1) * h * w];
+                for kr in 0..ks {
+                    let (r0, r1) = tap_range(kr, pad, h);
+                    for kc in 0..ks {
+                        let (c0, c1) = tap_range(kc, pad, w);
+                        if c0 >= c1 {
                             continue;
                         }
-                        db[o] += go;
-                        for i in 0..ic {
-                            for kr in 0..self.ks {
-                                let rr = r + kr;
-                                if rr < pad || rr - pad >= h {
-                                    continue;
-                                }
-                                let rr = rr - pad;
-                                for kc in 0..self.ks {
-                                    let cc = c + kc;
-                                    if cc < pad || cc - pad >= w {
-                                        continue;
-                                    }
-                                    let cc = cc - pad;
-                                    let ki = ((o * ic + i) * self.ks + kr) * self.ks + kc;
-                                    let xi = (i * h + rr) * w + cc;
-                                    dk[ki] += go * x[xi];
-                                    dx[xi] += go * k[ki];
-                                }
+                        let kv = k[((o * ic + i) * ks + kr) * ks + kc];
+                        for r in r0..r1 {
+                            let dxrow =
+                                &mut x_row_mut(dxch, r + kr - pad, w)[c0 + kc - pad..c1 + kc - pad];
+                            let grow = &gch[r * w + c0..r * w + c1];
+                            for (dv, gv) in dxrow.iter_mut().zip(grow) {
+                                *dv += kv * gv;
                             }
                         }
                     }
                 }
             }
-        }
+        });
         Tensor::from_vec(&[ic, h, w], dx)
     }
 
@@ -506,6 +593,141 @@ mod tests {
         );
         let t = Tensor::zeros(&[2, 3, 3]);
         grad_check(&mut conv, &x, &t, 2e-2);
+    }
+
+    /// Naive per-pixel conv forward — the reference the optimised kernel
+    /// must match.
+    fn conv_forward_naive(conv: &Conv2d, input: &Tensor) -> Vec<f32> {
+        let (oc, ic) = conv.channels();
+        let (h, w) = (input.shape()[1], input.shape()[2]);
+        let (ks, pad) = (conv.ks, conv.ks / 2);
+        let x = input.as_slice();
+        let k = conv.k.value.as_slice();
+        let b = conv.b.value.as_slice();
+        let mut out = vec![0.0f32; oc * h * w];
+        for o in 0..oc {
+            for r in 0..h {
+                for c in 0..w {
+                    let mut acc = b[o];
+                    for i in 0..ic {
+                        for kr in 0..ks {
+                            for kc in 0..ks {
+                                let (rr, cc) = (r + kr, c + kc);
+                                if rr < pad || rr - pad >= h || cc < pad || cc - pad >= w {
+                                    continue;
+                                }
+                                acc += k[((o * ic + i) * ks + kr) * ks + kc]
+                                    * x[(i * h + rr - pad) * w + cc - pad];
+                            }
+                        }
+                    }
+                    out[(o * h + r) * w + c] = acc;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn conv_kernel_matches_naive_reference() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for (ic, oc, h, w, ks) in [(1, 1, 4, 4, 3), (3, 5, 7, 6, 3), (2, 3, 9, 9, 5)] {
+            let mut conv = Conv2d::new(&mut rng, ic, oc, ks);
+            let x = Tensor::from_vec(
+                &[ic, h, w],
+                (0..ic * h * w).map(|i| (i as f32 * 0.731).sin()).collect(),
+            );
+            let want = conv_forward_naive(&conv, &x);
+            let got = conv.forward(&x);
+            for (a, b) in got.as_slice().iter().zip(&want) {
+                assert!(
+                    (a - b).abs() <= 1e-6 * (1.0 + b.abs()),
+                    "optimised {a} vs naive {b} (ic={ic} oc={oc} ks={ks})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn conv_backward_matches_naive_reference() {
+        // Reference: per-pixel scatter (the pre-optimisation backward).
+        let mut rng = StdRng::seed_from_u64(12);
+        let (ic, oc, h, w, ks) = (2, 3, 6, 5, 3);
+        let pad = ks / 2;
+        let mut conv = Conv2d::new(&mut rng, ic, oc, ks);
+        let x = Tensor::from_vec(
+            &[ic, h, w],
+            (0..ic * h * w).map(|i| (i as f32 * 0.413).cos()).collect(),
+        );
+        conv.forward(&x);
+        let g = Tensor::from_vec(
+            &[oc, h, w],
+            (0..oc * h * w).map(|i| (i as f32 * 0.217).sin()).collect(),
+        );
+        let k = conv.k.value.as_slice().to_vec();
+        let mut dk_ref = vec![0.0f32; k.len()];
+        let mut db_ref = vec![0.0f32; oc];
+        let mut dx_ref = vec![0.0f32; ic * h * w];
+        for o in 0..oc {
+            for r in 0..h {
+                for c in 0..w {
+                    let go = g.as_slice()[(o * h + r) * w + c];
+                    db_ref[o] += go;
+                    for i in 0..ic {
+                        for kr in 0..ks {
+                            for kc in 0..ks {
+                                let (rr, cc) = (r + kr, c + kc);
+                                if rr < pad || rr - pad >= h || cc < pad || cc - pad >= w {
+                                    continue;
+                                }
+                                let ki = ((o * ic + i) * ks + kr) * ks + kc;
+                                let xi = (i * h + rr - pad) * w + cc - pad;
+                                dk_ref[ki] += go * x.as_slice()[xi];
+                                dx_ref[xi] += go * k[ki];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let dx = conv.backward(&g);
+        for (a, b) in dx.as_slice().iter().zip(&dx_ref) {
+            assert!((a - b).abs() <= 1e-5 * (1.0 + b.abs()), "dx {a} vs {b}");
+        }
+        for (a, b) in conv.k.grad.as_slice().iter().zip(&dk_ref) {
+            assert!((a - b).abs() <= 1e-5 * (1.0 + b.abs()), "dk {a} vs {b}");
+        }
+        for (a, b) in conv.b.grad.as_slice().iter().zip(&db_ref) {
+            assert!((a - b).abs() <= 1e-5 * (1.0 + b.abs()), "db {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn dense_kernel_matches_naive_reference() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let (in_dim, out_dim) = (37, 23);
+        let mut d = Dense::new(&mut rng, in_dim, out_dim);
+        let x = Tensor::from_vec(
+            &[in_dim],
+            (0..in_dim).map(|i| (i as f32 * 0.911).sin()).collect(),
+        );
+        let w = d.w.value.as_slice().to_vec();
+        let b = d.b.value.as_slice().to_vec();
+        let y = d.forward(&x);
+        for o in 0..out_dim {
+            let want: f32 = b[o]
+                + w[o * in_dim..(o + 1) * in_dim]
+                    .iter()
+                    .zip(x.as_slice())
+                    .map(|(wi, xi)| wi * xi)
+                    .sum::<f32>();
+            let got = y.as_slice()[o];
+            assert!(
+                (got - want).abs() <= 1e-6 * (1.0 + want.abs()),
+                "row {o}: optimised {got} vs naive {want}"
+            );
+        }
     }
 
     #[test]

@@ -194,8 +194,8 @@ mod tests {
             plus.as_mut_slice()[i] += eps;
             let mut minus = x.clone();
             minus.as_mut_slice()[i] -= eps;
-            let num = (t.forward(&plus).as_slice()[i] - t.forward(&minus).as_slice()[i])
-                / (2.0 * eps);
+            let num =
+                (t.forward(&plus).as_slice()[i] - t.forward(&minus).as_slice()[i]) / (2.0 * eps);
             assert!((num - g.as_slice()[i]).abs() < 1e-3);
         }
     }

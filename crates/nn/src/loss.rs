@@ -109,9 +109,15 @@ mod tests {
         let t = Tensor::vector(&[0.1, 0.1, 0.1]);
         let eps = 1e-3f32;
         for (name, f) in [
-            ("mse", Box::new(|a: &Tensor, b: &Tensor| mse_loss(a, b))
-                as Box<dyn Fn(&Tensor, &Tensor) -> (f64, Tensor)>),
-            ("huber", Box::new(|a: &Tensor, b: &Tensor| huber_loss(a, b, 1.0))),
+            (
+                "mse",
+                Box::new(|a: &Tensor, b: &Tensor| mse_loss(a, b))
+                    as Box<dyn Fn(&Tensor, &Tensor) -> (f64, Tensor)>,
+            ),
+            (
+                "huber",
+                Box::new(|a: &Tensor, b: &Tensor| huber_loss(a, b, 1.0)),
+            ),
         ] {
             let (_, g) = f(&p, &t);
             for i in 0..p.len() {

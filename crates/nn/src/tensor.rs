@@ -63,8 +63,10 @@ impl Tensor {
         &mut self.data
     }
 
-    /// Reinterprets the tensor with a new shape of equal element count.
-    pub fn reshaped(&self, shape: &[usize]) -> Tensor {
+    /// Changes the shape in place. No data is moved or copied — a reshape
+    /// of a row-major tensor is pure metadata. Panics unless the element
+    /// counts match.
+    pub fn reshape(&mut self, shape: &[usize]) {
         assert_eq!(
             shape.iter().product::<usize>(),
             self.data.len(),
@@ -72,10 +74,22 @@ impl Tensor {
             self.shape,
             shape
         );
-        Tensor {
-            shape: shape.to_vec(),
-            data: self.data.clone(),
-        }
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+    }
+
+    /// Consumes the tensor and returns it under a new shape — the move
+    /// equivalent of [`reshaped`](Self::reshaped), with no data copy.
+    pub fn into_reshaped(mut self, shape: &[usize]) -> Tensor {
+        self.reshape(shape);
+        self
+    }
+
+    /// Reinterprets the tensor with a new shape of equal element count.
+    /// Copies the data; prefer [`reshape`](Self::reshape) or
+    /// [`into_reshaped`](Self::into_reshaped) on hot paths.
+    pub fn reshaped(&self, shape: &[usize]) -> Tensor {
+        self.clone().into_reshaped(shape)
     }
 
     /// Element-wise in-place addition. Panics on shape mismatch.
@@ -128,6 +142,24 @@ mod tests {
         let r = t.reshaped(&[3, 2]);
         assert_eq!(r.shape(), &[3, 2]);
         assert_eq!(r.as_slice(), t.as_slice());
+    }
+
+    #[test]
+    fn in_place_and_consuming_reshape_keep_data() {
+        let mut t = Tensor::from_vec(&[2, 3], (0..6).map(|i| i as f32).collect());
+        let ptr = t.as_slice().as_ptr();
+        t.reshape(&[6]);
+        assert_eq!(t.shape(), &[6]);
+        assert_eq!(t.as_slice().as_ptr(), ptr, "reshape must not reallocate");
+        let t = t.into_reshaped(&[3, 2]);
+        assert_eq!(t.shape(), &[3, 2]);
+        assert_eq!(t.as_slice().as_ptr(), ptr, "into_reshaped must not copy");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot reshape")]
+    fn reshape_validates_element_count() {
+        Tensor::zeros(&[2, 2]).reshape(&[5]);
     }
 
     #[test]

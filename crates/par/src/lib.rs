@@ -1,0 +1,283 @@
+//! Dependency-free data parallelism on `std::thread::scope`.
+//!
+//! Every helper here follows the same contract:
+//!
+//! * work is split into **contiguous chunks**, one per worker;
+//! * results are stitched back together **in input order**, so reductions
+//!   are deterministic — the same inputs give bit-identical outputs
+//!   regardless of the worker count (each output element is still computed
+//!   by exactly one `f` call, and partial sums are combined in chunk
+//!   order);
+//! * with one worker (or tiny inputs) everything runs inline on the
+//!   calling thread — no spawn, no overhead, trivially identical to the
+//!   sequential code.
+//!
+//! The worker count comes from [`max_threads`]: the `GRIDTUNER_THREADS`
+//! environment variable when set (clamped to ≥ 1), otherwise
+//! [`std::thread::available_parallelism`].
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Inputs below this size are always processed inline: spawn overhead
+/// (~10 µs/thread) dwarfs the work.
+const MIN_ITEMS_PER_THREAD: usize = 2;
+
+fn env_threads() -> Option<usize> {
+    std::env::var("GRIDTUNER_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .map(|n| n.max(1))
+}
+
+/// The worker-pool size: `GRIDTUNER_THREADS` if set, else the machine's
+/// available parallelism (1 if that cannot be determined).
+pub fn max_threads() -> usize {
+    // Cache the lookup: env + syscall once per process.
+    static CACHED: AtomicUsize = AtomicUsize::new(0);
+    let cached = CACHED.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let n = env_threads().unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    });
+    CACHED.store(n, Ordering::Relaxed);
+    n
+}
+
+/// Number of workers for `len` items: at most [`max_threads`], at least 1,
+/// and never so many that a worker gets fewer than
+/// [`MIN_ITEMS_PER_THREAD`] items.
+pub fn workers_for(len: usize) -> usize {
+    max_threads().min(len / MIN_ITEMS_PER_THREAD).max(1)
+}
+
+/// Parallel ordered map: `out[i] == f(&items[i])` for every `i`, exactly as
+/// the sequential `items.iter().map(f).collect()` would produce.
+pub fn par_map<T: Sync, U: Send>(items: &[T], f: impl Fn(&T) -> U + Sync) -> Vec<U> {
+    let workers = workers_for(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    let mut parts: Vec<Vec<U>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|slice| scope.spawn(|| slice.iter().map(&f).collect::<Vec<U>>()))
+            .collect();
+        for h in handles {
+            parts.push(h.join().expect("par_map worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(items.len());
+    for p in parts {
+        out.extend(p);
+    }
+    out
+}
+
+/// Parallel indexed map: like [`par_map`] but `f` also receives the item's
+/// index in `items`.
+pub fn par_map_indexed<T: Sync, U: Send>(items: &[T], f: impl Fn(usize, &T) -> U + Sync) -> Vec<U> {
+    let workers = workers_for(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    let mut parts: Vec<Vec<U>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(c, slice)| {
+                let base = c * chunk;
+                let f = &f;
+                scope.spawn(move || {
+                    slice
+                        .iter()
+                        .enumerate()
+                        .map(|(i, t)| f(base + i, t))
+                        .collect::<Vec<U>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            parts.push(h.join().expect("par_map_indexed worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(items.len());
+    for p in parts {
+        out.extend(p);
+    }
+    out
+}
+
+/// Deterministic parallel sum: each worker folds its contiguous chunk with
+/// `f` (sequentially, in order) into a partial, and the partials are added
+/// in chunk order. For a fixed chunking this is a fixed floating-point
+/// association — parallel and single-threaded runs agree bit-for-bit when
+/// `workers_for` resolves to the same count; across different counts they
+/// agree to normal summation tolerance.
+pub fn par_sum<T: Sync>(items: &[T], f: impl Fn(&T) -> f64 + Sync) -> f64 {
+    let workers = workers_for(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).sum();
+    }
+    let chunk = items.len().div_ceil(workers);
+    let mut partials = vec![0.0f64; items.len().div_ceil(chunk)];
+    std::thread::scope(|scope| {
+        for (slice, out) in items.chunks(chunk).zip(partials.iter_mut()) {
+            let f = &f;
+            scope.spawn(move || {
+                *out = slice.iter().map(f).sum();
+            });
+        }
+    });
+    partials.iter().sum()
+}
+
+/// Parallel accumulation into an `f32` buffer of length `len`: each worker
+/// folds its contiguous chunk of `items` into its own zeroed buffer via
+/// `f(index, item, buf)`, and the partial buffers are added element-wise
+/// **in chunk order**. With one worker the single buffer is returned
+/// directly — identical to the plain sequential fold. The shape of the
+/// scatter-add reductions in backward passes (`dx += ...` across output
+/// channels).
+pub fn par_accumulate<T: Sync>(
+    items: &[T],
+    len: usize,
+    f: impl Fn(usize, &T, &mut [f32]) + Sync,
+) -> Vec<f32> {
+    let workers = workers_for(items.len());
+    if workers <= 1 {
+        let mut buf = vec![0.0f32; len];
+        for (i, t) in items.iter().enumerate() {
+            f(i, t, &mut buf);
+        }
+        return buf;
+    }
+    let chunk = items.len().div_ceil(workers);
+    let n_chunks = items.len().div_ceil(chunk);
+    let mut partials: Vec<Vec<f32>> = vec![Vec::new(); n_chunks];
+    std::thread::scope(|scope| {
+        for (c, (slice, out)) in items.chunks(chunk).zip(partials.iter_mut()).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                let mut buf = vec![0.0f32; len];
+                for (i, t) in slice.iter().enumerate() {
+                    f(c * chunk + i, t, &mut buf);
+                }
+                *out = buf;
+            });
+        }
+    });
+    let mut acc = vec![0.0f32; len];
+    for p in &partials {
+        for (a, v) in acc.iter_mut().zip(p) {
+            *a += v;
+        }
+    }
+    acc
+}
+
+/// Runs `f` over disjoint contiguous chunks of `out` in parallel. `f`
+/// receives the chunk's start offset in `out` and the chunk itself —
+/// ideal for filling row-blocks of a matrix where each output element
+/// depends only on its own index.
+pub fn par_chunks_mut<T: Send>(out: &mut [T], chunk: usize, f: impl Fn(usize, &mut [T]) + Sync) {
+    assert!(chunk > 0, "chunk size must be positive");
+    let n_chunks = out.len().div_ceil(chunk.max(1)).max(1);
+    if max_threads() <= 1 || n_chunks <= 1 {
+        for (c, slice) in out.chunks_mut(chunk).enumerate() {
+            f(c * chunk, slice);
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        for (c, slice) in out.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || f(c * chunk, slice));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = par_map(&items, |&x| x * x);
+        assert_eq!(out, items.iter().map(|&x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_indexed_passes_global_indices() {
+        let items = vec![10u64; 257];
+        let out = par_map_indexed(&items, |i, &x| i as u64 + x);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as u64 + 10);
+        }
+    }
+
+    #[test]
+    fn par_sum_matches_sequential_exactly_for_fixed_chunking() {
+        let items: Vec<f64> = (0..10_000).map(|i| (i as f64 * 0.73).sin()).collect();
+        let seq: f64 = items.iter().map(|&x| x * 1.5).sum();
+        let par = par_sum(&items, |&x| x * 1.5);
+        assert!((seq - par).abs() < 1e-9, "seq {seq} vs par {par}");
+    }
+
+    #[test]
+    fn par_chunks_mut_touches_every_element_once() {
+        let mut out = vec![0u32; 1003];
+        par_chunks_mut(&mut out, 100, |base, slice| {
+            for (i, v) in slice.iter_mut().enumerate() {
+                *v += (base + i) as u32 + 1;
+            }
+        });
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn tiny_inputs_run_inline() {
+        // Must not panic or deadlock for empty / single-element inputs.
+        assert!(par_map(&[] as &[u32], |&x| x).is_empty());
+        assert_eq!(par_map(&[7u32], |&x| x + 1), vec![8]);
+        assert_eq!(par_sum(&[] as &[f64], |&x| x), 0.0);
+        let mut empty: Vec<u8> = Vec::new();
+        par_chunks_mut(&mut empty, 4, |_, _| {});
+    }
+
+    #[test]
+    fn par_accumulate_matches_sequential_fold() {
+        let items: Vec<usize> = (0..97).collect();
+        let len = 13;
+        let acc = par_accumulate(&items, len, |i, &item, buf| {
+            assert_eq!(i, item);
+            buf[item % len] += item as f32;
+        });
+        let mut want = vec![0.0f32; len];
+        for &item in &items {
+            want[item % len] += item as f32;
+        }
+        for (a, w) in acc.iter().zip(&want) {
+            assert!((a - w).abs() < 1e-4, "acc {a} vs want {w}");
+        }
+    }
+
+    #[test]
+    fn workers_respect_floor() {
+        assert_eq!(workers_for(0), 1);
+        assert_eq!(workers_for(1), 1);
+        assert!(workers_for(1_000_000) >= 1);
+        assert!(workers_for(1_000_000) <= max_threads());
+    }
+}

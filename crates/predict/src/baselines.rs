@@ -121,8 +121,7 @@ mod tests {
         let (series, clock) = series_with_daily_pattern();
         let slots: Vec<SlotId> = (0..10).map(|k| SlotId(48 * 7 + k * 4 + 1)).collect();
         let p_err = total_model_error(&mut Persistence::new(), &series, &clock, &slots);
-        let s_err =
-            total_model_error(&mut SeasonalNaive::daily(&clock), &series, &clock, &slots);
+        let s_err = total_model_error(&mut SeasonalNaive::daily(&clock), &series, &clock, &slots);
         assert!(s_err < p_err, "seasonal {s_err} vs persistence {p_err}");
     }
 

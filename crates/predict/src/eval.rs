@@ -182,7 +182,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let series = city.sample_count_series(GridSpec::new(4), 48 * 17, &mut rng);
         let cfg = TrainConfig {
-            epochs: 3,
+            epochs: 6,
             max_samples: 200,
             ..TrainConfig::default()
         };
@@ -191,11 +191,8 @@ mod tests {
         let slots = slots_in_days(&clock, (15, 16));
         let err = total_model_error(&mut mlp, &series, &clock, &slots);
         // Zero prediction's error = mean total counts per slot.
-        let zero_err: f64 = slots
-            .iter()
-            .map(|&s| series.slot_total(s))
-            .sum::<f64>()
-            / slots.len() as f64;
+        let zero_err: f64 =
+            slots.iter().map(|&s| series.slot_total(s)).sum::<f64>() / slots.len() as f64;
         assert!(
             err < 0.8 * zero_err,
             "MLP err {err} vs zero-predictor {zero_err}"

@@ -29,5 +29,7 @@ pub mod trainer;
 pub use baselines::{Persistence, SeasonalNaive};
 pub use eval::{total_model_error, CityModelError};
 pub use features::{FeatureConfig, Sample};
-pub use models::{DeepStLike, DmvstLike, HistoricalAverage, Mlp, MlpConfig, Predictor, TrainConfig};
+pub use models::{
+    DeepStLike, DmvstLike, HistoricalAverage, Mlp, MlpConfig, Predictor, TrainConfig,
+};
 pub use trainer::{fit_until, FitConfig, FitReport};

@@ -161,13 +161,7 @@ impl NnCore {
     fn fit(&mut self, series: &CountSeries, clock: &SlotClock, train_end: SlotId) {
         let mut rng = StdRng::seed_from_u64(self.train_cfg.seed);
         self.side = series.side();
-        let mut samples = build_samples(
-            series,
-            clock,
-            &self.feature_cfg,
-            SlotId(0),
-            train_end,
-        );
+        let mut samples = build_samples(series, clock, &self.feature_cfg, SlotId(0), train_end);
         assert!(
             !samples.is_empty(),
             "training range too short for the feature window"
@@ -295,7 +289,11 @@ impl Mlp {
             Sequential::new(layers)
         });
         Mlp {
-            core: NnCore::new(FeatureConfig::closeness_only(cfg.closeness), train_cfg, build),
+            core: NnCore::new(
+                FeatureConfig::closeness_only(cfg.closeness),
+                train_cfg,
+                build,
+            ),
             hidden: cfg.hidden,
         }
     }

@@ -7,7 +7,7 @@
 //! validation stops improving, and keep the best weights seen.
 
 use crate::features::Sample;
-use gridtuner_nn::{clip_gradients, huber_loss, Adam, Layer, Optimizer, Sequential};
+use gridtuner_nn::{clip_gradients, huber_loss, Adam, Layer, Optimizer, Sequential, Tensor};
 
 /// Early-stopping configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -55,17 +55,28 @@ pub struct FitReport {
     pub stopped_early: bool,
 }
 
-fn epoch_loss(net: &mut Sequential, samples: &[&Sample], norm: f32) -> f64 {
+/// Normalizes a sample set once: every epoch then borrows the scaled
+/// tensors instead of cloning and rescaling per step.
+fn normalize(samples: &[Sample], norm: f32) -> Vec<(Tensor, Tensor)> {
+    samples
+        .iter()
+        .map(|s| {
+            let mut x = s.input.clone();
+            x.scale(1.0 / norm);
+            let mut t = s.target.clone();
+            t.scale(1.0 / norm);
+            (x, t)
+        })
+        .collect()
+}
+
+fn epoch_loss(net: &mut Sequential, data: &[(Tensor, Tensor)]) -> f64 {
     let mut acc = 0.0;
-    for s in samples {
-        let mut x = s.input.clone();
-        x.scale(1.0 / norm);
-        let mut t = s.target.clone();
-        t.scale(1.0 / norm);
-        let y = net.forward(&x);
-        acc += huber_loss(&y, &t, 1.0).0;
+    for (x, t) in data {
+        let y = net.forward(x);
+        acc += huber_loss(&y, t, 1.0).0;
     }
-    acc / samples.len().max(1) as f64
+    acc / data.len().max(1) as f64
 }
 
 /// Snapshot / restore of all parameter values.
@@ -95,8 +106,10 @@ pub fn fit_until(
     assert!(norm > 0.0, "normalization must be positive");
     let n_val = ((samples.len() as f64) * cfg.val_fraction) as usize;
     let (train, val) = samples.split_at(samples.len() - n_val);
-    let train_refs: Vec<&Sample> = train.iter().collect();
-    let val_refs: Vec<&Sample> = val.iter().collect();
+    // Scale inputs/targets once up front: the epoch loop below only
+    // borrows, so no tensor is cloned per training step.
+    let train_data = normalize(train, norm);
+    let val_data = normalize(val, norm);
     let mut opt = Adam::new(cfg.lr);
     let mut best = f64::INFINITY;
     let mut best_snap = snapshot(net);
@@ -106,15 +119,11 @@ pub fn fit_until(
     for epoch in 0..cfg.max_epochs {
         epochs = epoch + 1;
         opt.lr = cfg.lr * cfg.lr_decay.powi(epoch as i32);
-        for batch in train_refs.chunks(cfg.batch_size.max(1)) {
+        for batch in train_data.chunks(cfg.batch_size.max(1)) {
             net.zero_grad();
-            for s in batch {
-                let mut x = s.input.clone();
-                x.scale(1.0 / norm);
-                let mut t = s.target.clone();
-                t.scale(1.0 / norm);
-                let y = net.forward(&x);
-                let (_, g) = huber_loss(&y, &t, 1.0);
+            for (x, t) in batch {
+                let y = net.forward(x);
+                let (_, g) = huber_loss(&y, t, 1.0);
                 net.backward(&g);
             }
             for p in net.params_mut() {
@@ -125,10 +134,10 @@ pub fn fit_until(
             }
             opt.step(&mut net.params_mut());
         }
-        let monitored = if val_refs.is_empty() {
-            epoch_loss(net, &train_refs, norm)
+        let monitored = if val_data.is_empty() {
+            epoch_loss(net, &train_data)
         } else {
-            epoch_loss(net, &val_refs, norm)
+            epoch_loss(net, &val_data)
         };
         if monitored < best - 1e-9 {
             best = monitored;
@@ -136,7 +145,7 @@ pub fn fit_until(
             since_best = 0;
         } else {
             since_best += 1;
-            if !val_refs.is_empty() && since_best >= cfg.patience {
+            if !val_data.is_empty() && since_best >= cfg.patience {
                 stopped_early = true;
                 break;
             }
@@ -233,8 +242,8 @@ mod tests {
         };
         let report = fit_until(&mut net, &samples, 1.0, &cfg);
         let n_val = (samples.len() as f64 * cfg.val_fraction) as usize;
-        let val: Vec<&Sample> = samples[samples.len() - n_val..].iter().collect();
-        let actual = epoch_loss(&mut net, &val, 1.0);
+        let val = normalize(&samples[samples.len() - n_val..], 1.0);
+        let actual = epoch_loss(&mut net, &val);
         assert!(
             (actual - report.best_val_loss).abs() < 1e-9,
             "restored loss {actual} vs reported {}",

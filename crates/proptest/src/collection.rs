@@ -1,0 +1,65 @@
+//! Collection strategies.
+
+use crate::{Strategy, TestRunner};
+
+/// A length specification: a fixed size or a half-open range of sizes.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end() + 1,
+        }
+    }
+}
+
+/// Strategy producing `Vec`s of values drawn from `element`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+        use rand::Rng;
+        let n = if self.size.hi - self.size.lo <= 1 {
+            self.size.lo
+        } else {
+            runner.rng().gen_range(self.size.lo..self.size.hi)
+        };
+        (0..n).map(|_| self.element.generate(runner)).collect()
+    }
+}
+
+/// `proptest::collection::vec`: a strategy for vectors whose elements come
+/// from `element` and whose length comes from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}

@@ -1,0 +1,204 @@
+//! Workspace-local stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the subset the workspace's property tests use: the [`proptest!`] macro
+//! (with `#![proptest_config(...)]`), range/tuple strategies,
+//! [`collection::vec`], and the `prop_assert*` macros. Cases are generated
+//! deterministically (seeded per test name and case index), so failures
+//! reproduce exactly; there is no shrinking — the failing inputs are
+//! printed instead.
+
+use rand::{rngs::StdRng, SeedableRng};
+
+pub mod collection;
+
+/// Per-test configuration (field subset of upstream's).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The deterministic per-case source of randomness handed to strategies.
+pub struct TestRunner {
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// Runner for one (test, case) pair. FNV-hashes the test name so each
+    /// test draws an independent stream.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRunner {
+            rng: StdRng::seed_from_u64(h ^ ((case as u64) << 32) ^ case as u64),
+        }
+    }
+
+    /// The underlying generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// A generator of random values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                use rand::Rng;
+                runner.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                use rand::Rng;
+                runner.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// `Just`-style constant strategy.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(runner),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy!((A, B)(A, B, C)(A, B, C, D)(A, B, C, D, E));
+
+/// The common imports.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Defines property tests. Each generated test runs `cases` deterministic
+/// cases; assertion failures print the failing inputs via the test's
+/// argument patterns.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strat:expr),* $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for __case in 0..config.cases {
+                    let mut __runner =
+                        $crate::TestRunner::for_case(stringify!($name), __case);
+                    $( let $pat = $crate::Strategy::generate(&($strat), &mut __runner); )*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` with proptest's name (no shrinking in this stand-in).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+/// `assert_eq!` with proptest's name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+/// `assert_ne!` with proptest's name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($arg:tt)*) => { assert_ne!($($arg)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u32..17, y in -1.5f64..2.5, (a, b) in (0usize..4, 0i64..=3)) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-1.5..2.5).contains(&y));
+            prop_assert!(a < 4);
+            prop_assert!((0..=3).contains(&b));
+        }
+
+        #[test]
+        fn vec_strategy_sizes(v in crate::collection::vec(-1.0f32..1.0, 5),
+                              w in crate::collection::vec(0u32..10, 1..8)) {
+            prop_assert_eq!(v.len(), 5);
+            prop_assert!(v.iter().all(|x| (-1.0..1.0).contains(x)));
+            prop_assert!(!w.is_empty() && w.len() < 8);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let draw = |case| {
+            let mut r = crate::TestRunner::for_case("t", case);
+            crate::Strategy::generate(&(0u64..1_000_000), &mut r)
+        };
+        assert_eq!(draw(3), draw(3));
+        assert_ne!(draw(3), draw(4));
+    }
+}

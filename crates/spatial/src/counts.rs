@@ -168,7 +168,10 @@ impl CountMatrix {
         if factor == 0 {
             return Err(SpatialError::ZeroSide);
         }
-        let out_side = self.side.checked_mul(factor).ok_or(SpatialError::ZeroSide)?;
+        let out_side = self
+            .side
+            .checked_mul(factor)
+            .ok_or(SpatialError::ZeroSide)?;
         let mut out = CountMatrix::zeros(out_side);
         let s = self.side as usize;
         let f = factor as usize;
@@ -445,9 +448,9 @@ mod tests {
     fn series_counts_events_per_slot_and_cell() {
         let clock = SlotClock::default();
         let events = vec![
-            Event::new(Point::new(0.1, 0.1), 0),   // slot 0, cell 0
-            Event::new(Point::new(0.9, 0.9), 10),  // slot 0, cell 3
-            Event::new(Point::new(0.1, 0.9), 31),  // slot 1, cell 2
+            Event::new(Point::new(0.1, 0.1), 0),       // slot 0, cell 0
+            Event::new(Point::new(0.9, 0.9), 10),      // slot 0, cell 3
+            Event::new(Point::new(0.1, 0.9), 31),      // slot 1, cell 2
             Event::new(Point::new(0.1, 0.1), 999_999), // beyond horizon
         ];
         let s = CountSeries::from_events(&events, GridSpec::new(2), &clock, 2);

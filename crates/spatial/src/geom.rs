@@ -259,7 +259,11 @@ mod tests {
         let g = GeoBounds::nyc();
         // Paper: "The size of the whole space is 23km × 37km".
         assert!((g.width_km() - 23.0).abs() < 2.0, "width {}", g.width_km());
-        assert!((g.height_km() - 37.0).abs() < 2.0, "height {}", g.height_km());
+        assert!(
+            (g.height_km() - 37.0).abs() < 2.0,
+            "height {}",
+            g.height_km()
+        );
     }
 
     #[test]

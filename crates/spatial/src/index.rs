@@ -180,12 +180,7 @@ mod tests {
     ) -> Option<(usize, f64)> {
         points
             .iter()
-            .map(|&(id, p)| {
-                (
-                    id,
-                    (q.x - p.x).abs() * sx + (q.y - p.y).abs() * sy,
-                )
-            })
+            .map(|&(id, p)| (id, (q.x - p.x).abs() * sx + (q.y - p.y).abs() * sy))
             .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
     }
 

@@ -37,7 +37,9 @@ pub fn read_series<R: BufRead>(input: &mut R) -> Result<CountSeries, SpatialErro
         got: msg.into(),
     };
     let mut header = String::new();
-    input.read_line(&mut header).map_err(|e| bad(&e.to_string()))?;
+    input
+        .read_line(&mut header)
+        .map_err(|e| bad(&e.to_string()))?;
     let mut side = None;
     let mut slots = None;
     for field in header.trim().split('\t') {
@@ -56,7 +58,9 @@ pub fn read_series<R: BufRead>(input: &mut R) -> Result<CountSeries, SpatialErro
     let cells = (side as usize).pow(2);
     for t in 0..n_slots {
         let mut line = String::new();
-        let n = input.read_line(&mut line).map_err(|e| bad(&e.to_string()))?;
+        let n = input
+            .read_line(&mut line)
+            .map_err(|e| bad(&e.to_string()))?;
         if n == 0 {
             return Err(bad(&format!("expected {n_slots} slot rows, got {t}")));
         }

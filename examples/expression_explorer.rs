@@ -7,8 +7,7 @@
 
 use gridtuner::core::dalpha::{d_alpha, select_hgrid_side};
 use gridtuner::core::expression::{
-    expression_error_alg1, expression_error_alg2, expression_error_naive,
-    expression_error_windowed,
+    expression_error_alg1, expression_error_alg2, expression_error_naive, expression_error_windowed,
 };
 use gridtuner::datagen::City;
 use gridtuner::spatial::GridSpec;
@@ -34,7 +33,10 @@ fn main() {
     // Cost comparison at the paper's operating point.
     println!("time per call at K = 120:");
     for (name, f) in [
-        ("naive", expression_error_naive as fn(f64, f64, usize, usize) -> f64),
+        (
+            "naive",
+            expression_error_naive as fn(f64, f64, usize, usize) -> f64,
+        ),
         ("alg1", expression_error_alg1),
         ("alg2", expression_error_alg2),
     ] {

@@ -35,7 +35,8 @@ fn main() {
     }
     println!();
 
-    let factories: Vec<(&str, Box<dyn Fn() -> Box<dyn Predictor>>)> = vec![
+    type Factory = Box<dyn Fn() -> Box<dyn Predictor>>;
+    let factories: Vec<(&str, Factory)> = vec![
         (
             "historical-avg",
             Box::new(|| Box::new(HistoricalAverage::new()) as Box<dyn Predictor>),
@@ -56,13 +57,9 @@ fn main() {
 
     for (name, factory) in factories {
         print!("{name:>18}");
-        let mut oracle = CityModelError::new(
-            City::chengdu().scaled(scale),
-            split,
-            11,
-            move || factory(),
-        )
-        .with_max_eval_slots(16);
+        let mut oracle =
+            CityModelError::new(City::chengdu().scaled(scale), split, 11, move || factory())
+                .with_max_eval_slots(16);
         for s in sides {
             let (err, _) = oracle.measure(s);
             print!("{err:>10.1}");

@@ -23,7 +23,11 @@ fn main() {
     // counts — and the dense-count regime is where the U-shape lives.)
     let city = City::nyc();
     let clock = *city.clock();
-    println!("city: {} (daily volume {:.0})", city.name(), city.daily_volume());
+    println!(
+        "city: {} (daily volume {:.0})",
+        city.name(),
+        city.daily_volume()
+    );
 
     // Historical events for the α window: 8:00–8:30 on 28 days.
     let mut rng = StdRng::seed_from_u64(2022);
@@ -39,12 +43,9 @@ fn main() {
         test_day: 24,
     };
     let make = move || -> CityModelError<_> {
-        CityModelError::new(
-            City::nyc(),
-            split,
-            7,
-            || Box::new(HistoricalAverage::new()) as Box<dyn Predictor>,
-        )
+        CityModelError::new(City::nyc(), split, 7, || {
+            Box::new(HistoricalAverage::new()) as Box<dyn Predictor>
+        })
         .with_max_eval_slots(24)
     };
 
@@ -53,7 +54,10 @@ fn main() {
     for (label, strategy) in [
         ("brute-force", SearchStrategy::BruteForce),
         ("ternary search", SearchStrategy::Ternary),
-        ("iterative method", SearchStrategy::Iterative { init: 16, bound: 4 }),
+        (
+            "iterative method",
+            SearchStrategy::Iterative { init: 16, bound: 4 },
+        ),
     ] {
         let tuner = GridTuner::new(TunerConfig {
             hgrid_budget_side: budget,

@@ -2,10 +2,8 @@
 //! POLAR / LS / DAIF and move their metrics in the paper's direction.
 
 use gridtuner::datagen::{City, TripGenerator};
-use gridtuner::dispatch::{
-    Daif, DemandView, FleetConfig, Ls, Order, Polar, SimConfig, Simulator,
-};
 use gridtuner::dispatch::daif::DaifConfig;
+use gridtuner::dispatch::{Daif, DemandView, FleetConfig, Ls, Order, Polar, SimConfig, Simulator};
 use gridtuner::spatial::{Partition, SlotId};
 use rand::{rngs::StdRng, SeedableRng};
 
@@ -33,7 +31,11 @@ fn demand_at_resolution(
 fn polar_serves_most_orders_with_ample_fleet() {
     let city = City::xian().scaled(0.004); // ~440 orders
     let orders = test_day_orders(&city, 1);
-    assert!(orders.len() > 100, "need a meaningful day: {}", orders.len());
+    assert!(
+        orders.len() > 100,
+        "need a meaningful day: {}",
+        orders.len()
+    );
     let sim = Simulator::new(SimConfig {
         fleet: FleetConfig {
             n_drivers: 400,

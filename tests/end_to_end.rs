@@ -66,8 +66,7 @@ fn upper_bound_oracle_decomposition_is_consistent() {
         day_end: 14,
         weekdays_only: true,
     };
-    let mut oracle =
-        UpperBoundOracle::new(events, *city.clock(), window, 32, model_oracle());
+    let mut oracle = UpperBoundOracle::new(events, *city.clock(), window, 32, model_oracle());
     for side in [2u32, 8, 16] {
         let e = gridtuner::core::search::ErrorOracle::eval(&mut oracle, side);
         let expr = oracle.expression_error(side);
@@ -101,8 +100,11 @@ fn heuristic_searches_close_to_brute_force_end_to_end() {
     };
     let clock = *city.clock();
     let bf = GridTuner::new(cfg(SearchStrategy::BruteForce)).tune(&events, clock, model_oracle());
-    let it = GridTuner::new(cfg(SearchStrategy::Iterative { init: 16, bound: 4 }))
-        .tune(&events, clock, model_oracle());
+    let it = GridTuner::new(cfg(SearchStrategy::Iterative { init: 16, bound: 4 })).tune(
+        &events,
+        clock,
+        model_oracle(),
+    );
     assert!(
         it.outcome.error <= bf.outcome.error * 1.10,
         "iterative {} vs brute {}",

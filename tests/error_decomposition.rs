@@ -45,8 +45,7 @@ fn theorem_ii1_holds_on_sampled_city_data() {
             "Theorem II.1 violated at {s}x{s}: {report:?}"
         );
         assert!(
-            report.upper_bound() - report.real
-                <= 2.0 * report.model.min(report.expression) + 1e-9,
+            report.upper_bound() - report.real <= 2.0 * report.model.min(report.expression) + 1e-9,
             "slack bound violated at {s}x{s}: {report:?}"
         );
         assert!(report.real > 0.0, "sampled data cannot be error-free");
@@ -103,7 +102,10 @@ fn expression_error_ordering_across_cities() {
     for city in City::all_presets() {
         let clock = *city.clock();
         let alpha = city.mean_field(partition.hgrid_spec(), clock.slot_at(9, 16));
-        errs.push((city.name().to_string(), total_expression_error(&alpha, &partition)));
+        errs.push((
+            city.name().to_string(),
+            total_expression_error(&alpha, &partition),
+        ));
     }
     assert!(
         errs[0].1 > errs[1].1 && errs[1].1 > errs[2].1,

@@ -1,9 +1,9 @@
 //! Property-based tests (proptest) on the workspace's core invariants.
 
+use gridtuner::core::errors::{evaluate_errors, ErrorSample};
 use gridtuner::core::expression::{
     expression_error_alg1, expression_error_alg2, expression_error_windowed, lemma_upper_bound,
 };
-use gridtuner::core::errors::{evaluate_errors, ErrorSample};
 use gridtuner::core::poisson::{mass_window, poisson_mad, poisson_pmf_range};
 use gridtuner::spatial::{CountMatrix, GridSpec, Partition, Point};
 use proptest::prelude::*;

@@ -1,11 +1,11 @@
 //! Search algorithms against realistic upper-bound curves: Table IV's
 //! qualitative claims, cross-crate.
 
+use gridtuner::core::alpha::AlphaWindow;
 use gridtuner::core::search::{
     brute_force, iterative_method, ternary_search, ErrorOracle, MemoOracle,
 };
 use gridtuner::core::upper_bound::UpperBoundOracle;
-use gridtuner::core::alpha::AlphaWindow;
 use gridtuner::datagen::City;
 use rand::{rngs::StdRng, SeedableRng};
 
@@ -21,10 +21,9 @@ fn city_oracle(city: City, coef: f64) -> impl ErrorOracle {
         day_end: 14,
         weekdays_only: true,
     };
-    let oracle = UpperBoundOracle::new(events, clock, window, 64, move |s: u32| {
+    UpperBoundOracle::new(events, clock, window, 64, move |s: u32| {
         (s * s) as f64 * coef
-    });
-    oracle
+    })
 }
 
 #[test]
@@ -58,9 +57,8 @@ fn per_slot_optima_vary_across_the_day() {
             day_end: 14,
             weekdays_only: true,
         };
-        let oracle = UpperBoundOracle::new(events, clock, window, 64, |s: u32| {
-            (s * s) as f64 * 0.6
-        });
+        let oracle =
+            UpperBoundOracle::new(events, clock, window, 64, |s: u32| (s * s) as f64 * 0.6);
         let out = brute_force(oracle, 1, 28);
         assert!(out.side >= 1 && out.side <= 28);
         optima.push((sod, out.side));
