@@ -74,12 +74,13 @@ fn run_one(id: &str, cfg: &RunCfg) {
     println!();
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() {
-        usage();
+/// Parses `<id> [--quick] [--scale X] [--seed S]` into a run plan.
+/// `--quick` replaces the config but keeps any seed given before it.
+fn parse_args(args: &[String]) -> Result<(String, RunCfg), String> {
+    let id = args.first().ok_or("missing experiment id")?.clone();
+    if id != "all" && !IDS.contains(&id.as_str()) {
+        return Err(format!("unknown experiment id: {id}"));
     }
-    let id = args[0].clone();
     let mut cfg = RunCfg::default();
     let mut i = 1;
     while i < args.len() {
@@ -94,24 +95,90 @@ fn main() {
                 cfg.volume_scale = args
                     .get(i)
                     .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| usage());
+                    .ok_or("--scale needs a number")?;
             }
             "--seed" => {
                 i += 1;
                 cfg.seed = args
                     .get(i)
                     .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| usage());
+                    .ok_or("--seed needs an integer")?;
             }
-            _ => usage(),
+            other => return Err(format!("unknown flag: {other}")),
         }
         i += 1;
     }
+    Ok((id, cfg))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (id, cfg) = match parse_args(&args) {
+        Ok(plan) => plan,
+        Err(e) => {
+            eprintln!("{e}");
+            usage();
+        }
+    };
     if id == "all" {
         for id in IDS {
             run_one(id, &cfg);
         }
     } else {
         run_one(&id, &cfg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn ids_are_unique_and_cover_the_paper_artifacts() {
+        let mut sorted = IDS.to_vec();
+        sorted.sort_unstable();
+        let before = sorted.len();
+        sorted.dedup();
+        assert_eq!(before, sorted.len(), "duplicate experiment ids");
+        for required in ["fig3", "fig16", "tab3", "tab4"] {
+            assert!(IDS.contains(&required), "missing {required}");
+        }
+    }
+
+    #[test]
+    fn parse_defaults() {
+        let (id, cfg) = parse_args(&argv("fig3")).unwrap();
+        assert_eq!(id, "fig3");
+        assert_eq!(cfg, RunCfg::default());
+    }
+
+    #[test]
+    fn parse_quick_keeps_earlier_seed() {
+        let (_, cfg) = parse_args(&argv("tab4 --seed 99 --quick")).unwrap();
+        assert!(cfg.quick);
+        assert_eq!(cfg.seed, 99);
+        assert_eq!(cfg.volume_scale, RunCfg::quick().volume_scale);
+    }
+
+    #[test]
+    fn parse_scale_and_seed() {
+        let (id, cfg) = parse_args(&argv("all --scale 0.25 --seed 7")).unwrap();
+        assert_eq!(id, "all");
+        assert_eq!(cfg.volume_scale, 0.25);
+        assert_eq!(cfg.seed, 7);
+        assert!(!cfg.quick);
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(parse_args(&argv("")).is_err());
+        assert!(parse_args(&argv("fig99")).is_err());
+        assert!(parse_args(&argv("fig3 --scale")).is_err());
+        assert!(parse_args(&argv("fig3 --seed x")).is_err());
+        assert!(parse_args(&argv("fig3 --frobnicate")).is_err());
     }
 }

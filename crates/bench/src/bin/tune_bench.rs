@@ -68,9 +68,9 @@ fn naive_sweep(
     (best.0, best.1, rescans)
 }
 
-fn main() {
+/// Parses `[--scale X]`; anything unparsable falls back to full volume.
+fn parse_scale(args: &[String]) -> f64 {
     let mut scale = 1.0f64;
-    let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
         if args[i] == "--scale" {
@@ -79,6 +79,12 @@ fn main() {
         }
         i += 1;
     }
+    scale
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = parse_scale(&args);
 
     // Paper defaults: NYC-volume history, √N = 128, sides 4..=76, α window
     // = slot 16 over one month of workdays.
@@ -152,4 +158,60 @@ fn main() {
     std::fs::write("BENCH_tune.json", &json).expect("cannot write BENCH_tune.json");
     print!("{json}");
     eprintln!("[tune_bench] speedup {speedup:.2}x, wrote BENCH_tune.json");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(parse_scale(&argv("")), 1.0);
+        assert_eq!(parse_scale(&argv("--scale 0.1")), 0.1);
+        assert_eq!(parse_scale(&argv("--scale nope")), 1.0);
+        assert_eq!(parse_scale(&argv("--scale")), 1.0);
+    }
+
+    /// The benchmark's correctness gate, in miniature: the naive
+    /// rescan-per-probe sweep and the cached parallel tuner must agree on
+    /// the optimum for the same inputs.
+    #[test]
+    fn naive_sweep_matches_cached_tuner() {
+        let city = City::nyc().scaled(0.001);
+        let clock = *city.clock();
+        let window = AlphaWindow {
+            slot_of_day: 16,
+            day_start: 0,
+            day_end: 7,
+            weekdays_only: true,
+        };
+        let mut rng = StdRng::seed_from_u64(11);
+        let events = city.sample_history_events(16, 0..7, &mut rng);
+        let model = |s: u32| (s * s) as f64 * 0.2;
+        let (budget, range) = (16u32, (2u32, 10u32));
+        let (side, err, rescans) = naive_sweep(&events, &clock, &window, budget, range, model);
+        assert_eq!(
+            rescans,
+            (range.1 - range.0 + 1) as u64,
+            "one scan per probe"
+        );
+        let tuner = GridTuner::new(TunerConfig {
+            hgrid_budget_side: budget,
+            side_range: range,
+            strategy: SearchStrategy::BruteForce,
+            alpha_window: window,
+        });
+        let result = tuner.tune_brute_parallel(&events, clock, model);
+        assert_eq!(result.outcome.side, side, "optimum side");
+        assert!(
+            (result.outcome.error - err).abs() <= 1e-9 * (1.0 + err.abs()),
+            "optimal error: {} vs {err}",
+            result.outcome.error
+        );
+        assert_eq!(result.alpha_rescans, 1, "cached path scans once");
+    }
 }

@@ -102,10 +102,36 @@ impl AlphaFieldCache {
         if self.n_days == 0 {
             return alpha;
         }
+        #[cfg(feature = "check-invariants")]
+        let mut binned = 0usize;
         for p in &self.digest {
             if let Some(cell) = spec.cell_of(p) {
                 *alpha.get_mut(cell) += 1.0;
+                #[cfg(feature = "check-invariants")]
+                {
+                    binned += 1;
+                }
             }
+        }
+        #[cfg(feature = "check-invariants")]
+        {
+            // Mass conservation: digest locations are inside the unit
+            // square by construction, so every one lands in exactly one
+            // cell of any lattice, and the pre-scaling cell totals are
+            // exact small-integer sums.
+            assert_eq!(
+                binned,
+                self.digest.len(),
+                "alpha-field mass leak: {binned} of {} digest events binned on side {}",
+                self.digest.len(),
+                spec.side()
+            );
+            let total: f64 = alpha.as_slice().iter().sum();
+            assert!(
+                (total - binned as f64).abs() < 1e-6,
+                "alpha-field mass drift on side {}: {total} != {binned}",
+                spec.side()
+            );
         }
         alpha.scale(1.0 / self.n_days as f64);
         alpha

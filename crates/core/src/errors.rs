@@ -70,11 +70,17 @@ pub fn evaluate_errors(
         expression += spread_truth.l1_distance(&s.actual_hgrid)?;
     }
     let k = samples.len() as f64;
-    Ok(ErrorReport {
+    let report = ErrorReport {
         real: real / k,
         model: model / k,
         expression: expression / k,
-    })
+    };
+    #[cfg(feature = "check-invariants")]
+    assert!(
+        report.real <= report.upper_bound() + 1e-9 * (1.0 + report.upper_bound()),
+        "Theorem II.1 violated: {report:?}"
+    );
+    Ok(report)
 }
 
 #[cfg(test)]

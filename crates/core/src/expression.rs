@@ -207,9 +207,18 @@ pub fn mgrid_expression_error(alphas: &[f64]) -> f64 {
     alphas
         .iter()
         .map(|&a| {
-            *memo
+            let e = *memo
                 .entry(a.to_bits())
-                .or_insert_with(|| expression_error_windowed(a, (total - a).max(0.0), m))
+                .or_insert_with(|| expression_error_windowed(a, (total - a).max(0.0), m));
+            #[cfg(feature = "check-invariants")]
+            {
+                let bound = lemma_upper_bound(a, (total - a).max(0.0), m);
+                assert!(
+                    e >= -1e-12 && e <= bound + 1e-9 * (1.0 + bound),
+                    "Lemma III.1 violated: E_e = {e} outside [0, {bound}] at a={a}, total={total}, m={m}"
+                );
+            }
+            e
         })
         .sum()
 }
@@ -217,10 +226,12 @@ pub fn mgrid_expression_error(alphas: &[f64]) -> f64 {
 /// Total expression error `Σ_i Σ_j E_e(i,j)` for a partition, given the
 /// per-HGrid mean field `alpha` on the partition's HGrid lattice.
 ///
-/// MGrids are processed in parallel (one contiguous chunk per worker, see
-/// [`gridtuner_par`]); per-chunk partials are reduced in chunk order, so
-/// for a fixed worker count the result is deterministic, and it always
-/// matches the sequential sum to floating-point reassociation tolerance.
+/// MGrids are processed in parallel (fixed-size contiguous blocks, see
+/// [`gridtuner_par::par_sum`]); block partials are reduced in block order
+/// and the blocking depends only on the MGrid count, so the result is
+/// **bit-identical for every worker count**, and it matches the plain
+/// sequential sum ([`total_expression_error_seq`]) to floating-point
+/// reassociation tolerance.
 pub fn total_expression_error(alpha: &CountMatrix, partition: &Partition) -> f64 {
     assert_eq!(
         alpha.side(),

@@ -98,7 +98,10 @@ pub struct SearchOutcome {
 }
 
 /// Exhaustive search over `lo..=hi`: the paper's Brute-force baseline,
-/// `O(√N)` oracle calls, always optimal.
+/// `O(√N)` oracle calls, always optimal. Ties break toward the **smaller**
+/// side (the update is strict `<`), so on plateaus the result is the
+/// left-most minimiser — the canonical tie rule every other searcher is
+/// measured against.
 pub fn brute_force<O: ErrorOracle>(oracle: O, lo: u32, hi: u32) -> SearchOutcome {
     assert!(lo >= 1 && lo <= hi, "invalid side range [{lo}, {hi}]");
     let mut memo = MemoOracle::new(oracle);
@@ -150,6 +153,14 @@ pub fn brute_force_parallel<O: SyncErrorOracle + ?Sized>(
 /// `O(log √N)` oracle calls. Finds the optimum whenever `e(s)` is
 /// unimodal; on non-ideal curves it still returns a good local answer
 /// (the paper's Table IV quantifies how often).
+///
+/// Plateaus and ties: when the two probes tie (`e(m_l) = e(m_r)`) the
+/// right part of the interval is discarded, so the search drifts left. On
+/// curves whose only flat region is the **minimum plateau** this still
+/// returns a true minimiser (not necessarily the left-most — brute force's
+/// tie rule). A flat **shoulder** away from the minimum, however, can make
+/// a tie discard the interval that holds the real optimum — the testkit
+/// pins a concrete example (`ternary_can_be_misled_by_shoulder_plateaus`).
 ///
 /// ```
 /// use gridtuner_core::search::ternary_search;
@@ -216,6 +227,12 @@ pub fn ternary_search<O: ErrorOracle>(oracle: O, lo: u32, hi: u32) -> SearchOutc
 /// (The paper's pseudocode line 13 reads `if e(p) < e(p−i)` which would
 /// move *toward* a worse point; we implement the evident intent,
 /// `e(p−i) < e(p)`.)
+///
+/// Plateaus and ties: moves require **strict** improvement, so the method
+/// never walks along a flat stretch — on a curve that is flat around
+/// `init` it simply returns `init` (clamped). On strictly unimodal curves
+/// any `bound ≥ 1` reaches the optimum; with a minimum plateau it stops at
+/// the first plateau point it touches.
 pub fn iterative_method<O: ErrorOracle>(
     oracle: O,
     lo: u32,

@@ -96,6 +96,12 @@ impl<M: ModelErrorFn> UpperBoundOracle<M> {
 
 impl<M: ModelErrorFn> ErrorOracle for UpperBoundOracle<M> {
     fn eval(&mut self, side: u32) -> f64 {
+        #[cfg(feature = "check-invariants")]
+        assert_eq!(
+            self.alpha.full_scans(),
+            1,
+            "tuning hot path rescanned the event log"
+        );
         self.expression_error(side) + self.model.total_model_error(side)
     }
 }
@@ -106,6 +112,12 @@ impl<M: ModelErrorFn> ErrorOracle for UpperBoundOracle<M> {
 /// [`brute_force_parallel`]: crate::search::brute_force_parallel
 impl<M: Fn(u32) -> f64 + Sync> SyncErrorOracle for UpperBoundOracle<M> {
     fn eval_sync(&self, side: u32) -> f64 {
+        #[cfg(feature = "check-invariants")]
+        assert_eq!(
+            self.alpha.full_scans(),
+            1,
+            "tuning hot path rescanned the event log"
+        );
         self.expression_error(side) + (self.model)(side)
     }
 }

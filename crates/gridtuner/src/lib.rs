@@ -57,3 +57,51 @@ pub use gridtuner_dispatch as dispatch;
 pub use gridtuner_nn as nn;
 pub use gridtuner_predict as predict;
 pub use gridtuner_spatial as spatial;
+
+#[cfg(test)]
+mod tests {
+    //! Facade-level smoke tests: the re-exported crates must compose into
+    //! the paper's workflow without reaching for the `gridtuner_*` names.
+
+    use crate::core::alpha::AlphaWindow;
+    use crate::core::tuner::{GridTuner, SearchStrategy, TunerConfig};
+    use crate::datagen::City;
+    use crate::spatial::{Partition, SlotClock};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn end_to_end_tune_through_the_facade() {
+        let city = City::chengdu().scaled(0.005);
+        let mut rng = StdRng::seed_from_u64(3);
+        let events = city.sample_history_events(16, 0..7, &mut rng);
+        let window = AlphaWindow {
+            slot_of_day: 16,
+            day_start: 0,
+            day_end: 7,
+            weekdays_only: true,
+        };
+        let tuner = GridTuner::new(TunerConfig {
+            hgrid_budget_side: 16,
+            side_range: (2, 12),
+            strategy: SearchStrategy::BruteForce,
+            alpha_window: window,
+        });
+        let result = tuner.tune(&events, SlotClock::default(), |s: u32| (s * s) as f64 * 0.1);
+        assert!((2..=12).contains(&result.outcome.side));
+        assert_eq!(result.alpha_rescans, 1);
+        assert_eq!(result.partition.mgrid_side(), result.outcome.side);
+    }
+
+    #[test]
+    fn facade_paths_cover_every_subsystem() {
+        // One value from each re-exported crate, constructed via the
+        // facade path — a compile-time check that the crate map in the
+        // docs stays truthful.
+        let _partition: Partition = Partition::for_budget(4, 16);
+        let _relu = crate::nn::ReLU::new();
+        let _polar = crate::dispatch::Polar::new();
+        let _outcome = crate::dispatch::DispatchOutcome::default();
+        let _persistence = crate::predict::Persistence;
+        assert_eq!(City::all_presets().len(), 3);
+    }
+}

@@ -2,19 +2,21 @@
 //!
 //! Every helper here follows the same contract:
 //!
-//! * work is split into **contiguous chunks**, one per worker;
+//! * work is split into **contiguous chunks** whose boundaries depend only
+//!   on the input length — never on the worker count;
 //! * results are stitched back together **in input order**, so reductions
-//!   are deterministic — the same inputs give bit-identical outputs
+//!   are deterministic — the same inputs give **bit-identical** outputs
 //!   regardless of the worker count (each output element is still computed
 //!   by exactly one `f` call, and partial sums are combined in chunk
-//!   order);
+//!   order, which fixes the floating-point association);
 //! * with one worker (or tiny inputs) everything runs inline on the
-//!   calling thread — no spawn, no overhead, trivially identical to the
-//!   sequential code.
+//!   calling thread — no spawn, no overhead, and the exact same chunked
+//!   association as the parallel path.
 //!
 //! The worker count comes from [`max_threads`]: the `GRIDTUNER_THREADS`
 //! environment variable when set (clamped to ≥ 1), otherwise
-//! [`std::thread::available_parallelism`].
+//! [`std::thread::available_parallelism`]. Harnesses can override it
+//! in-process with [`set_max_threads`].
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -22,6 +24,20 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// Inputs below this size are always processed inline: spawn overhead
 /// (~10 µs/thread) dwarfs the work.
 const MIN_ITEMS_PER_THREAD: usize = 2;
+
+/// Fixed reduction granularity for [`par_sum`]: items are folded into
+/// per-block partials of this size and the partials are added in block
+/// order. Because the block size is a constant, the association — and so
+/// the summed value, bit for bit — is the same for every worker count.
+const SUM_BLOCK: usize = 64;
+
+/// Fixed chunk count for [`par_accumulate`]: bounds partial-buffer memory
+/// at `ACC_CHUNKS × len` floats while keeping the chunk boundaries (and so
+/// the combine association) a function of the input length only.
+const ACC_CHUNKS: usize = 8;
+
+/// Cached worker-pool size (0 = not resolved yet).
+static CACHED_THREADS: AtomicUsize = AtomicUsize::new(0);
 
 fn env_threads() -> Option<usize> {
     std::env::var("GRIDTUNER_THREADS")
@@ -34,8 +50,7 @@ fn env_threads() -> Option<usize> {
 /// available parallelism (1 if that cannot be determined).
 pub fn max_threads() -> usize {
     // Cache the lookup: env + syscall once per process.
-    static CACHED: AtomicUsize = AtomicUsize::new(0);
-    let cached = CACHED.load(Ordering::Relaxed);
+    let cached = CACHED_THREADS.load(Ordering::Relaxed);
     if cached != 0 {
         return cached;
     }
@@ -44,8 +59,18 @@ pub fn max_threads() -> usize {
             .map(NonZeroUsize::get)
             .unwrap_or(1)
     });
-    CACHED.store(n, Ordering::Relaxed);
+    CACHED_THREADS.store(n, Ordering::Relaxed);
     n
+}
+
+/// Overrides the worker-pool size for the rest of the process (clamped to
+/// ≥ 1), taking precedence over `GRIDTUNER_THREADS` and the detected
+/// parallelism. Chunk boundaries never depend on the worker count, so
+/// changing it mid-flight cannot change any result — this hook exists so
+/// determinism harnesses can prove exactly that, and so benchmarks can
+/// sweep thread counts without re-spawning the process.
+pub fn set_max_threads(n: usize) {
+    CACHED_THREADS.store(n.max(1), Ordering::Relaxed);
 }
 
 /// Number of workers for `len` items: at most [`max_threads`], at least 1,
@@ -116,65 +141,81 @@ pub fn par_map_indexed<T: Sync, U: Send>(items: &[T], f: impl Fn(usize, &T) -> U
     out
 }
 
-/// Deterministic parallel sum: each worker folds its contiguous chunk with
-/// `f` (sequentially, in order) into a partial, and the partials are added
-/// in chunk order. For a fixed chunking this is a fixed floating-point
-/// association — parallel and single-threaded runs agree bit-for-bit when
-/// `workers_for` resolves to the same count; across different counts they
-/// agree to normal summation tolerance.
+/// Deterministic parallel sum: items are folded into per-block partials of
+/// [`SUM_BLOCK`] elements (each block summed left to right), and the
+/// partials are added in block order. The blocking depends only on
+/// `items.len()`, so the floating-point association is fixed: sequential
+/// and parallel runs agree **bit-for-bit for every worker count**. Workers
+/// each own a contiguous range of blocks.
 pub fn par_sum<T: Sync>(items: &[T], f: impl Fn(&T) -> f64 + Sync) -> f64 {
-    let workers = workers_for(items.len());
+    let n_blocks = items.len().div_ceil(SUM_BLOCK).max(1);
+    let mut partials = vec![0.0f64; n_blocks];
+    let workers = workers_for(items.len()).min(n_blocks);
     if workers <= 1 {
-        return items.iter().map(f).sum();
-    }
-    let chunk = items.len().div_ceil(workers);
-    let mut partials = vec![0.0f64; items.len().div_ceil(chunk)];
-    std::thread::scope(|scope| {
-        for (slice, out) in items.chunks(chunk).zip(partials.iter_mut()) {
-            let f = &f;
-            scope.spawn(move || {
-                *out = slice.iter().map(f).sum();
-            });
+        for (block, out) in items.chunks(SUM_BLOCK).zip(partials.iter_mut()) {
+            *out = block.iter().map(&f).sum();
         }
-    });
+    } else {
+        let blocks_per = n_blocks.div_ceil(workers);
+        std::thread::scope(|scope| {
+            for (w, outs) in partials.chunks_mut(blocks_per).enumerate() {
+                let f = &f;
+                let start = w * blocks_per * SUM_BLOCK;
+                let end = (start + outs.len() * SUM_BLOCK).min(items.len());
+                let slice = &items[start..end];
+                scope.spawn(move || {
+                    for (block, out) in slice.chunks(SUM_BLOCK).zip(outs.iter_mut()) {
+                        *out = block.iter().map(f).sum();
+                    }
+                });
+            }
+        });
+    }
     partials.iter().sum()
 }
 
-/// Parallel accumulation into an `f32` buffer of length `len`: each worker
-/// folds its contiguous chunk of `items` into its own zeroed buffer via
-/// `f(index, item, buf)`, and the partial buffers are added element-wise
-/// **in chunk order**. With one worker the single buffer is returned
-/// directly — identical to the plain sequential fold. The shape of the
-/// scatter-add reductions in backward passes (`dx += ...` across output
-/// channels).
+/// Parallel accumulation into an `f32` buffer of length `len`: `items` are
+/// split into at most [`ACC_CHUNKS`] contiguous chunks (boundaries depend
+/// only on `items.len()`); each chunk is folded into its own zeroed buffer
+/// via `f(index, item, buf)`, and the partial buffers are added
+/// element-wise **in chunk order** — the same association whether the
+/// chunks ran on one thread or many, so the result is bit-identical for
+/// every worker count. The shape of the scatter-add reductions in backward
+/// passes (`dx += ...` across output channels).
 pub fn par_accumulate<T: Sync>(
     items: &[T],
     len: usize,
     f: impl Fn(usize, &T, &mut [f32]) + Sync,
 ) -> Vec<f32> {
-    let workers = workers_for(items.len());
-    if workers <= 1 {
-        let mut buf = vec![0.0f32; len];
-        for (i, t) in items.iter().enumerate() {
-            f(i, t, &mut buf);
-        }
-        return buf;
-    }
-    let chunk = items.len().div_ceil(workers);
-    let n_chunks = items.len().div_ceil(chunk);
+    let chunk = items.len().div_ceil(ACC_CHUNKS).max(1);
+    let n_chunks = items.len().div_ceil(chunk).max(1);
     let mut partials: Vec<Vec<f32>> = vec![Vec::new(); n_chunks];
-    std::thread::scope(|scope| {
-        for (c, (slice, out)) in items.chunks(chunk).zip(partials.iter_mut()).enumerate() {
-            let f = &f;
-            scope.spawn(move || {
-                let mut buf = vec![0.0f32; len];
-                for (i, t) in slice.iter().enumerate() {
-                    f(c * chunk + i, t, &mut buf);
-                }
-                *out = buf;
-            });
+    let fold = |c: usize, out: &mut Vec<f32>| {
+        let slice = &items[c * chunk..((c + 1) * chunk).min(items.len())];
+        let mut buf = vec![0.0f32; len];
+        for (i, t) in slice.iter().enumerate() {
+            f(c * chunk + i, t, &mut buf);
         }
-    });
+        *out = buf;
+    };
+    let workers = workers_for(items.len()).min(n_chunks);
+    if workers <= 1 {
+        for (c, out) in partials.iter_mut().enumerate() {
+            fold(c, out);
+        }
+    } else {
+        let chunks_per = n_chunks.div_ceil(workers);
+        std::thread::scope(|scope| {
+            for (w, outs) in partials.chunks_mut(chunks_per).enumerate() {
+                let fold = &fold;
+                scope.spawn(move || {
+                    for (j, out) in outs.iter_mut().enumerate() {
+                        fold(w * chunks_per + j, out);
+                    }
+                });
+            }
+        });
+    }
     let mut acc = vec![0.0f32; len];
     for p in &partials {
         for (a, v) in acc.iter_mut().zip(p) {
@@ -271,6 +312,34 @@ mod tests {
         for (a, w) in acc.iter().zip(&want) {
             assert!((a - w).abs() < 1e-4, "acc {a} vs want {w}");
         }
+    }
+
+    #[test]
+    fn reductions_are_worker_count_invariant() {
+        // The determinism contract: chunk boundaries depend only on input
+        // length, so sweeping the pool size may not move a single bit.
+        // (Other tests in this binary run concurrently and may observe the
+        // overridden pool size — harmless, for exactly this reason.)
+        let items: Vec<f64> = (0..5_000)
+            .map(|i| ((i as f64) * 0.37).sin() / 3.0)
+            .collect();
+        let idx: Vec<usize> = (0..333).collect();
+        let saved = max_threads();
+        let mut sums = Vec::new();
+        let mut accs = Vec::new();
+        for n in [1usize, 2, 3, 8] {
+            set_max_threads(n);
+            sums.push(par_sum(&items, |&x| x * 1.000_000_1).to_bits());
+            accs.push(par_accumulate(&idx, 7, |_, &i, buf| {
+                buf[i % 7] += (i as f32).sqrt();
+            }));
+        }
+        set_max_threads(saved);
+        assert!(sums.windows(2).all(|w| w[0] == w[1]), "par_sum drifted");
+        assert!(
+            accs.windows(2).all(|w| w[0] == w[1]),
+            "par_accumulate drifted"
+        );
     }
 
     #[test]

@@ -1,0 +1,290 @@
+//! The differential engine: named oracle-pair checks, seed sweeps, and
+//! shrunk divergence reports.
+//!
+//! A [`Check`] is a named closure that runs one oracle pair against a
+//! [`Scenario`] and returns `Err(description)` on divergence. The
+//! [`DiffEngine`] runs every registered check over a seed range; the first
+//! failure of each check is **shrunk** (greedy descent over
+//! [`ScenarioParams::shrink_candidates`]) and recorded as a [`Divergence`]
+//! carrying the minimal still-failing parameter record plus copy-paste
+//! reproduction instructions. A clean sweep returns a [`Report`] whose
+//! [`assert_clean`](Report::assert_clean) is a no-op.
+//!
+//! The sweep size is controlled by two environment variables, read by
+//! [`seed_budget`]:
+//!
+//! * `GRIDTUNER_TESTKIT_SEEDS=<n>` — sweep seeds `0..n` (CI smoke jobs set
+//!   a small `n`; the default suite uses the per-test default);
+//! * `GRIDTUNER_TESTKIT_SEED=<s>` — run exactly one seed, the repro path
+//!   quoted in every divergence report.
+
+use crate::scenario::{Scenario, ScenarioParams};
+
+/// Maximum greedy shrink steps before giving up and reporting the current
+/// smallest counterexample.
+const MAX_SHRINK_STEPS: usize = 64;
+
+/// One named oracle-pair check.
+pub struct Check {
+    /// Stable name, quoted in reports and usable as a test filter.
+    pub name: &'static str,
+    /// The check body: `Err` describes the divergence.
+    #[allow(clippy::type_complexity)]
+    pub run: Box<dyn Fn(&Scenario) -> Result<(), String> + Sync>,
+}
+
+impl Check {
+    /// Creates a named check.
+    pub fn new(
+        name: &'static str,
+        run: impl Fn(&Scenario) -> Result<(), String> + Sync + 'static,
+    ) -> Self {
+        Check {
+            name,
+            run: Box::new(run),
+        }
+    }
+}
+
+/// A check failure, after shrinking.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Name of the failing check.
+    pub check: &'static str,
+    /// The first seed that failed.
+    pub seed: u64,
+    /// The failure message at the original seed.
+    pub message: String,
+    /// The smallest parameter record that still fails.
+    pub shrunk: ScenarioParams,
+    /// The failure message at the shrunk record.
+    pub shrunk_message: String,
+}
+
+impl Divergence {
+    /// A human-oriented report with reproduction instructions.
+    pub fn render(&self) -> String {
+        format!(
+            "check `{check}` diverged at seed {seed}:\n  {msg}\n\
+             shrunk reproducer (params regenerate the full scenario):\n  {shrunk:?}\n  {smsg}\n\
+             reproduce with:\n  GRIDTUNER_TESTKIT_SEED={seed} cargo test -p gridtuner-testkit",
+            check = self.check,
+            seed = self.seed,
+            msg = self.message,
+            shrunk = self.shrunk,
+            smsg = self.shrunk_message,
+        )
+    }
+}
+
+/// Outcome of a sweep.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Seeds swept.
+    pub seeds_run: usize,
+    /// Checks registered.
+    pub checks_run: usize,
+    /// First divergence per check (a check stops sweeping once it fails).
+    pub divergences: Vec<Divergence>,
+}
+
+impl Report {
+    /// Panics with every rendered divergence if the sweep was not clean.
+    pub fn assert_clean(&self) {
+        if self.divergences.is_empty() {
+            return;
+        }
+        let body: Vec<String> = self.divergences.iter().map(Divergence::render).collect();
+        panic!(
+            "{n} divergence(s) over {s} seed(s):\n\n{body}",
+            n = self.divergences.len(),
+            s = self.seeds_run,
+            body = body.join("\n\n"),
+        );
+    }
+}
+
+/// The engine: a registry of checks plus the sweep/shrink loop.
+#[derive(Default)]
+pub struct DiffEngine {
+    checks: Vec<Check>,
+}
+
+impl DiffEngine {
+    /// Creates an empty engine.
+    pub fn new() -> Self {
+        DiffEngine::default()
+    }
+
+    /// Registers a named check.
+    pub fn register(
+        &mut self,
+        name: &'static str,
+        run: impl Fn(&Scenario) -> Result<(), String> + Sync + 'static,
+    ) -> &mut Self {
+        self.checks.push(Check::new(name, run));
+        self
+    }
+
+    /// Adds a pre-built check (the [`crate::pairs::standard_checks`] path).
+    pub fn register_check(&mut self, check: Check) -> &mut Self {
+        self.checks.push(check);
+        self
+    }
+
+    /// Registered check names, in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.checks.iter().map(|c| c.name).collect()
+    }
+
+    /// Runs every check over every seed. Scenarios are generated once per
+    /// seed and shared across checks; each check records at most its first
+    /// divergence (shrunk), then stops consuming seeds.
+    pub fn run_seeds(&self, seeds: impl IntoIterator<Item = u64>) -> Report {
+        let mut report = Report {
+            checks_run: self.checks.len(),
+            ..Report::default()
+        };
+        let mut failed = vec![false; self.checks.len()];
+        for seed in seeds {
+            report.seeds_run += 1;
+            let scenario = Scenario::generate(seed);
+            for (i, check) in self.checks.iter().enumerate() {
+                if failed[i] {
+                    continue;
+                }
+                if let Err(message) = Self::run_guarded(check, &scenario) {
+                    failed[i] = true;
+                    let (shrunk, shrunk_message) = Self::shrink(check, scenario.params, &message);
+                    report.divergences.push(Divergence {
+                        check: check.name,
+                        seed,
+                        message,
+                        shrunk,
+                        shrunk_message,
+                    });
+                }
+            }
+        }
+        report
+    }
+
+    /// Runs one check, converting a panic inside the check (e.g. a
+    /// `check-invariants` assertion firing) into a divergence message so
+    /// the sweep can still shrink it.
+    fn run_guarded(check: &Check, scenario: &Scenario) -> Result<(), String> {
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (check.run)(scenario)));
+        match outcome {
+            Ok(r) => r,
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "check panicked".into());
+                Err(format!("panic: {msg}"))
+            }
+        }
+    }
+
+    /// Greedy structural shrink: keep the first candidate that still fails,
+    /// restart from it, stop when no candidate fails (local minimum).
+    fn shrink(
+        check: &Check,
+        start: ScenarioParams,
+        start_message: &str,
+    ) -> (ScenarioParams, String) {
+        let mut current = start;
+        let mut message = start_message.to_string();
+        for _ in 0..MAX_SHRINK_STEPS {
+            let mut improved = false;
+            for candidate in current.shrink_candidates() {
+                let scenario = Scenario::from_params(candidate);
+                if let Err(m) = Self::run_guarded(check, &scenario) {
+                    current = candidate;
+                    message = m;
+                    improved = true;
+                    break;
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        (current, message)
+    }
+}
+
+/// The seed list for a sweep: `GRIDTUNER_TESTKIT_SEED` pins one seed,
+/// `GRIDTUNER_TESTKIT_SEEDS` overrides the count, otherwise `0..default`.
+pub fn seed_budget(default: u64) -> Vec<u64> {
+    if let Ok(s) = std::env::var("GRIDTUNER_TESTKIT_SEED") {
+        if let Ok(seed) = s.trim().parse::<u64>() {
+            return vec![seed];
+        }
+    }
+    let n = std::env::var("GRIDTUNER_TESTKIT_SEEDS")
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .unwrap_or(default);
+    (0..n).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_sweep_reports_no_divergence() {
+        let mut engine = DiffEngine::new();
+        engine.register("always-ok", |_s| Ok(()));
+        let report = engine.run_seeds(0..10);
+        assert_eq!(report.seeds_run, 10);
+        assert_eq!(report.checks_run, 1);
+        report.assert_clean();
+    }
+
+    #[test]
+    fn divergence_is_shrunk_and_still_fails() {
+        let mut engine = DiffEngine::new();
+        // Fails whenever the scenario has more than one day of history:
+        // shrinking must drive `days` down to the smallest failing value, 2.
+        engine.register("needs-small-days", |s| {
+            if s.params.days > 1 {
+                Err(format!("days = {}", s.params.days))
+            } else {
+                Ok(())
+            }
+        });
+        let report = engine.run_seeds(0..32);
+        assert_eq!(report.divergences.len(), 1, "exactly one first divergence");
+        let d = &report.divergences[0];
+        assert_eq!(d.check, "needs-small-days");
+        assert_eq!(d.shrunk.days, 2, "greedy shrink must reach the boundary");
+        assert!(d.render().contains("GRIDTUNER_TESTKIT_SEED="));
+    }
+
+    #[test]
+    fn panicking_checks_are_captured_not_fatal() {
+        let mut engine = DiffEngine::new();
+        engine.register("panics", |_s| panic!("boom"));
+        let report = engine.run_seeds(0..3);
+        assert_eq!(report.divergences.len(), 1);
+        assert!(report.divergences[0].message.contains("boom"));
+        // The sweep itself survived all three seeds.
+        assert_eq!(report.seeds_run, 3);
+    }
+
+    #[test]
+    fn seed_budget_default_counts_up() {
+        // Only exercise the default path: env overrides are covered by the
+        // CI smoke job, and mutating the environment here would race other
+        // tests in this binary.
+        if std::env::var("GRIDTUNER_TESTKIT_SEED").is_err()
+            && std::env::var("GRIDTUNER_TESTKIT_SEEDS").is_err()
+        {
+            assert_eq!(seed_budget(4), vec![0, 1, 2, 3]);
+        }
+    }
+}

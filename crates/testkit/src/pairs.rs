@@ -1,0 +1,523 @@
+//! The standard oracle-pair registry.
+//!
+//! [`standard_checks`] returns every differential/metamorphic check the
+//! workspace ships, ready to hand to a [`DiffEngine`](crate::DiffEngine).
+//! Each check encodes one equivalence or bound the paper (or this
+//! implementation's documentation) promises:
+//!
+//! | check | claim |
+//! |---|---|
+//! | `expr-naive-vs-alg1` | Algorithm 1 computes the naive truncated series |
+//! | `expr-alg1-vs-alg2` | Algorithm 2's prefix-sum algebra matches Algorithm 1 |
+//! | `expr-alg2-vs-windowed` | the adaptive window is the `K → ∞` limit of Algorithm 2 |
+//! | `expr-lemma-bound` | Lemma III.1 bounds every `E_e(a, b, m)` |
+//! | `alpha-cache-vs-direct` | the α cache is bit-identical to `estimate_alpha`, with one log scan |
+//! | `alpha-mass-conservation` | binned α mass × window days = in-window, in-square event count |
+//! | `tune-brute-vs-parallel` | parallel brute force = sequential brute force, bit for bit |
+//! | `tune-heuristics-consistent` | ternary/iterative probe the same curve and never beat brute force |
+//! | `search-ternary-unimodal` | ternary finds the brute-force optimum on strictly unimodal curves |
+//! | `search-iterative-unimodal` | the iterative method does too, from any start with any bound ≥ 1 |
+//! | `par-sum-determinism` | `par_sum` matches its documented fixed-block association |
+//! | `par-accumulate-determinism` | `par_accumulate` matches its documented chunked association |
+//! | `total-expr-par-vs-seq` | the parallel field sweep matches the sequential one |
+//! | `nn-dense-vs-naive` | the blocked dense kernel matches the naive mat-vec |
+//! | `nn-conv-vs-naive` | the tap-hoisted conv kernel matches the naive convolution |
+//! | `theorem-ii1-empirical` | real ≤ model + expression on arbitrary samples (and the slack bound) |
+
+use crate::diff::Check;
+use crate::scenario::Scenario;
+use gridtuner_core::alpha_cache::AlphaFieldCache;
+use gridtuner_core::errors::{evaluate_errors, ErrorSample};
+use gridtuner_core::estimate_alpha;
+use gridtuner_core::expression::{
+    expression_error_alg1, expression_error_alg2, expression_error_naive,
+    expression_error_windowed, lemma_upper_bound, total_expression_error,
+    total_expression_error_seq,
+};
+use gridtuner_core::search::{brute_force, iterative_method, ternary_search};
+use gridtuner_core::tuner::{GridTuner, SearchStrategy, TunerConfig};
+use gridtuner_nn::{Conv2d, Dense, Layer, Tensor};
+use gridtuner_spatial::{CountMatrix, GridSpec, Partition};
+use rand::Rng;
+
+/// Relative + absolute closeness with a contextual label.
+fn close(label: &str, x: f64, y: f64, rel: f64, abs: f64) -> Result<(), String> {
+    let tol = abs + rel * (1.0 + x.abs().max(y.abs()));
+    if (x - y).abs() <= tol {
+        Ok(())
+    } else {
+        Err(format!("{label}: {x} vs {y} (|Δ| = {})", (x - y).abs()))
+    }
+}
+
+/// Bitwise f64 equality with a contextual label.
+fn bit_eq(label: &str, x: f64, y: f64) -> Result<(), String> {
+    if x.to_bits() == y.to_bits() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{label}: {x} ({xb:#x}) vs {y} ({yb:#x})",
+            xb = x.to_bits(),
+            yb = y.to_bits()
+        ))
+    }
+}
+
+/// Draws `(a, b, m, k)` tuples inside the naive algorithm's affordable,
+/// underflow-free domain.
+fn small_abmk(s: &Scenario, salt: u64, n: usize) -> Vec<(f64, f64, usize, usize)> {
+    let mut rng = s.rng(salt);
+    (0..n)
+        .map(|_| {
+            (
+                rng.gen_range(0.0..8.0),
+                rng.gen_range(0.0..24.0),
+                rng.gen_range(1..=6usize),
+                rng.gen_range(1..=12usize),
+            )
+        })
+        .collect()
+}
+
+/// A strictly unimodal error curve over sides `1..=hi`, indexed by side.
+/// Returns `(values, argmin)`; `values[0]` is unused padding.
+fn unimodal_curve(s: &Scenario, salt: u64) -> (Vec<f64>, u32) {
+    let mut rng = s.rng(salt);
+    let hi = rng.gen_range(4..=60u32);
+    let t = rng.gen_range(1..=hi);
+    let mut v = vec![0.0f64; hi as usize + 1];
+    v[t as usize] = rng.gen_range(0.0..10.0);
+    for side in (1..t).rev() {
+        v[side as usize] = v[side as usize + 1] + rng.gen_range(1e-6..1.0);
+    }
+    for side in t + 1..=hi {
+        v[side as usize] = v[side as usize - 1] + rng.gen_range(1e-6..1.0);
+    }
+    (v, t)
+}
+
+fn tuner_config(s: &Scenario, strategy: SearchStrategy) -> TunerConfig {
+    TunerConfig {
+        hgrid_budget_side: s.params.budget_side,
+        side_range: s.params.side_range(),
+        strategy,
+        alpha_window: s.window,
+    }
+}
+
+/// Every standard check, in a deterministic order.
+pub fn standard_checks() -> Vec<Check> {
+    let mut checks = Vec::new();
+
+    checks.push(Check::new("expr-naive-vs-alg1", |s| {
+        for (a, b, m, k) in small_abmk(s, 0x01, 8) {
+            close(
+                &format!("E_e({a}, {b}, m={m}, K={k})"),
+                expression_error_naive(a, b, m, k),
+                expression_error_alg1(a, b, m, k),
+                1e-9,
+                1e-12,
+            )?;
+        }
+        Ok(())
+    }));
+
+    checks.push(Check::new("expr-alg1-vs-alg2", |s| {
+        let mut rng = s.rng(0x02);
+        for _ in 0..8 {
+            let (a, b) = (rng.gen_range(0.0..20.0), rng.gen_range(0.0..40.0));
+            let m = rng.gen_range(1..=8usize);
+            let k = rng.gen_range(1..=40usize);
+            close(
+                &format!("E_e({a}, {b}, m={m}, K={k})"),
+                expression_error_alg1(a, b, m, k),
+                expression_error_alg2(a, b, m, k),
+                1e-8,
+                1e-12,
+            )?;
+        }
+        Ok(())
+    }));
+
+    checks.push(Check::new("expr-alg2-vs-windowed", |s| {
+        let mut rng = s.rng(0x03);
+        for _ in 0..6 {
+            let (a, b) = (rng.gen_range(0.0..8.0), rng.gen_range(0.0..24.0));
+            let m = rng.gen_range(2..=8usize);
+            // K = 80 puts the fixed truncation far past both mass windows,
+            // so the two must agree to truncation error (< 1e-6).
+            close(
+                &format!("E_e({a}, {b}, m={m})"),
+                expression_error_alg2(a, b, m, 80),
+                expression_error_windowed(a, b, m),
+                1e-6,
+                1e-6,
+            )?;
+        }
+        Ok(())
+    }));
+
+    checks.push(Check::new("expr-lemma-bound", |s| {
+        let mut rng = s.rng(0x04);
+        for _ in 0..8 {
+            let (a, b) = (rng.gen_range(0.0..50.0), rng.gen_range(0.0..100.0));
+            let m = rng.gen_range(1..=16usize);
+            let e = expression_error_windowed(a, b, m);
+            let bound = lemma_upper_bound(a, b, m);
+            if e < -1e-12 || e > bound + 1e-9 * (1.0 + bound) {
+                return Err(format!(
+                    "Lemma III.1: E_e({a}, {b}, m={m}) = {e} outside [0, {bound}]"
+                ));
+            }
+        }
+        Ok(())
+    }));
+
+    checks.push(Check::new("alpha-cache-vs-direct", |s| {
+        let cache = AlphaFieldCache::new(&s.events, &s.clock, &s.window);
+        for side in 1..=s.params.max_side {
+            let part = Partition::for_budget(side, s.params.budget_side);
+            let spec = part.hgrid_spec();
+            let cached = cache.alpha(spec);
+            let direct = estimate_alpha(&s.events, spec, &s.clock, &s.window);
+            for (i, (c, d)) in cached.as_slice().iter().zip(direct.as_slice()).enumerate() {
+                bit_eq(&format!("α[{i}] on side {}", spec.side()), *c, *d)?;
+            }
+        }
+        if cache.full_scans() != 1 {
+            return Err(format!(
+                "cache scanned the log {} times, contract says 1",
+                cache.full_scans()
+            ));
+        }
+        Ok(())
+    }));
+
+    checks.push(Check::new("alpha-mass-conservation", |s| {
+        let days = s.window.days(&s.clock);
+        if days.is_empty() {
+            return Ok(()); // all-weekend window: α is defined as zero
+        }
+        let matched = s
+            .events
+            .iter()
+            .filter(|e| {
+                let slot = e.slot(&s.clock);
+                e.loc.in_unit_square()
+                    && s.clock.slot_of_day(slot) == s.window.slot_of_day
+                    && days.contains(&s.clock.day_of(slot))
+            })
+            .count();
+        let alpha = estimate_alpha(&s.events, GridSpec::new(16), &s.clock, &s.window);
+        close(
+            "binned α mass × days vs matched events",
+            alpha.total() * days.len() as f64,
+            matched as f64,
+            1e-9,
+            1e-6,
+        )
+    }));
+
+    checks.push(Check::new("tune-brute-vs-parallel", |s| {
+        let tuner = GridTuner::new(tuner_config(s, SearchStrategy::BruteForce));
+        let model = s.model_fn();
+        let seq = tuner.tune(&s.events, s.clock, model);
+        let par = tuner.tune_brute_parallel(&s.events, s.clock, model);
+        if seq.outcome.side != par.outcome.side {
+            return Err(format!(
+                "optimum side {} vs {}",
+                seq.outcome.side, par.outcome.side
+            ));
+        }
+        bit_eq("optimum error", seq.outcome.error, par.outcome.error)?;
+        if seq.outcome.probes.len() != par.outcome.probes.len() {
+            return Err(format!(
+                "probe counts {} vs {}",
+                seq.outcome.probes.len(),
+                par.outcome.probes.len()
+            ));
+        }
+        for ((s1, e1), (s2, e2)) in seq.outcome.probes.iter().zip(&par.outcome.probes) {
+            if s1 != s2 {
+                return Err(format!("probe order diverged: side {s1} vs {s2}"));
+            }
+            bit_eq(&format!("probe e({s1})"), *e1, *e2)?;
+        }
+        if seq.alpha_rescans != 1 || par.alpha_rescans != 1 {
+            return Err(format!(
+                "alpha rescans {} / {}, contract says 1",
+                seq.alpha_rescans, par.alpha_rescans
+            ));
+        }
+        Ok(())
+    }));
+
+    checks.push(Check::new("tune-heuristics-consistent", |s| {
+        let model = s.model_fn();
+        let brute = GridTuner::new(tuner_config(s, SearchStrategy::BruteForce))
+            .tune(&s.events, s.clock, model);
+        let curve: std::collections::BTreeMap<u32, f64> =
+            brute.outcome.probes.iter().copied().collect();
+        let (_, hi) = s.params.side_range();
+        let strategies = [
+            SearchStrategy::Ternary,
+            SearchStrategy::Iterative {
+                init: 1 + (s.params.seed % hi as u64) as u32,
+                bound: 1 + (s.params.seed % 4) as u32,
+            },
+        ];
+        for strat in strategies {
+            let out = GridTuner::new(tuner_config(s, strat)).tune(&s.events, s.clock, model);
+            // Metamorphic: every heuristic probe must land on the brute
+            // curve bit-for-bit (same oracle, deterministic) ...
+            for (side, e) in &out.outcome.probes {
+                let expect = curve
+                    .get(side)
+                    .ok_or_else(|| format!("{strat:?} probed side {side} outside the range"))?;
+                bit_eq(&format!("{strat:?} probe e({side})"), *e, *expect)?;
+            }
+            // ... and no heuristic may claim an error below the optimum.
+            if out.outcome.error < brute.outcome.error {
+                return Err(format!(
+                    "{strat:?} claims error {} below brute-force optimum {}",
+                    out.outcome.error, brute.outcome.error
+                ));
+            }
+            if out.alpha_rescans != 1 {
+                return Err(format!("{strat:?} rescanned the log"));
+            }
+        }
+        Ok(())
+    }));
+
+    checks.push(Check::new("search-ternary-unimodal", |s| {
+        let (curve, t) = unimodal_curve(s, 0x07);
+        let hi = curve.len() as u32 - 1;
+        let probe = |side: u32| curve[side as usize];
+        let brute = brute_force(probe, 1, hi);
+        if brute.side != t {
+            return Err(format!("brute force found {} not argmin {t}", brute.side));
+        }
+        let tern = ternary_search(probe, 1, hi);
+        if tern.side != t {
+            return Err(format!(
+                "ternary found {} (e = {}) on a strictly unimodal curve with argmin {t} (e = {})",
+                tern.side, tern.error, curve[t as usize]
+            ));
+        }
+        bit_eq("ternary optimum error", tern.error, brute.error)
+    }));
+
+    checks.push(Check::new("search-iterative-unimodal", |s| {
+        let (curve, t) = unimodal_curve(s, 0x08);
+        let hi = curve.len() as u32 - 1;
+        let mut rng = s.rng(0x0880);
+        let init = rng.gen_range(1..=hi);
+        let bound = rng.gen_range(1..=4u32);
+        let out = iterative_method(|side: u32| curve[side as usize], 1, hi, init, bound);
+        if out.side != t {
+            return Err(format!(
+                "iterative (init {init}, bound {bound}) stopped at {} not argmin {t}",
+                out.side
+            ));
+        }
+        bit_eq("iterative optimum error", out.error, curve[t as usize])
+    }));
+
+    checks.push(Check::new("par-sum-determinism", |s| {
+        let mut rng = s.rng(0x09);
+        let n = rng.gen_range(0..600usize);
+        let items: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let got = gridtuner_par::par_sum(&items, |x| x * x);
+        // The documented contract: fold fixed 64-element blocks, then sum
+        // the block partials in order — independent of the worker count.
+        let reference: f64 = items
+            .chunks(64)
+            .map(|block| block.iter().map(|x| x * x).sum::<f64>())
+            .sum();
+        bit_eq("par_sum vs documented block association", got, reference)?;
+        let plain: f64 = items.iter().map(|x| x * x).sum();
+        close("par_sum vs sequential sum", got, plain, 1e-9, 1e-12)
+    }));
+
+    checks.push(Check::new("par-accumulate-determinism", |s| {
+        let mut rng = s.rng(0x0a);
+        let n = rng.gen_range(0..200usize);
+        let len = rng.gen_range(1..48usize);
+        let items: Vec<(usize, f32)> = (0..n)
+            .map(|_| (rng.gen_range(0..len), rng.gen_range(-1.0..1.0f64) as f32))
+            .collect();
+        let scatter = |_i: usize, item: &(usize, f32), buf: &mut [f32]| {
+            buf[item.0] += item.1;
+        };
+        let got = gridtuner_par::par_accumulate(&items, len, scatter);
+        // The documented contract: at most 8 contiguous chunks, partial
+        // buffers combined element-wise in chunk order.
+        let chunk = items.len().div_ceil(8).max(1);
+        let mut reference = vec![0.0f32; len];
+        for piece in items.chunks(chunk) {
+            let mut buf = vec![0.0f32; len];
+            for (i, item) in piece.iter().enumerate() {
+                scatter(i, item, &mut buf);
+            }
+            for (a, v) in reference.iter_mut().zip(&buf) {
+                *a += v;
+            }
+        }
+        for (i, (g, r)) in got.iter().zip(&reference).enumerate() {
+            if g.to_bits() != r.to_bits() {
+                return Err(format!(
+                    "par_accumulate[{i}]: {g} vs documented chunk association {r}"
+                ));
+            }
+        }
+        Ok(())
+    }));
+
+    checks.push(Check::new("total-expr-par-vs-seq", |s| {
+        let cache = AlphaFieldCache::new(&s.events, &s.clock, &s.window);
+        let part = Partition::for_budget(s.params.max_side, s.params.budget_side);
+        cache.with_alpha(part.hgrid_spec(), |alpha| {
+            close(
+                "total expression error, parallel vs sequential",
+                total_expression_error(alpha, &part),
+                total_expression_error_seq(alpha, &part),
+                1e-9,
+                1e-12,
+            )
+        })
+    }));
+
+    checks.push(Check::new("nn-dense-vs-naive", |s| {
+        let mut rng = s.rng(0x0c);
+        let in_dim = rng.gen_range(1..=24usize);
+        let out_dim = rng.gen_range(1..=16usize);
+        let mut layer = Dense::new(&mut rng, in_dim, out_dim);
+        let x: Vec<f32> = (0..in_dim)
+            .map(|_| rng.gen_range(-1.0..1.0f64) as f32)
+            .collect();
+        let params: Vec<Vec<f32>> = layer
+            .params_mut()
+            .iter()
+            .map(|p| p.value.as_slice().to_vec())
+            .collect();
+        let (w, b) = (&params[0], &params[1]);
+        let y = layer.forward(&Tensor::vector(&x));
+        for o in 0..out_dim {
+            let mut acc = b[o] as f64;
+            for j in 0..in_dim {
+                acc += w[o * in_dim + j] as f64 * x[j] as f64;
+            }
+            close(
+                &format!("dense y[{o}] ({in_dim}→{out_dim})"),
+                y.as_slice()[o] as f64,
+                acc,
+                1e-4,
+                1e-5,
+            )?;
+        }
+        Ok(())
+    }));
+
+    checks.push(Check::new("nn-conv-vs-naive", |s| {
+        let mut rng = s.rng(0x0d);
+        let ic = rng.gen_range(1..=3usize);
+        let oc = rng.gen_range(1..=4usize);
+        let ks = 2 * rng.gen_range(0..=2usize) + 1; // 1, 3 or 5
+        let (h, w) = (rng.gen_range(3..=8usize), rng.gen_range(3..=8usize));
+        let mut layer = Conv2d::new(&mut rng, ic, oc, ks);
+        let x: Vec<f32> = (0..ic * h * w)
+            .map(|_| rng.gen_range(-1.0..1.0f64) as f32)
+            .collect();
+        let params: Vec<Vec<f32>> = layer
+            .params_mut()
+            .iter()
+            .map(|p| p.value.as_slice().to_vec())
+            .collect();
+        let (kern, bias) = (&params[0], &params[1]);
+        let y = layer.forward(&Tensor::from_vec(&[ic, h, w], x.clone()));
+        let pad = ks / 2;
+        for o in 0..oc {
+            for r in 0..h {
+                for c in 0..w {
+                    let mut acc = bias[o] as f64;
+                    for i in 0..ic {
+                        for kr in 0..ks {
+                            for kc in 0..ks {
+                                let (rr, cc) = (r + kr, c + kc);
+                                if rr < pad || cc < pad || rr - pad >= h || cc - pad >= w {
+                                    continue; // zero padding
+                                }
+                                let xv = x[(i * h + (rr - pad)) * w + (cc - pad)] as f64;
+                                let kv = kern[((o * ic + i) * ks + kr) * ks + kc] as f64;
+                                acc += kv * xv;
+                            }
+                        }
+                    }
+                    close(
+                        &format!("conv y[{o},{r},{c}] (ic={ic} ks={ks} {h}×{w})"),
+                        y.as_slice()[(o * h + r) * w + c] as f64,
+                        acc,
+                        1e-4,
+                        1e-5,
+                    )?;
+                }
+            }
+        }
+        Ok(())
+    }));
+
+    checks.push(Check::new("theorem-ii1-empirical", |s| {
+        let mut rng = s.rng(0x0e);
+        let side = rng.gen_range(2..=s.params.max_side.max(2));
+        let part = Partition::for_budget(side, s.params.budget_side);
+        let n_samples = rng.gen_range(1..=3usize);
+        let samples: Vec<ErrorSample> = (0..n_samples)
+            .map(|_| {
+                let actual: Vec<f64> = (0..part.total_hgrids())
+                    .map(|_| rng.gen_range(0..6u32) as f64)
+                    .collect();
+                let predicted: Vec<f64> = (0..part.n()).map(|_| rng.gen_range(0.0..20.0)).collect();
+                ErrorSample {
+                    predicted_mgrid: CountMatrix::from_vec(part.mgrid_side(), predicted).unwrap(),
+                    actual_hgrid: CountMatrix::from_vec(part.hgrid_spec().side(), actual).unwrap(),
+                }
+            })
+            .collect();
+        let r = evaluate_errors(&samples, &part).map_err(|e| format!("{e:?}"))?;
+        if r.real > r.upper_bound() + 1e-9 * (1.0 + r.upper_bound()) {
+            return Err(format!("Theorem II.1 violated: {r:?}"));
+        }
+        let slack = r.upper_bound() - r.real;
+        if slack > 2.0 * r.model.min(r.expression) + 1e-9 {
+            return Err(format!("slack bound violated: {r:?}"));
+        }
+        Ok(())
+    }));
+
+    checks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_stable() {
+        let checks = standard_checks();
+        assert!(checks.len() >= 13, "registry shrank to {}", checks.len());
+        let mut names: Vec<&str> = checks.iter().map(|c| c.name).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len(), "duplicate check names");
+    }
+
+    #[test]
+    fn every_check_passes_on_one_scenario() {
+        let scenario = Scenario::generate(0);
+        for check in standard_checks() {
+            (check.run)(&scenario).unwrap_or_else(|e| panic!("{}: {e}", check.name));
+        }
+    }
+}

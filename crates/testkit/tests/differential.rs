@@ -1,0 +1,22 @@
+//! The differential suite: every standard oracle pair, fuzzed over a
+//! seeded scenario stream.
+//!
+//! Budget knobs (see `TESTING.md`):
+//! * `GRIDTUNER_TESTKIT_SEEDS=<n>` — sweep size (default 200);
+//! * `GRIDTUNER_TESTKIT_SEED=<s>` — replay exactly one seed.
+
+use gridtuner_testkit::{seed_budget, standard_checks, DiffEngine};
+
+/// Default seeds per oracle pair; the acceptance bar for the suite.
+const DEFAULT_SEEDS: u64 = 200;
+
+#[test]
+fn standard_oracle_pairs_agree_over_seeded_scenarios() {
+    let mut engine = DiffEngine::new();
+    for check in standard_checks() {
+        engine.register_check(check);
+    }
+    let report = engine.run_seeds(seed_budget(DEFAULT_SEEDS));
+    assert!(report.checks_run >= 13, "registry shrank");
+    report.assert_clean();
+}

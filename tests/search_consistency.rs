@@ -80,3 +80,106 @@ fn memoization_shares_work_across_strategies() {
     assert_eq!(a, b);
     assert_eq!(memo.unique_evals(), 1);
 }
+
+// ---------------------------------------------------------------------------
+// Property tests on fuzzed curves, and the documented plateau/tie semantics.
+// ---------------------------------------------------------------------------
+
+use rand::Rng;
+
+/// A strictly unimodal curve over sides `1..=hi` with its argmin; values
+/// are drawn from a continuous range so exact ties have measure zero.
+fn random_unimodal(rng: &mut StdRng) -> (Vec<f64>, u32) {
+    let hi = rng.gen_range(3..=70u32);
+    let t = rng.gen_range(1..=hi);
+    let mut v = vec![0.0f64; hi as usize + 1];
+    v[t as usize] = rng.gen_range(0.0..5.0);
+    for s in (1..t).rev() {
+        v[s as usize] = v[s as usize + 1] + rng.gen_range(1e-6..1.0);
+    }
+    for s in t + 1..=hi {
+        v[s as usize] = v[s as usize - 1] + rng.gen_range(1e-6..1.0);
+    }
+    (v, t)
+}
+
+#[test]
+fn ternary_finds_the_optimum_on_fuzzed_unimodal_curves() {
+    let mut rng = StdRng::seed_from_u64(0x7e24);
+    for _ in 0..200 {
+        let (curve, t) = random_unimodal(&mut rng);
+        let hi = curve.len() as u32 - 1;
+        let out = ternary_search(|s: u32| curve[s as usize], 1, hi);
+        assert_eq!(
+            out.side, t,
+            "curve with argmin {t}: ternary found {}",
+            out.side
+        );
+        assert_eq!(out.error.to_bits(), curve[t as usize].to_bits());
+    }
+}
+
+#[test]
+fn iterative_finds_the_optimum_on_fuzzed_unimodal_curves() {
+    let mut rng = StdRng::seed_from_u64(0x17e2);
+    for _ in 0..200 {
+        let (curve, t) = random_unimodal(&mut rng);
+        let hi = curve.len() as u32 - 1;
+        let init = rng.gen_range(1..=hi);
+        let bound = rng.gen_range(1..=5u32);
+        let out = iterative_method(|s: u32| curve[s as usize], 1, hi, init, bound);
+        assert_eq!(
+            out.side, t,
+            "init {init} bound {bound}: stopped at {} not {t}",
+            out.side
+        );
+    }
+}
+
+#[test]
+fn brute_force_ties_break_toward_the_smaller_side() {
+    // Minimum plateau over sides 3..=5: the canonical rule is left-most.
+    let curve = [f64::NAN, 4.0, 2.0, 1.0, 1.0, 1.0, 3.0];
+    let out = brute_force(|s: u32| curve[s as usize], 1, 6);
+    assert_eq!(out.side, 3);
+    assert_eq!(out.error, 1.0);
+}
+
+#[test]
+fn ternary_returns_a_true_minimiser_on_minimum_plateaus() {
+    // Ties discard the right interval, so ternary drifts left; on a curve
+    // whose only flat region IS the minimum it still lands on the plateau
+    // (though not necessarily its left edge).
+    let curve = [f64::NAN, 6.0, 4.0, 1.0, 1.0, 1.0, 1.0, 2.0, 5.0];
+    let out = ternary_search(|s: u32| curve[s as usize], 1, 8);
+    assert!((3..=6).contains(&out.side), "side {} off-plateau", out.side);
+    assert_eq!(out.error, 1.0);
+}
+
+/// The failure mode the `ternary_search` docs warn about: a flat shoulder
+/// *away* from the minimum makes the tie rule discard the interval that
+/// holds the real optimum. Pinned so the behaviour (and its docs) cannot
+/// drift silently.
+#[test]
+fn ternary_can_be_misled_by_shoulder_plateaus() {
+    //            side:   1    2    3    4    5    6    7    8    9
+    let curve = [f64::NAN, 9.0, 8.0, 5.0, 5.0, 5.0, 5.0, 5.0, 0.0, 1.0];
+    let brute = brute_force(|s: u32| curve[s as usize], 1, 9);
+    assert_eq!(brute.side, 8, "the true optimum sits past the shoulder");
+    let out = ternary_search(|s: u32| curve[s as usize], 1, 9);
+    // First round probes sides 3 and 7; the 5.0 == 5.0 tie discards
+    // (7, 9] — and side 8 with it. The search then settles on the shoulder.
+    assert_eq!(out.side, 3, "documented shoulder-plateau behaviour changed");
+    assert_eq!(out.error, 5.0);
+    assert!(out.error > brute.error);
+}
+
+#[test]
+fn iterative_stays_put_on_flat_curves() {
+    // Strict-improvement descent: a constant curve never moves the point.
+    for init in [1u32, 5, 9] {
+        let out = iterative_method(|_s: u32| 2.5, 1, 9, init, 3);
+        assert_eq!(out.side, init);
+        assert_eq!(out.error, 2.5);
+    }
+}
