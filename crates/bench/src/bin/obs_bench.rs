@@ -1,0 +1,213 @@
+//! Observability overhead benchmark: times the same tuning hot path with
+//! span/event recording off and on (in-memory, no trace sink — the honest
+//! "enabled" cost) and asserts the overhead stays under budget.
+//!
+//! ```text
+//! cargo run --release -p gridtuner-bench --bin obs_bench [-- --scale X --reps N --inner K]
+//! ```
+//!
+//! Each rep times both modes back-to-back (order alternating) and yields
+//! one on/off ratio; the reported overhead is the median ratio, which is
+//! robust to the wall-clock drift shared runners exhibit. Writes
+//! `BENCH_obs.json` with `{schema, off_ms, on_ms, overhead_pct,
+//! max_overhead_pct, reps}` where off/on are the per-mode minima. The
+//! budget defaults to 3% and can be widened for noisy CI runners via
+//! `GRIDTUNER_OBS_MAX_OVERHEAD_PCT`.
+
+use gridtuner_core::alpha::AlphaWindow;
+use gridtuner_core::tuner::{GridTuner, SearchStrategy, TunerConfig};
+use gridtuner_datagen::City;
+use gridtuner_obs as obs;
+use gridtuner_obs::json::Val;
+use gridtuner_spatial::{Event, SlotClock};
+use rand::{rngs::StdRng, SeedableRng};
+use std::time::Instant;
+
+const BENCH_SCHEMA: &str = "gridtuner.bench_obs/1";
+const DEFAULT_MAX_OVERHEAD_PCT: f64 = 3.0;
+
+/// One full brute-force tune — the instrumented hot path (alpha scan,
+/// per-probe spans/events, expression-error spans). Returns wall seconds.
+fn run_once(events: &[Event], clock: SlotClock, cfg: &TunerConfig) -> f64 {
+    let tuner = GridTuner::new(*cfg);
+    let t0 = Instant::now();
+    let result = tuner.tune(events, clock, |s: u32| (s * s) as f64 * 0.05);
+    let dt = t0.elapsed().as_secs_f64();
+    assert!(result.outcome.side >= cfg.side_range.0, "sanity");
+    dt
+}
+
+/// One timing sample with recording forced to `enabled`: `inner`
+/// back-to-back tunes, summed — long enough (hundreds of ms) that OS
+/// scheduling noise stays well under the 3% budget being measured.
+/// Aggregated state is cleared up front so the retained-event ring stays
+/// comparable across samples.
+fn sample(events: &[Event], clock: SlotClock, cfg: &TunerConfig, enabled: bool, inner: u32) -> f64 {
+    if enabled {
+        obs::enable();
+    } else {
+        obs::disable();
+    }
+    obs::reset();
+    let mut total = 0.0;
+    for _ in 0..inner {
+        total += run_once(events, clock, cfg);
+    }
+    obs::disable();
+    total
+}
+
+fn parse_flag(args: &[String], name: &str) -> Option<f64> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn max_overhead_pct() -> f64 {
+    std::env::var("GRIDTUNER_OBS_MAX_OVERHEAD_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_MAX_OVERHEAD_PCT)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = parse_flag(&args, "--scale").unwrap_or(0.05);
+    let reps = parse_flag(&args, "--reps").unwrap_or(5.0).max(1.0) as u32;
+
+    let city = City::nyc().scaled(scale);
+    let clock = *city.clock();
+    let window = AlphaWindow::default();
+    let mut rng = StdRng::seed_from_u64(7);
+    let events = city.sample_history_events(
+        window.slot_of_day,
+        window.day_start..window.day_end,
+        &mut rng,
+    );
+    let cfg = TunerConfig {
+        strategy: SearchStrategy::BruteForce,
+        alpha_window: window,
+        side_range: (2, 32),
+        ..TunerConfig::default()
+    };
+    eprintln!(
+        "[obs_bench] {} events, sides {}..={}, {reps} reps per mode",
+        events.len(),
+        cfg.side_range.0,
+        cfg.side_range.1
+    );
+
+    // Warm-up rep (page-in, allocator), then paired samples: each rep
+    // times both modes back-to-back — order alternating to cancel linear
+    // drift — and contributes one on/off ratio. The reported overhead is
+    // the median ratio, which shrugs off the multi-percent wall-clock
+    // swings shared runners show between any two absolute measurements.
+    run_once(&events, clock, &cfg);
+    let inner = parse_flag(&args, "--inner").unwrap_or(25.0).max(1.0) as u32;
+    let mut ratios = Vec::with_capacity(reps as usize);
+    let mut off_s = f64::INFINITY;
+    let mut on_s = f64::INFINITY;
+    for rep in 0..reps {
+        let (off, on) = if rep % 2 == 0 {
+            let off = sample(&events, clock, &cfg, false, inner);
+            let on = sample(&events, clock, &cfg, true, inner);
+            (off, on)
+        } else {
+            let on = sample(&events, clock, &cfg, true, inner);
+            let off = sample(&events, clock, &cfg, false, inner);
+            (off, on)
+        };
+        ratios.push(on / off);
+        off_s = off_s.min(off);
+        on_s = on_s.min(on);
+    }
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    let median_ratio = if ratios.len() % 2 == 1 {
+        ratios[ratios.len() / 2]
+    } else {
+        (ratios[ratios.len() / 2 - 1] + ratios[ratios.len() / 2]) / 2.0
+    };
+
+    let overhead_pct = (median_ratio - 1.0) * 100.0;
+    let budget = max_overhead_pct();
+    let json = Val::obj(vec![
+        ("schema", Val::from(BENCH_SCHEMA)),
+        ("off_ms", Val::from(off_s * 1e3)),
+        ("on_ms", Val::from(on_s * 1e3)),
+        ("overhead_pct", Val::from(overhead_pct)),
+        ("max_overhead_pct", Val::from(budget)),
+        ("reps", Val::from(u64::from(reps))),
+        ("events", Val::from(events.len() as u64)),
+    ])
+    .render();
+    std::fs::write("BENCH_obs.json", &json).expect("cannot write BENCH_obs.json");
+    println!("{json}");
+    eprintln!(
+        "[obs_bench] off {:.1} ms, on {:.1} ms, overhead {overhead_pct:.2}% (budget {budget}%)",
+        off_s * 1e3,
+        on_s * 1e3
+    );
+    assert!(
+        overhead_pct < budget,
+        "observability overhead {overhead_pct:.2}% exceeds the {budget}% budget"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn flag_parsing() {
+        assert_eq!(
+            parse_flag(&argv("--scale 0.2 --reps 3"), "--scale"),
+            Some(0.2)
+        );
+        assert_eq!(
+            parse_flag(&argv("--scale 0.2 --reps 3"), "--reps"),
+            Some(3.0)
+        );
+        assert_eq!(parse_flag(&argv("--scale"), "--scale"), None);
+        assert_eq!(parse_flag(&argv(""), "--reps"), None);
+    }
+
+    #[test]
+    fn overhead_budget_defaults_to_three_percent() {
+        // (The env override is read at runtime; the default is the
+        // acceptance criterion of the observability PR.)
+        assert_eq!(DEFAULT_MAX_OVERHEAD_PCT, 3.0);
+    }
+
+    #[test]
+    fn both_modes_compute_the_same_optimum() {
+        let city = City::nyc().scaled(0.002);
+        let clock = *city.clock();
+        let window = AlphaWindow {
+            slot_of_day: 16,
+            day_start: 0,
+            day_end: 7,
+            weekdays_only: true,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let events = city.sample_history_events(16, 0..7, &mut rng);
+        let cfg = TunerConfig {
+            strategy: SearchStrategy::BruteForce,
+            alpha_window: window,
+            side_range: (2, 8),
+            hgrid_budget_side: 16,
+        };
+        let model = |s: u32| (s * s) as f64 * 0.1;
+        obs::disable();
+        let off = GridTuner::new(cfg).tune(&events, clock, model);
+        obs::enable();
+        let on = GridTuner::new(cfg).tune(&events, clock, model);
+        obs::disable();
+        assert_eq!(off.outcome.side, on.outcome.side);
+        assert_eq!(off.outcome.error.to_bits(), on.outcome.error.to_bits());
+    }
+}

@@ -1,14 +1,20 @@
 //! The experiment runner: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! cargo run --release -p gridtuner-bench --bin repro -- <id> [--quick] [--scale X] [--seed S]
+//! cargo run --release -p gridtuner-bench --bin repro -- <id> [--quick] [--scale X] [--seed S] [--report]
 //! cargo run --release -p gridtuner-bench --bin repro -- all --quick
 //! ```
 //!
 //! Where `<id>` is one of: fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11
 //! fig13 fig14 fig15 fig16 fig17 fig18 fig19 tab3 tab4 all.
+//!
+//! Observability: set `GRIDTUNER_TRACE=path` to stream a JSON-lines trace
+//! of the whole run (validate it with the `trace_check` bin), or pass
+//! `--report` for a human-readable end-of-run summary on stderr. See
+//! `OBSERVABILITY.md`.
 
 use gridtuner_bench::{experiments as ex, RunCfg};
+use gridtuner_obs as obs;
 use std::time::Instant;
 
 const IDS: &[&str] = &[
@@ -36,7 +42,7 @@ const IDS: &[&str] = &[
 ];
 
 fn usage() -> ! {
-    eprintln!("usage: repro <id>|all [--quick] [--scale X] [--seed S]");
+    eprintln!("usage: repro <id>|all [--quick] [--scale X] [--seed S] [--report]");
     eprintln!("ids: {}", IDS.join(" "));
     std::process::exit(2);
 }
@@ -74,14 +80,15 @@ fn run_one(id: &str, cfg: &RunCfg) {
     println!();
 }
 
-/// Parses `<id> [--quick] [--scale X] [--seed S]` into a run plan.
-/// `--quick` replaces the config but keeps any seed given before it.
-fn parse_args(args: &[String]) -> Result<(String, RunCfg), String> {
+/// Parses `<id> [--quick] [--scale X] [--seed S] [--report]` into a run
+/// plan. `--quick` replaces the config but keeps any seed given before it.
+fn parse_args(args: &[String]) -> Result<(String, RunCfg, bool), String> {
     let id = args.first().ok_or("missing experiment id")?.clone();
     if id != "all" && !IDS.contains(&id.as_str()) {
         return Err(format!("unknown experiment id: {id}"));
     }
     let mut cfg = RunCfg::default();
+    let mut report = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -90,6 +97,7 @@ fn parse_args(args: &[String]) -> Result<(String, RunCfg), String> {
                 cfg = RunCfg::quick();
                 cfg.seed = seed;
             }
+            "--report" => report = true,
             "--scale" => {
                 i += 1;
                 cfg.volume_scale = args
@@ -108,18 +116,22 @@ fn parse_args(args: &[String]) -> Result<(String, RunCfg), String> {
         }
         i += 1;
     }
-    Ok((id, cfg))
+    Ok((id, cfg, report))
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (id, cfg) = match parse_args(&args) {
+    let (id, cfg, report) = match parse_args(&args) {
         Ok(plan) => plan,
         Err(e) => {
             eprintln!("{e}");
             usage();
         }
     };
+    obs::init_from_env();
+    if report {
+        obs::enable();
+    }
     if id == "all" {
         for id in IDS {
             run_one(id, &cfg);
@@ -127,6 +139,14 @@ fn main() {
     } else {
         run_one(&id, &cfg);
     }
+    if obs::enabled() {
+        let run_report = obs::report::RunReport::capture();
+        run_report.emit(); // appended to the trace stream, if one is set
+        if report {
+            eprintln!("{run_report}");
+        }
+    }
+    obs::trace::flush();
 }
 
 #[cfg(test)]
@@ -151,14 +171,15 @@ mod tests {
 
     #[test]
     fn parse_defaults() {
-        let (id, cfg) = parse_args(&argv("fig3")).unwrap();
+        let (id, cfg, report) = parse_args(&argv("fig3")).unwrap();
         assert_eq!(id, "fig3");
         assert_eq!(cfg, RunCfg::default());
+        assert!(!report);
     }
 
     #[test]
     fn parse_quick_keeps_earlier_seed() {
-        let (_, cfg) = parse_args(&argv("tab4 --seed 99 --quick")).unwrap();
+        let (_, cfg, _) = parse_args(&argv("tab4 --seed 99 --quick")).unwrap();
         assert!(cfg.quick);
         assert_eq!(cfg.seed, 99);
         assert_eq!(cfg.volume_scale, RunCfg::quick().volume_scale);
@@ -166,11 +187,19 @@ mod tests {
 
     #[test]
     fn parse_scale_and_seed() {
-        let (id, cfg) = parse_args(&argv("all --scale 0.25 --seed 7")).unwrap();
+        let (id, cfg, report) = parse_args(&argv("all --scale 0.25 --seed 7")).unwrap();
         assert_eq!(id, "all");
         assert_eq!(cfg.volume_scale, 0.25);
         assert_eq!(cfg.seed, 7);
         assert!(!cfg.quick);
+        assert!(!report);
+    }
+
+    #[test]
+    fn parse_report_flag() {
+        let (_, cfg, report) = parse_args(&argv("fig3 --report --seed 5")).unwrap();
+        assert!(report);
+        assert_eq!(cfg.seed, 5);
     }
 
     #[test]

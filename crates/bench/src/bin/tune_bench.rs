@@ -21,9 +21,34 @@ use gridtuner_core::estimate_alpha;
 use gridtuner_core::expression::expression_error_windowed;
 use gridtuner_core::tuner::{GridTuner, SearchStrategy, TunerConfig};
 use gridtuner_datagen::City;
+use gridtuner_obs as obs;
+use gridtuner_obs::json::Val;
 use gridtuner_spatial::{Event, Partition, SlotClock};
 use rand::{rngs::StdRng, SeedableRng};
 use std::time::Instant;
+
+/// Schema tag of `BENCH_tune.json` — bump when fields change meaning.
+const BENCH_SCHEMA: &str = "gridtuner.bench_tune/2";
+
+/// Per-phase wall timings of the cached sweep, keyed by span name, from
+/// the observability layer's aggregated span stats.
+fn phase_timings() -> Val {
+    Val::obj(
+        obs::span::span_stats()
+            .into_iter()
+            .map(|(name, st)| {
+                (
+                    name,
+                    Val::obj(vec![
+                        ("count", Val::from(st.count)),
+                        ("total_ms", Val::from(st.total_ns as f64 / 1e6)),
+                        ("max_ms", Val::from(st.max_ns as f64 / 1e6)),
+                    ]),
+                )
+            })
+            .collect(),
+    )
+}
 
 /// The seed code path: full log scan per probe, unmemoised per-cell sums.
 fn naive_sweep(
@@ -126,7 +151,11 @@ fn main() {
         "[tune_bench] naive: side {naive_side} err {naive_err:.3} in {naive_ms:.1} ms ({naive_rescans} log scans)"
     );
 
-    // Cached + parallel sweep.
+    // Cached + parallel sweep, with span recording on so the JSON can
+    // break the wall time down by phase (alpha scan, probes, ...).
+    obs::init_from_env();
+    obs::enable();
+    obs::reset();
     let tuner = GridTuner::new(cfg);
     let t1 = Instant::now();
     let result = tuner.tune_brute_parallel(&events, clock, model);
@@ -147,17 +176,24 @@ fn main() {
     );
 
     let speedup = naive_ms / wall_ms.max(1e-9);
-    let json = format!(
-        "{{\n  \"wall_ms\": {wall_ms:.3},\n  \"probes\": {},\n  \"alpha_rescans\": {},\n  \"events\": {},\n  \"selected_side\": {},\n  \"naive_wall_ms\": {naive_ms:.3},\n  \"naive_alpha_rescans\": {naive_rescans},\n  \"speedup\": {speedup:.2},\n  \"threads\": {}\n}}\n",
-        result.outcome.evals,
-        result.alpha_rescans,
-        events.len(),
-        result.outcome.side,
-        gridtuner_par::max_threads(),
-    );
+    let json = Val::obj(vec![
+        ("schema", Val::from(BENCH_SCHEMA)),
+        ("wall_ms", Val::from(wall_ms)),
+        ("probes", Val::from(result.outcome.evals as u64)),
+        ("alpha_rescans", Val::from(result.alpha_rescans)),
+        ("events", Val::from(events.len() as u64)),
+        ("selected_side", Val::from(result.outcome.side)),
+        ("naive_wall_ms", Val::from(naive_ms)),
+        ("naive_alpha_rescans", Val::from(naive_rescans)),
+        ("speedup", Val::from(speedup)),
+        ("threads", Val::from(gridtuner_par::max_threads() as u64)),
+        ("phases", phase_timings()),
+    ])
+    .render();
     std::fs::write("BENCH_tune.json", &json).expect("cannot write BENCH_tune.json");
-    print!("{json}");
+    println!("{json}");
     eprintln!("[tune_bench] speedup {speedup:.2}x, wrote BENCH_tune.json");
+    obs::trace::flush();
 }
 
 #[cfg(test)]

@@ -24,8 +24,16 @@ impl std::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 impl Args {
-    /// Parses `argv` (without the program name).
+    /// Parses `argv` (without the program name). Every flag takes a value;
+    /// see [`Args::parse_with_switches`] for boolean switches.
+    #[allow(dead_code)] // the binary parses via parse_with_switches
     pub fn parse(argv: &[String]) -> Result<Args, ArgError> {
+        Args::parse_with_switches(argv, &[])
+    }
+
+    /// Like [`Args::parse`], but flags listed in `switches` are boolean:
+    /// they consume no value and parse as `"1"` (query with [`Args::has`]).
+    pub fn parse_with_switches(argv: &[String], switches: &[&str]) -> Result<Args, ArgError> {
         let mut it = argv.iter();
         let command = it
             .next()
@@ -41,14 +49,23 @@ impl Args {
             let key = key
                 .strip_prefix("--")
                 .ok_or_else(|| ArgError(format!("expected --flag, got {key}")))?;
-            let value = it
-                .next()
-                .ok_or_else(|| ArgError(format!("--{key} needs a value")))?;
-            if flags.insert(key.to_string(), value.clone()).is_some() {
+            let value = if switches.contains(&key) {
+                "1".to_string()
+            } else {
+                it.next()
+                    .ok_or_else(|| ArgError(format!("--{key} needs a value")))?
+                    .clone()
+            };
+            if flags.insert(key.to_string(), value).is_some() {
                 return Err(ArgError(format!("--{key} given twice")));
             }
         }
         Ok(Args { command, flags })
+    }
+
+    /// Whether a flag was given at all (switches parse as `"1"`).
+    pub fn has(&self, key: &str) -> bool {
+        self.flags.contains_key(key)
     }
 
     /// String flag with a default.
@@ -146,6 +163,16 @@ mod tests {
         assert!(Args::parse(&argv("tune --city a --city b")).is_err());
         let a = Args::parse(&argv("tune --scale abc")).unwrap();
         assert!(a.get_or("scale", 1.0f64).is_err());
+    }
+
+    #[test]
+    fn switches_take_no_value() {
+        let a = Args::parse_with_switches(&argv("tune --report --city nyc"), &["report"]).unwrap();
+        assert!(a.has("report"));
+        assert!(!a.has("trace"));
+        assert_eq!(a.str_or("city", "xian"), "nyc");
+        // Without the switch registered, --report would eat `--city`.
+        assert!(Args::parse(&argv("tune --report")).is_err());
     }
 
     #[test]

@@ -24,12 +24,17 @@ use gridtuner::dispatch::daif::DaifConfig;
 use gridtuner::dispatch::{
     Daif, DemandView, FleetConfig, Ls, Nearest, Order, Polar, SimConfig, Simulator,
 };
+use gridtuner::obs;
 use gridtuner::predict::{CityModelError, HistoricalAverage, Predictor};
 use gridtuner::spatial::Partition;
 use rand::{rngs::StdRng, SeedableRng};
 
 const USAGE: &str = "\
 usage: gridtuner <command> [--flag value]...
+
+global flags (any command):
+  --trace PATH  stream a JSON-lines trace of the run to PATH
+  --report      print an end-of-run observability report to stderr
 
 commands:
   tune        find the optimal MGrid side for a city
@@ -58,7 +63,9 @@ fn city_by_name(name: &str) -> Result<City, ArgError> {
 }
 
 fn cmd_tune(a: &Args) -> Result<(), ArgError> {
-    a.expect_only(&["city", "scale", "seed", "strategy", "budget", "range"])?;
+    a.expect_only(&[
+        "city", "scale", "seed", "strategy", "budget", "range", "trace", "report",
+    ])?;
     let city = city_by_name(&a.str_or("city", "xian"))?.scaled(a.get_or("scale", 0.05)?);
     let seed: u64 = a.get_or("seed", 2022u64)?;
     let budget: u32 = a.get_or("budget", 64u32)?;
@@ -109,7 +116,7 @@ fn cmd_tune(a: &Args) -> Result<(), ArgError> {
 }
 
 fn cmd_expression(a: &Args) -> Result<(), ArgError> {
-    a.expect_only(&["alpha", "rest", "m", "k"])?;
+    a.expect_only(&["alpha", "rest", "m", "k", "trace", "report"])?;
     let alpha: f64 = a.get_or("alpha", 2.0)?;
     let rest: f64 = a.get_or("rest", 30.0)?;
     let m: usize = a.get_or("m", 64usize)?;
@@ -124,7 +131,7 @@ fn cmd_expression(a: &Args) -> Result<(), ArgError> {
 }
 
 fn cmd_generate(a: &Args) -> Result<(), ArgError> {
-    a.expect_only(&["city", "scale", "day", "seed"])?;
+    a.expect_only(&["city", "scale", "day", "seed", "trace", "report"])?;
     let city = city_by_name(&a.str_or("city", "xian"))?.scaled(a.get_or("scale", 0.01)?);
     let day: u32 = a.get_or("day", 0u32)?;
     let seed: u64 = a.get_or("seed", 2022u64)?;
@@ -156,6 +163,8 @@ fn cmd_simulate(a: &Args) -> Result<(), ArgError> {
         "budget",
         "drivers",
         "seed",
+        "trace",
+        "report",
     ])?;
     let city = city_by_name(&a.str_or("city", "xian"))?.scaled(a.get_or("scale", 0.01)?);
     let side: u32 = a.get_or("side", 16u32)?;
@@ -208,7 +217,7 @@ fn cmd_simulate(a: &Args) -> Result<(), ArgError> {
 }
 
 fn cmd_heatmap(a: &Args) -> Result<(), ArgError> {
-    a.expect_only(&["city", "side", "hour"])?;
+    a.expect_only(&["city", "side", "hour", "trace", "report"])?;
     let city = city_by_name(&a.str_or("city", "nyc"))?;
     let side: u32 = a.get_or("side", 32u32)?;
     let hour: u32 = a.get_or("hour", 8u32)?;
@@ -227,10 +236,37 @@ fn cmd_heatmap(a: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
+/// Wires up observability from the global flags (and, failing that, the
+/// `GRIDTUNER_TRACE`/`GRIDTUNER_OBS` environment). Returns whether an
+/// end-of-run report was requested.
+fn setup_obs(args: &Args) -> Result<bool, ArgError> {
+    let trace_path = args.str_or("trace", "");
+    if !trace_path.is_empty() {
+        let f = std::fs::File::create(&trace_path)
+            .map_err(|e| ArgError(format!("--trace: cannot open {trace_path:?}: {e}")))?;
+        obs::trace::set_sink(Box::new(std::io::BufWriter::new(f)));
+        obs::enable();
+    } else {
+        obs::init_from_env();
+    }
+    let report = args.has("report");
+    if report {
+        obs::enable();
+    }
+    Ok(report)
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let args = match Args::parse(&argv) {
+    let args = match Args::parse_with_switches(&argv, &["report"]) {
         Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let want_report = match setup_obs(&args) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
             std::process::exit(2);
@@ -248,6 +284,12 @@ fn main() {
         }
         other => Err(ArgError(format!("unknown command {other:?}"))),
     };
+    if result.is_ok() && want_report {
+        let report = obs::report::RunReport::capture();
+        report.emit(); // appended to the trace stream, if any
+        eprintln!("{report}");
+    }
+    obs::trace::flush();
     if let Err(e) = result {
         eprintln!("error: {e}\n\n{USAGE}");
         std::process::exit(2);

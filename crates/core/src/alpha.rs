@@ -53,6 +53,7 @@ pub fn estimate_alpha(
     clock: &SlotClock,
     window: &AlphaWindow,
 ) -> CountMatrix {
+    let _span = gridtuner_obs::span!("alpha.scan", events = events.len(), side = spec.side());
     let days = window.days(clock);
     let mut alpha = CountMatrix::zeros(spec.side());
     if days.is_empty() {

@@ -25,9 +25,9 @@
 //! impossible in general.)
 
 use crate::alpha::AlphaWindow;
+use gridtuner_obs as obs;
 use gridtuner_spatial::{CountMatrix, Event, GridSpec, Point, SlotClock};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// The α-field cache: one event-log pass at construction, `O(digest)`
@@ -43,13 +43,17 @@ pub struct AlphaFieldCache {
     /// Derived α matrices, keyed by lattice side. `Arc` so callers can
     /// work on a field without holding the lock (or cloning the data).
     derived: Mutex<HashMap<u32, Arc<CountMatrix>>>,
-    /// Full event-log scans performed (1 after construction, ever).
-    full_scans: AtomicU64,
+    /// Full event-log scans performed (1 after construction, ever). A
+    /// per-instance counter; the global `alpha.rescans` registry metric
+    /// aggregates across caches.
+    full_scans: obs::metrics::Counter,
 }
 
 impl AlphaFieldCache {
     /// Builds the cache with a single pass over `events`.
     pub fn new(events: &[Event], clock: &SlotClock, window: &AlphaWindow) -> Self {
+        let _scan = obs::span!("alpha.scan", events = events.len());
+        obs::counter!("alpha.rescans").inc();
         let days = window.days(clock);
         let mut digest = Vec::new();
         if !days.is_empty() {
@@ -71,11 +75,13 @@ impl AlphaFieldCache {
                 }
             }
         }
+        let full_scans = obs::metrics::Counter::new();
+        full_scans.inc();
         AlphaFieldCache {
             digest,
             n_days: days.len(),
             derived: Mutex::new(HashMap::new()),
-            full_scans: AtomicU64::new(1),
+            full_scans,
         }
     }
 
@@ -85,9 +91,14 @@ impl AlphaFieldCache {
     /// concurrent probes of different sides derive in parallel.
     pub fn alpha(&self, spec: GridSpec) -> Arc<CountMatrix> {
         if let Some(m) = self.derived.lock().unwrap().get(&spec.side()) {
+            obs::counter!("alpha.cache_hits").inc();
             return Arc::clone(m);
         }
-        let m = Arc::new(self.derive(spec));
+        obs::counter!("alpha.derives").inc();
+        let m = {
+            let _derive = obs::span!("alpha.derive", side = spec.side());
+            Arc::new(self.derive(spec))
+        };
         Arc::clone(self.derived.lock().unwrap().entry(spec.side()).or_insert(m))
     }
 
@@ -144,8 +155,10 @@ impl AlphaFieldCache {
 
     /// Full event-log scans performed since construction — always 1; the
     /// counter exists so benchmarks can assert the invariant end-to-end.
+    /// A thin shim over the per-instance metrics counter (the global
+    /// registry tracks the cross-cache total as `alpha.rescans`).
     pub fn full_scans(&self) -> u64 {
-        self.full_scans.load(Ordering::Relaxed)
+        self.full_scans.get()
     }
 
     /// Number of distinct lattice sides derived so far.

@@ -148,6 +148,7 @@ pub fn expression_error_alg2(a: f64, b: f64, m: usize, k: usize) -> f64 {
 /// ```
 pub fn expression_error_windowed(a: f64, b: f64, m: usize) -> f64 {
     check_args(a, b, m);
+    gridtuner_obs::counter!("expr.evals").inc();
     if m == 1 {
         return 0.0;
     }
@@ -238,6 +239,7 @@ pub fn total_expression_error(alpha: &CountMatrix, partition: &Partition) -> f64
         partition.hgrid_spec().side(),
         "alpha field must live on the partition's HGrid lattice"
     );
+    let _span = gridtuner_obs::span!("expression_error", side = partition.mgrid_spec().side());
     let mgrids: Vec<_> = partition.mgrid_spec().cells().collect();
     gridtuner_par::par_sum(&mgrids, |&mcell| {
         let alphas: Vec<f64> = partition

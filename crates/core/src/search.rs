@@ -8,6 +8,7 @@
 //! expensive `UpperBound` evaluations (each one retrains the prediction
 //! model) and to count unique evaluations — the "cost" column of Table IV.
 
+use gridtuner_obs as obs;
 use std::collections::HashMap;
 
 /// Anything that can produce the upper-bound error `e(s)` for an MGrid
@@ -55,7 +56,9 @@ impl<O: ErrorOracle> MemoOracle<O> {
         }
     }
 
-    /// Number of unique (non-cached) evaluations performed so far.
+    /// Number of unique (non-cached) evaluations performed so far. A thin
+    /// shim over the cache size; the global `search.unique_evals` registry
+    /// counter tracks the same quantity across all searches in a run.
     pub fn unique_evals(&self) -> usize {
         self.cache.len()
     }
@@ -78,6 +81,11 @@ impl<O: ErrorOracle> ErrorOracle for MemoOracle<O> {
         if let Some(&e) = self.cache.get(&side) {
             return e;
         }
+        obs::counter!("search.unique_evals").inc();
+        // "search.probe" (one per unique memoised probe) deliberately
+        // differs from the inner oracle's "probe" span so the two layers
+        // stay distinguishable in span stats.
+        let _span = obs::span!("search.probe", side = side);
         let e = self.inner.eval(side);
         self.cache.insert(side, e);
         e
@@ -104,6 +112,7 @@ pub struct SearchOutcome {
 /// measured against.
 pub fn brute_force<O: ErrorOracle>(oracle: O, lo: u32, hi: u32) -> SearchOutcome {
     assert!(lo >= 1 && lo <= hi, "invalid side range [{lo}, {hi}]");
+    let _span = obs::span!("search.brute_force", lo = lo, hi = hi);
     let mut memo = MemoOracle::new(oracle);
     let mut best = (lo, f64::INFINITY);
     for s in lo..=hi {
@@ -131,8 +140,10 @@ pub fn brute_force_parallel<O: SyncErrorOracle + ?Sized>(
     hi: u32,
 ) -> SearchOutcome {
     assert!(lo >= 1 && lo <= hi, "invalid side range [{lo}, {hi}]");
+    let _span = obs::span!("search.brute_force_parallel", lo = lo, hi = hi);
     let sides: Vec<u32> = (lo..=hi).collect();
     let errors = gridtuner_par::par_map(&sides, |&s| oracle.eval_sync(s));
+    obs::counter!("search.unique_evals").add(sides.len() as u64);
     let probes: Vec<(u32, f64)> = sides.into_iter().zip(errors).collect();
     let mut best = (lo, f64::INFINITY);
     for &(s, e) in &probes {
@@ -171,8 +182,12 @@ pub fn brute_force_parallel<O: SyncErrorOracle + ?Sized>(
 /// ```
 pub fn ternary_search<O: ErrorOracle>(oracle: O, lo: u32, hi: u32) -> SearchOutcome {
     assert!(lo >= 1 && lo <= hi, "invalid side range [{lo}, {hi}]");
+    let _span = obs::span!("search.ternary", lo = lo, hi = hi);
     let mut memo = MemoOracle::new(oracle);
     let (mut l, mut r) = (lo, hi);
+    // Bitwise probe ties observed; each one discarded the right interval
+    // and may have been a misleading shoulder plateau (see above).
+    let mut plateau_ties = 0u64;
     while r - l > 1 {
         // Third-points, kept strictly inside (l, r) and distinct.
         let mut ml = l + (r - l) / 3;
@@ -203,7 +218,11 @@ pub fn ternary_search<O: ErrorOracle>(oracle: O, lo: u32, hi: u32) -> SearchOutc
             }
             break;
         }
-        if memo.eval(ml) > memo.eval(mr) {
+        let (eml, emr) = (memo.eval(ml), memo.eval(mr));
+        if eml == emr {
+            plateau_ties += 1;
+        }
+        if eml > emr {
             l = ml;
         } else {
             r = mr;
@@ -211,12 +230,41 @@ pub fn ternary_search<O: ErrorOracle>(oracle: O, lo: u32, hi: u32) -> SearchOutc
     }
     let (el, er) = (memo.eval(l), memo.eval(r));
     let (side, error) = if el > er { (r, er) } else { (l, el) };
-    SearchOutcome {
+    let outcome = SearchOutcome {
         side,
         error,
         evals: memo.unique_evals(),
         probes: memo.probes(),
+    };
+    // Divergence diagnostics: a tie means a flat stretch steered the
+    // search; a probe strictly below the returned error proves the result
+    // is suboptimal. Both are anomalies the run report should surface.
+    if plateau_ties > 0 {
+        obs::warn_event!(
+            "ternary.plateau_tie",
+            ties = plateau_ties,
+            side = side,
+            error = error,
+        );
     }
+    let mut best_probe: Option<(u32, f64)> = None;
+    for &(s, e) in &outcome.probes {
+        if e < best_probe.map_or(f64::INFINITY, |(_, be)| be) {
+            best_probe = Some((s, e));
+        }
+    }
+    if let Some((better_side, better_error)) = best_probe {
+        if better_error < error {
+            obs::warn_event!(
+                "ternary.suboptimal",
+                side = side,
+                error = error,
+                better_side = better_side,
+                better_error = better_error,
+            );
+        }
+    }
+    outcome
 }
 
 /// Algorithm 5: the Iterative Method. Starts from `init` (the paper uses
@@ -242,6 +290,7 @@ pub fn iterative_method<O: ErrorOracle>(
 ) -> SearchOutcome {
     assert!(lo >= 1 && lo <= hi, "invalid side range [{lo}, {hi}]");
     assert!(bound >= 1, "bound must be at least 1");
+    let _span = obs::span!("search.iterative", lo = lo, hi = hi, init = init);
     let mut memo = MemoOracle::new(oracle);
     let mut p = init.clamp(lo, hi);
     loop {

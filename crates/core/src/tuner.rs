@@ -11,6 +11,7 @@ use crate::search::{
     brute_force, brute_force_parallel, iterative_method, ternary_search, ErrorOracle, SearchOutcome,
 };
 use crate::upper_bound::{ModelErrorFn, UpperBoundOracle};
+use gridtuner_obs as obs;
 use gridtuner_spatial::{Event, Partition, SlotClock};
 
 /// Which search algorithm to run.
@@ -96,6 +97,8 @@ impl GridTuner {
         clock: SlotClock,
         model: M,
     ) -> TunerResult {
+        let (lo, hi) = self.config.side_range;
+        let _span = obs::span!("tune", lo = lo, hi = hi, events = events.len());
         let mut oracle = UpperBoundOracle::new(
             events.to_vec(),
             clock,
@@ -103,7 +106,6 @@ impl GridTuner {
             self.config.hgrid_budget_side,
             model,
         );
-        let (lo, hi) = self.config.side_range;
         let outcome = {
             let probe = |s: u32| oracle.eval(s);
             match self.config.strategy {
@@ -114,6 +116,7 @@ impl GridTuner {
                 }
             }
         };
+        obs::gauge!("tune.selected_side").set(f64::from(outcome.side));
         TunerResult {
             partition: Partition::for_budget(outcome.side, self.config.hgrid_budget_side),
             outcome,
@@ -134,6 +137,8 @@ impl GridTuner {
         clock: SlotClock,
         model: M,
     ) -> TunerResult {
+        let (lo, hi) = self.config.side_range;
+        let _span = obs::span!("tune", lo = lo, hi = hi, events = events.len());
         let oracle = UpperBoundOracle::new(
             events.to_vec(),
             clock,
@@ -141,8 +146,8 @@ impl GridTuner {
             self.config.hgrid_budget_side,
             model,
         );
-        let (lo, hi) = self.config.side_range;
         let outcome = brute_force_parallel(&oracle, lo, hi);
+        obs::gauge!("tune.selected_side").set(f64::from(outcome.side));
         TunerResult {
             partition: Partition::for_budget(outcome.side, self.config.hgrid_budget_side),
             outcome,

@@ -17,6 +17,7 @@ use crate::alpha::AlphaWindow;
 use crate::alpha_cache::AlphaFieldCache;
 use crate::expression::total_expression_error;
 use crate::search::{ErrorOracle, SyncErrorOracle};
+use gridtuner_obs as obs;
 use gridtuner_spatial::{Event, Partition, SlotClock};
 
 /// The model-error leg of Algorithm 3: everything that knows how to train
@@ -72,6 +73,8 @@ impl<M: ModelErrorFn> UpperBoundOracle<M> {
     /// Expression-error leg only (useful for reporting the decomposition).
     /// Served from the α cache: no event-log access.
     pub fn expression_error(&self, side: u32) -> f64 {
+        // (The "expression_error" span opens inside total_expression_error,
+        // the common entry point for both this oracle and the harnesses.)
         let part = self.partition_for(side);
         self.alpha.with_alpha(part.hgrid_spec(), |alpha| {
             total_expression_error(alpha, &part)
@@ -102,7 +105,19 @@ impl<M: ModelErrorFn> ErrorOracle for UpperBoundOracle<M> {
             1,
             "tuning hot path rescanned the event log"
         );
-        self.expression_error(side) + self.model.total_model_error(side)
+        let _span = obs::span!("probe", side = side);
+        obs::counter!("tune.probes").inc();
+        let expr = self.expression_error(side);
+        let model = self.model.total_model_error(side);
+        let total = expr + model;
+        obs::event!(
+            "probe",
+            side = side,
+            expression_error = expr,
+            model_error = model,
+            total = total,
+        );
+        total
     }
 }
 
@@ -118,7 +133,19 @@ impl<M: Fn(u32) -> f64 + Sync> SyncErrorOracle for UpperBoundOracle<M> {
             1,
             "tuning hot path rescanned the event log"
         );
-        self.expression_error(side) + (self.model)(side)
+        let _span = obs::span!("probe", side = side);
+        obs::counter!("tune.probes").inc();
+        let expr = self.expression_error(side);
+        let model = (self.model)(side);
+        let total = expr + model;
+        obs::event!(
+            "probe",
+            side = side,
+            expression_error = expr,
+            model_error = model,
+            total = total,
+        );
+        total
     }
 }
 

@@ -18,6 +18,7 @@
 
 use crate::metrics::DispatchOutcome;
 use crate::model::{Driver, FleetConfig, Order};
+use gridtuner_obs as obs;
 use gridtuner_spatial::{
     CellId, CountMatrix, GeoBounds, GridSpec, Partition, Point, SlotClock, SlotId,
 };
@@ -189,6 +190,12 @@ impl Simulator {
         dispatcher: &mut dyn Dispatcher,
         demand_for_slot: &mut dyn FnMut(SlotId) -> DemandView,
     ) -> DispatchOutcome {
+        let _span = obs::span!(
+            "simulate",
+            dispatcher = dispatcher.name(),
+            orders = orders.len(),
+        );
+        obs::counter!("dispatch.orders").add(orders.len() as u64);
         let mut rng = StdRng::seed_from_u64(self.cfg.fleet.seed);
         let mut fleet = self.cfg.fleet.spawn_fleet(&mut rng);
         let mut outcome = DispatchOutcome {
@@ -217,6 +224,10 @@ impl Simulator {
                 slot_orders.push(*sorted[cursor]);
                 cursor += 1;
             }
+            let _slot_span = obs::span!("simulate.slot", slot = s, orders = slot_orders.len());
+            obs::counter!("dispatch.slots").inc();
+            obs::histogram!("dispatch.slot_orders", obs::metrics::COUNT_BOUNDS)
+                .observe(slot_orders.len() as f64);
             let demand = demand_for_slot(slot);
             let ctx = SlotContext {
                 slot,
@@ -285,6 +296,15 @@ impl Simulator {
         }
         outcome.unified_cost = outcome.travel_km
             + self.cfg.unserved_penalty_km * (outcome.total_orders - outcome.served) as f64;
+        obs::counter!("dispatch.served").add(outcome.served as u64);
+        obs::event!(
+            "dispatch.outcome",
+            dispatcher = dispatcher.name(),
+            total_orders = outcome.total_orders,
+            served = outcome.served,
+            travel_km = outcome.travel_km,
+            unified_cost = outcome.unified_cost,
+        );
         outcome
     }
 }

@@ -49,12 +49,15 @@
 //!   DMVST-like);
 //! * [`core`] — the paper's contribution: error decomposition, expression
 //!   error algorithms, `D_α` analysis, OGSS search;
-//! * [`dispatch`] — the case-study dispatchers (POLAR / LS / DAIF).
+//! * [`dispatch`] — the case-study dispatchers (POLAR / LS / DAIF);
+//! * [`obs`] — spans, metrics and trace/report exporters (see
+//!   `OBSERVABILITY.md` at the repo root).
 
 pub use gridtuner_core as core;
 pub use gridtuner_datagen as datagen;
 pub use gridtuner_dispatch as dispatch;
 pub use gridtuner_nn as nn;
+pub use gridtuner_obs as obs;
 pub use gridtuner_predict as predict;
 pub use gridtuner_spatial as spatial;
 

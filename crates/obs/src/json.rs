@@ -1,0 +1,427 @@
+//! A minimal JSON value: compact writer plus a strict parser for the
+//! subset the exporters emit. The parser exists so trace files can be
+//! validated in-repo (CI smoke jobs, round-trip tests) without external
+//! dependencies.
+
+use std::fmt::Write as _;
+
+/// A JSON value. Integers keep their own variants so `u64` counters
+/// round-trip exactly (an `f64` loses precision past 2^53).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Val {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A float (non-finite values render as `null`).
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Val>),
+    /// An object with ordered keys.
+    Obj(Vec<(String, Val)>),
+}
+
+impl Val {
+    /// Convenience constructor for an object.
+    pub fn obj(fields: Vec<(&str, Val)>) -> Val {
+        Val::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Looks up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Val> {
+        match self {
+            Val::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload as `f64`, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Val::U64(n) => Some(*n as f64),
+            Val::I64(n) => Some(*n as f64),
+            Val::F64(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// String payload, if a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Val::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Renders compactly (single line, no spaces) — the trace-record form.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Val::Null => out.push_str("null"),
+            Val::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Val::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Val::I64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Val::F64(n) if n.is_finite() => {
+                // `{:?}` round-trips f64 exactly.
+                let _ = write!(out, "{n:?}");
+            }
+            Val::F64(_) => out.push_str("null"),
+            Val::Str(s) => escape_into(out, s),
+            Val::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Val::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(out, k);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses one JSON document (the writer's subset plus standard string
+    /// escapes).
+    pub fn parse(text: &str) -> Result<Val, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing input at byte {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+/// Writes `s` as a JSON string literal with standard escaping.
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Validates a JSON-lines document: every non-empty line must parse as a
+/// standalone JSON value. Returns the parsed records.
+pub fn parse_jsonl(text: &str) -> Result<Vec<Val>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = Val::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        out.push(v);
+    }
+    Ok(out)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Val, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'n') => parse_lit(bytes, pos, "null", Val::Null),
+        Some(b't') => parse_lit(bytes, pos, "true", Val::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", Val::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Val::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Val::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Val::Arr(items));
+                    }
+                    other => return Err(format!("expected ',' or ']', got {other:?}")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Val::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' after key {key:?}"));
+                }
+                *pos += 1;
+                fields.push((key, parse_value(bytes, pos)?));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Val::Obj(fields));
+                    }
+                    other => return Err(format!("expected ',' or '}}', got {other:?}")),
+                }
+            }
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < bytes.len()
+                && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+            if !text.contains(['.', 'e', 'E']) {
+                if let Ok(n) = text.parse::<u64>() {
+                    return Ok(Val::U64(n));
+                }
+                if let Ok(n) = text.parse::<i64>() {
+                    return Ok(Val::I64(n));
+                }
+            }
+            text.parse::<f64>()
+                .map(Val::F64)
+                .map_err(|e| format!("bad number {text:?}: {e}"))
+        }
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Val) -> Result<Val, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("expected {lit:?} at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}", pos = *pos));
+    }
+    *pos += 1;
+    let mut out = Vec::new();
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'"' => {
+                *pos += 1;
+                return String::from_utf8(out).map_err(|e| e.to_string());
+            }
+            b'\\' => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push(b'"'),
+                    Some(b'\\') => out.push(b'\\'),
+                    Some(b'n') => out.push(b'\n'),
+                    Some(b'r') => out.push(b'\r'),
+                    Some(b't') => out.push(b'\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|e| format!("bad \\u escape {hex:?}: {e}"))?;
+                        let c = char::from_u32(code).ok_or("non-scalar \\u escape")?;
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                        *pos += 4;
+                    }
+                    other => return Err(format!("unsupported escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            _ => {
+                out.push(b);
+                *pos += 1;
+            }
+        }
+    }
+    Err("unterminated string".into())
+}
+
+macro_rules! from_uint {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Val {
+            fn from(v: $t) -> Val {
+                Val::U64(v as u64)
+            }
+        }
+    )*};
+}
+from_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Val {
+            fn from(v: $t) -> Val {
+                if v < 0 {
+                    Val::I64(v as i64)
+                } else {
+                    Val::U64(v as u64)
+                }
+            }
+        }
+    )*};
+}
+from_int!(i8, i16, i32, i64, isize);
+
+impl From<f64> for Val {
+    fn from(v: f64) -> Val {
+        Val::F64(v)
+    }
+}
+
+impl From<f32> for Val {
+    fn from(v: f32) -> Val {
+        Val::F64(v as f64)
+    }
+}
+
+impl From<bool> for Val {
+    fn from(v: bool) -> Val {
+        Val::Bool(v)
+    }
+}
+
+impl From<&str> for Val {
+    fn from(v: &str) -> Val {
+        Val::Str(v.to_string())
+    }
+}
+
+impl From<String> for Val {
+    fn from(v: String) -> Val {
+        Val::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Val {
+        Val::obj(vec![
+            ("t", Val::from("span_start")),
+            ("id", Val::from(42u64)),
+            ("neg", Val::from(-3i64)),
+            ("dur", Val::from(1.5f64)),
+            ("flag", Val::from(true)),
+            ("none", Val::Null),
+            ("arr", Val::Arr(vec![Val::U64(1), Val::F64(0.25)])),
+            ("nested", Val::obj(vec![("k", Val::from("v"))])),
+        ])
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let v = sample();
+        assert_eq!(Val::parse(&v.render()).unwrap(), v);
+    }
+
+    #[test]
+    fn integers_round_trip_exactly() {
+        let v = Val::U64(u64::MAX);
+        assert_eq!(Val::parse(&v.render()).unwrap(), v);
+        let v = Val::I64(i64::MIN);
+        assert_eq!(Val::parse(&v.render()).unwrap(), v);
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        let v = Val::F64(0.1 + 0.2);
+        assert_eq!(Val::parse(&v.render()).unwrap(), v);
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let v = Val::Str("a \"quote\"\n\tand \\slash\u{1}".into());
+        let text = v.render();
+        assert!(text.contains("\\\"quote\\\""));
+        assert!(text.contains("\\u0001"));
+        assert_eq!(Val::parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn non_finite_floats_render_null() {
+        assert_eq!(Val::F64(f64::NAN).render(), "null");
+        assert_eq!(Val::F64(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn jsonl_validation() {
+        let good = "{\"a\":1}\n\n{\"b\":[1,2]}\n";
+        let records = parse_jsonl(good).unwrap();
+        assert_eq!(records.len(), 2);
+        let bad = "{\"a\":1}\n{broken\n";
+        let err = parse_jsonl(bad).unwrap_err();
+        assert!(err.starts_with("line 2"), "{err}");
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(Val::parse("{} x").is_err());
+        assert!(Val::parse("[1,]").is_err());
+    }
+}

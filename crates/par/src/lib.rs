@@ -18,8 +18,10 @@
 //! [`std::thread::available_parallelism`]. Harnesses can override it
 //! in-process with [`set_max_threads`].
 
+use gridtuner_obs as obs;
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// Inputs below this size are always processed inline: spawn overhead
 /// (~10 µs/thread) dwarfs the work.
@@ -80,6 +82,56 @@ pub fn workers_for(len: usize) -> usize {
     max_threads().min(len / MIN_ITEMS_PER_THREAD).max(1)
 }
 
+/// Pool-utilization observability for one fan-out job. Counters
+/// (`par.jobs`, `par.items`) are always live; the timing legs
+/// (`par.wall_ns`, `par.busy_ns`, `par.idle_ns`, the `par.worker_items`
+/// histogram) only run while recording is enabled, so the disabled hot
+/// path pays two relaxed increments and one atomic load per job.
+struct JobObs {
+    timed: bool,
+    started: Instant,
+    busy_ns: AtomicU64,
+}
+
+impl JobObs {
+    fn start(items: usize) -> JobObs {
+        obs::counter!("par.jobs").inc();
+        obs::counter!("par.items").add(items as u64);
+        JobObs {
+            timed: obs::enabled(),
+            started: Instant::now(),
+            busy_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Runs one worker's chunk, accounting its busy time and chunk size.
+    fn worker<T>(&self, items: usize, f: impl FnOnce() -> T) -> T {
+        if !self.timed {
+            return f();
+        }
+        obs::histogram!("par.worker_items", obs::metrics::COUNT_BOUNDS).observe(items as f64);
+        let t = Instant::now();
+        let out = f();
+        self.busy_ns
+            .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        out
+    }
+
+    /// Closes the job: wall time, total busy time, and the idle remainder
+    /// (`workers × wall − busy` — time workers spent waiting at the
+    /// scope's implicit join while siblings finished).
+    fn finish(self, workers: usize) {
+        if !self.timed {
+            return;
+        }
+        let wall = self.started.elapsed().as_nanos() as u64;
+        let busy = self.busy_ns.load(Ordering::Relaxed);
+        obs::counter!("par.wall_ns").add(wall);
+        obs::counter!("par.busy_ns").add(busy);
+        obs::counter!("par.idle_ns").add((wall * workers as u64).saturating_sub(busy));
+    }
+}
+
 /// Parallel ordered map: `out[i] == f(&items[i])` for every `i`, exactly as
 /// the sequential `items.iter().map(f).collect()` would produce.
 pub fn par_map<T: Sync, U: Send>(items: &[T], f: impl Fn(&T) -> U + Sync) -> Vec<U> {
@@ -88,16 +140,25 @@ pub fn par_map<T: Sync, U: Send>(items: &[T], f: impl Fn(&T) -> U + Sync) -> Vec
         return items.iter().map(f).collect();
     }
     let chunk = items.len().div_ceil(workers);
+    let job = JobObs::start(items.len());
     let mut parts: Vec<Vec<U>> = Vec::with_capacity(workers);
+    let mut spawned = 0;
     std::thread::scope(|scope| {
         let handles: Vec<_> = items
             .chunks(chunk)
-            .map(|slice| scope.spawn(|| slice.iter().map(&f).collect::<Vec<U>>()))
+            .map(|slice| {
+                let (f, job) = (&f, &job);
+                scope.spawn(move || {
+                    job.worker(slice.len(), || slice.iter().map(f).collect::<Vec<U>>())
+                })
+            })
             .collect();
+        spawned = handles.len();
         for h in handles {
             parts.push(h.join().expect("par_map worker panicked"));
         }
     });
+    job.finish(spawned);
     let mut out = Vec::with_capacity(items.len());
     for p in parts {
         out.extend(p);
@@ -113,27 +174,33 @@ pub fn par_map_indexed<T: Sync, U: Send>(items: &[T], f: impl Fn(usize, &T) -> U
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
     let chunk = items.len().div_ceil(workers);
+    let job = JobObs::start(items.len());
     let mut parts: Vec<Vec<U>> = Vec::with_capacity(workers);
+    let mut spawned = 0;
     std::thread::scope(|scope| {
         let handles: Vec<_> = items
             .chunks(chunk)
             .enumerate()
             .map(|(c, slice)| {
                 let base = c * chunk;
-                let f = &f;
+                let (f, job) = (&f, &job);
                 scope.spawn(move || {
-                    slice
-                        .iter()
-                        .enumerate()
-                        .map(|(i, t)| f(base + i, t))
-                        .collect::<Vec<U>>()
+                    job.worker(slice.len(), || {
+                        slice
+                            .iter()
+                            .enumerate()
+                            .map(|(i, t)| f(base + i, t))
+                            .collect::<Vec<U>>()
+                    })
                 })
             })
             .collect();
+        spawned = handles.len();
         for h in handles {
             parts.push(h.join().expect("par_map_indexed worker panicked"));
         }
     });
+    job.finish(spawned);
     let mut out = Vec::with_capacity(items.len());
     for p in parts {
         out.extend(p);
@@ -157,19 +224,25 @@ pub fn par_sum<T: Sync>(items: &[T], f: impl Fn(&T) -> f64 + Sync) -> f64 {
         }
     } else {
         let blocks_per = n_blocks.div_ceil(workers);
+        let job = JobObs::start(items.len());
+        let mut spawned = 0;
         std::thread::scope(|scope| {
             for (w, outs) in partials.chunks_mut(blocks_per).enumerate() {
-                let f = &f;
+                let (f, job) = (&f, &job);
                 let start = w * blocks_per * SUM_BLOCK;
                 let end = (start + outs.len() * SUM_BLOCK).min(items.len());
                 let slice = &items[start..end];
+                spawned += 1;
                 scope.spawn(move || {
-                    for (block, out) in slice.chunks(SUM_BLOCK).zip(outs.iter_mut()) {
-                        *out = block.iter().map(f).sum();
-                    }
+                    job.worker(slice.len(), || {
+                        for (block, out) in slice.chunks(SUM_BLOCK).zip(outs.iter_mut()) {
+                            *out = block.iter().map(f).sum();
+                        }
+                    })
                 });
             }
         });
+        job.finish(spawned);
     }
     partials.iter().sum()
 }
@@ -205,16 +278,25 @@ pub fn par_accumulate<T: Sync>(
         }
     } else {
         let chunks_per = n_chunks.div_ceil(workers);
+        let job = JobObs::start(items.len());
+        let mut spawned = 0;
         std::thread::scope(|scope| {
             for (w, outs) in partials.chunks_mut(chunks_per).enumerate() {
-                let fold = &fold;
+                let (fold, job) = (&fold, &job);
+                spawned += 1;
+                let first_item = w * chunks_per * chunk;
+                let owned =
+                    ((first_item + outs.len() * chunk).min(items.len())).saturating_sub(first_item);
                 scope.spawn(move || {
-                    for (j, out) in outs.iter_mut().enumerate() {
-                        fold(w * chunks_per + j, out);
-                    }
+                    job.worker(owned, || {
+                        for (j, out) in outs.iter_mut().enumerate() {
+                            fold(w * chunks_per + j, out);
+                        }
+                    })
                 });
             }
         });
+        job.finish(spawned);
     }
     let mut acc = vec![0.0f32; len];
     for p in &partials {
@@ -238,12 +320,19 @@ pub fn par_chunks_mut<T: Send>(out: &mut [T], chunk: usize, f: impl Fn(usize, &m
         }
         return;
     }
+    let job = JobObs::start(out.len());
+    let mut spawned = 0;
     std::thread::scope(|scope| {
         for (c, slice) in out.chunks_mut(chunk).enumerate() {
-            let f = &f;
-            scope.spawn(move || f(c * chunk, slice));
+            let (f, job) = (&f, &job);
+            spawned += 1;
+            scope.spawn(move || {
+                let len = slice.len();
+                job.worker(len, || f(c * chunk, slice))
+            });
         }
     });
+    job.finish(spawned);
 }
 
 #[cfg(test)]

@@ -79,6 +79,7 @@ impl<F: FnMut() -> Box<dyn Predictor>> CityModelError<F> {
     /// Fits a predictor at `side` and returns `(model error, series)` —
     /// useful when the caller also needs the sampled series.
     pub fn measure(&mut self, side: u32) -> (f64, CountSeries) {
+        let _span = gridtuner_obs::span!("model_error", side = side);
         let clock = *self.city.clock();
         let spec = GridSpec::new(side);
         let horizon = (self.split.val_days.1 * clock.slots_per_day()) as usize;

@@ -159,6 +159,11 @@ impl NnCore {
     }
 
     fn fit(&mut self, series: &CountSeries, clock: &SlotClock, train_end: SlotId) {
+        let _span = gridtuner_obs::span!(
+            "train",
+            side = series.side(),
+            epochs = self.train_cfg.epochs
+        );
         let mut rng = StdRng::seed_from_u64(self.train_cfg.seed);
         self.side = series.side();
         let mut samples = build_samples(series, clock, &self.feature_cfg, SlotId(0), train_end);
@@ -178,7 +183,9 @@ impl NnCore {
         let mut net = (self.build)(&mut rng, self.feature_cfg.channels(), side);
         let mut opt = Adam::new(self.train_cfg.lr);
         let bs = self.train_cfg.batch_size.max(1);
-        for _ in 0..self.train_cfg.epochs {
+        for epoch in 0..self.train_cfg.epochs {
+            let _epoch_span = gridtuner_obs::span!("train.epoch", epoch = epoch);
+            gridtuner_obs::counter!("train.epochs").inc();
             samples.shuffle(&mut rng);
             for batch in samples.chunks(bs) {
                 net.zero_grad();

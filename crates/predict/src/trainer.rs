@@ -8,6 +8,7 @@
 
 use crate::features::Sample;
 use gridtuner_nn::{clip_gradients, huber_loss, Adam, Layer, Optimizer, Sequential, Tensor};
+use gridtuner_obs as obs;
 
 /// Early-stopping configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -104,6 +105,7 @@ pub fn fit_until(
 ) -> FitReport {
     assert!(!samples.is_empty(), "no training samples");
     assert!(norm > 0.0, "normalization must be positive");
+    let _span = obs::span!("fit", samples = samples.len(), max_epochs = cfg.max_epochs);
     let n_val = ((samples.len() as f64) * cfg.val_fraction) as usize;
     let (train, val) = samples.split_at(samples.len() - n_val);
     // Scale inputs/targets once up front: the epoch loop below only
@@ -117,6 +119,7 @@ pub fn fit_until(
     let mut epochs = 0usize;
     let mut stopped_early = false;
     for epoch in 0..cfg.max_epochs {
+        let _epoch_span = obs::span!("fit.epoch", epoch = epoch);
         epochs = epoch + 1;
         opt.lr = cfg.lr * cfg.lr_decay.powi(epoch as i32);
         for batch in train_data.chunks(cfg.batch_size.max(1)) {
@@ -139,6 +142,8 @@ pub fn fit_until(
         } else {
             epoch_loss(net, &val_data)
         };
+        obs::counter!("train.epochs").inc();
+        obs::event!("train.epoch", epoch = epoch, loss = monitored);
         if monitored < best - 1e-9 {
             best = monitored;
             best_snap = snapshot(net);
