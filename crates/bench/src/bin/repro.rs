@@ -42,8 +42,12 @@ const IDS: &[&str] = &[
 ];
 
 fn usage() -> ! {
-    eprintln!("usage: repro <id>|all [--quick] [--scale X] [--seed S] [--report]");
+    eprintln!("usage: repro <id>|all [--quick] [--scale X] [--seed S] [--city C] [--report]");
     eprintln!("ids: {}", IDS.join(" "));
+    eprintln!(
+        "cities: {}",
+        gridtuner_datagen::City::PRESET_NAMES.join(" ")
+    );
     std::process::exit(2);
 }
 
@@ -80,8 +84,9 @@ fn run_one(id: &str, cfg: &RunCfg) {
     println!();
 }
 
-/// Parses `<id> [--quick] [--scale X] [--seed S] [--report]` into a run
-/// plan. `--quick` replaces the config but keeps any seed given before it.
+/// Parses `<id> [--quick] [--scale X] [--seed S] [--city C] [--report]`
+/// into a run plan. `--quick` replaces the config but keeps any seed given
+/// before it.
 fn parse_args(args: &[String]) -> Result<(String, RunCfg, bool), String> {
     let id = args.first().ok_or("missing experiment id")?.clone();
     if id != "all" && !IDS.contains(&id.as_str()) {
@@ -94,8 +99,10 @@ fn parse_args(args: &[String]) -> Result<(String, RunCfg, bool), String> {
         match args[i].as_str() {
             "--quick" => {
                 let seed = cfg.seed;
+                let city = cfg.city;
                 cfg = RunCfg::quick();
                 cfg.seed = seed;
+                cfg.city = city;
             }
             "--report" => report = true,
             "--scale" => {
@@ -111,6 +118,16 @@ fn parse_args(args: &[String]) -> Result<(String, RunCfg, bool), String> {
                     .get(i)
                     .and_then(|s| s.parse().ok())
                     .ok_or("--seed needs an integer")?;
+            }
+            "--city" => {
+                i += 1;
+                let name = args.get(i).ok_or("--city needs a name")?;
+                // Validate through the shared front door, then pin the
+                // canonical `'static` preset name into the Copy config.
+                let city = gridtuner_datagen::City::by_name(name).map_err(|e| e.to_string())?;
+                cfg.city = gridtuner_datagen::City::PRESET_NAMES
+                    .into_iter()
+                    .find(|&n| n == city.name());
             }
             other => return Err(format!("unknown flag: {other}")),
         }
@@ -203,11 +220,26 @@ mod tests {
     }
 
     #[test]
+    fn parse_city_filter() {
+        let (_, cfg, _) = parse_args(&argv("fig3 --city chengdu")).unwrap();
+        assert_eq!(cfg.city, Some("chengdu"));
+        assert_eq!(cfg.city_sweep().len(), 1);
+        // Case-insensitive, canonicalised; survives a later --quick.
+        let (_, cfg, _) = parse_args(&argv("fig3 --city NYC --quick")).unwrap();
+        assert_eq!(cfg.city, Some("nyc"));
+        assert!(cfg.quick);
+        let (_, cfg, _) = parse_args(&argv("fig3")).unwrap();
+        assert_eq!(cfg.city_sweep().len(), 3);
+    }
+
+    #[test]
     fn parse_rejects_bad_input() {
         assert!(parse_args(&argv("")).is_err());
         assert!(parse_args(&argv("fig99")).is_err());
         assert!(parse_args(&argv("fig3 --scale")).is_err());
         assert!(parse_args(&argv("fig3 --seed x")).is_err());
         assert!(parse_args(&argv("fig3 --frobnicate")).is_err());
+        let err = parse_args(&argv("fig3 --city gotham")).unwrap_err();
+        assert!(err.contains("nyc, chengdu, xian"), "{err}");
     }
 }

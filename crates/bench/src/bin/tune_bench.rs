@@ -19,8 +19,9 @@
 use gridtuner_core::alpha::AlphaWindow;
 use gridtuner_core::estimate_alpha;
 use gridtuner_core::expression::expression_error_windowed;
-use gridtuner_core::tuner::{GridTuner, SearchStrategy, TunerConfig};
+use gridtuner_core::tuner::{SearchStrategy, TunerConfig};
 use gridtuner_datagen::City;
+use gridtuner_engine::{EngineConfig, TuningSession};
 use gridtuner_obs as obs;
 use gridtuner_obs::json::Val;
 use gridtuner_spatial::{Event, Partition, SlotClock};
@@ -151,18 +152,24 @@ fn main() {
         "[tune_bench] naive: side {naive_side} err {naive_err:.3} in {naive_ms:.1} ms ({naive_rescans} log scans)"
     );
 
-    // Cached + parallel sweep, with span recording on so the JSON can
-    // break the wall time down by phase (alpha scan, probes, ...).
+    // Cached + parallel sweep through the session API, with span recording
+    // on so the JSON can break the wall time down by phase (ingest, alpha
+    // scan, probes, ...).
     obs::init_from_env();
     obs::enable();
     obs::reset();
-    let tuner = GridTuner::new(cfg);
+    let engine_cfg = EngineConfig {
+        clock,
+        ..EngineConfig::from_tuner(cfg)
+    };
     let t1 = Instant::now();
-    let result = tuner.tune_brute_parallel(&events, clock, model);
+    let mut session = TuningSession::new(engine_cfg, model).expect("valid bench config");
+    session.ingest(&events).expect("finite synthetic events");
+    let result = session.tune_parallel().expect("infallible model leg");
     let wall_ms = t1.elapsed().as_secs_f64() * 1e3;
     eprintln!(
         "[tune_bench] cached: side {} err {:.3} in {wall_ms:.1} ms ({} log scans)",
-        result.outcome.side, result.outcome.error, result.alpha_rescans
+        result.outcome.side, result.outcome.error, result.alpha_full_scans
     );
 
     assert_eq!(
@@ -180,7 +187,7 @@ fn main() {
         ("schema", Val::from(BENCH_SCHEMA)),
         ("wall_ms", Val::from(wall_ms)),
         ("probes", Val::from(result.outcome.evals as u64)),
-        ("alpha_rescans", Val::from(result.alpha_rescans)),
+        ("alpha_rescans", Val::from(result.alpha_full_scans)),
         ("events", Val::from(events.len() as u64)),
         ("selected_side", Val::from(result.outcome.side)),
         ("naive_wall_ms", Val::from(naive_ms)),
@@ -235,19 +242,24 @@ mod tests {
             (range.1 - range.0 + 1) as u64,
             "one scan per probe"
         );
-        let tuner = GridTuner::new(TunerConfig {
-            hgrid_budget_side: budget,
-            side_range: range,
-            strategy: SearchStrategy::BruteForce,
-            alpha_window: window,
-        });
-        let result = tuner.tune_brute_parallel(&events, clock, model);
+        let engine_cfg = EngineConfig {
+            clock,
+            ..EngineConfig::from_tuner(TunerConfig {
+                hgrid_budget_side: budget,
+                side_range: range,
+                strategy: SearchStrategy::BruteForce,
+                alpha_window: window,
+            })
+        };
+        let mut session = TuningSession::new(engine_cfg, model).unwrap();
+        session.ingest(&events).unwrap();
+        let result = session.tune_parallel().unwrap();
         assert_eq!(result.outcome.side, side, "optimum side");
         assert!(
             (result.outcome.error - err).abs() <= 1e-9 * (1.0 + err.abs()),
             "optimal error: {} vs {err}",
             result.outcome.error
         );
-        assert_eq!(result.alpha_rescans, 1, "cached path scans once");
+        assert_eq!(result.alpha_full_scans, 1, "cached path scans once");
     }
 }

@@ -6,7 +6,7 @@
 //! raw data), Xi'an is small (trips < 10 km).
 
 use crate::{fmt, header, RunCfg};
-use gridtuner_datagen::{trips::length_histogram, City, TripGenerator};
+use gridtuner_datagen::{trips::length_histogram, TripGenerator};
 use gridtuner_spatial::{CountMatrix, GridSpec};
 use rand::{rngs::StdRng, SeedableRng};
 
@@ -18,7 +18,7 @@ pub fn run_fig10(cfg: &RunCfg) {
         &["city", "row", "col", "share"],
     );
     let spec = GridSpec::new(4);
-    for city in City::all_presets() {
+    for city in cfg.city_sweep() {
         let city = city.scaled(cfg.volume_scale.max(0.002));
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xf10);
         let events = city.sample_day_events(0, &mut rng);
@@ -47,7 +47,7 @@ pub fn run_fig11(cfg: &RunCfg) {
         "trip length distribution (5 km bins; the last bin is the overflow)",
         &["city", "bin_km", "count", "share"],
     );
-    for city in City::all_presets() {
+    for city in cfg.city_sweep() {
         let city = city.scaled(cfg.volume_scale.max(0.002));
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xf11);
         let trips = TripGenerator::default().trips_for_day(&city, 0, &mut rng);

@@ -7,7 +7,6 @@
 use crate::{fmt, header, RunCfg};
 use gridtuner_core::alpha::estimate_alpha;
 use gridtuner_core::expression::total_expression_error;
-use gridtuner_datagen::City;
 use gridtuner_spatial::Partition;
 use rand::{rngs::StdRng, SeedableRng};
 
@@ -20,12 +19,14 @@ pub fn run(cfg: &RunCfg) {
         &[4u32, 8, 12, 16, 20, 24, 28, 32, 40, 48, 56, 64, 76],
         &[4u32, 8, 16, 32],
     );
+    let cities = cfg.city_sweep();
+    let mut columns = vec!["side", "n"];
+    columns.extend(cities.iter().map(|c| c.name()));
     header(
         "fig3",
         &format!("expression error vs n (budget side {budget}, full city volumes)"),
-        &["side", "n", "nyc", "chengdu", "xian"],
+        &columns,
     );
-    let cities = City::all_presets();
     // Estimate α once per (city, lattice) from sampled history events.
     let histories: Vec<_> = cities
         .iter()

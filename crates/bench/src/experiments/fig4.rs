@@ -6,7 +6,6 @@
 
 use crate::ctx::{evaluate_side, harness_split, sample_side_data, ModelKind};
 use crate::{fmt, header, RunCfg};
-use gridtuner_datagen::City;
 
 /// Runs the Fig. 4 sweep.
 pub fn run(cfg: &RunCfg) {
@@ -20,7 +19,7 @@ pub fn run(cfg: &RunCfg) {
     );
     // Model training cost is volume-independent (gridded counts), so this
     // runs at the paper's full volumes where the error shapes are crisp.
-    for city in City::all_presets().into_iter().take(2) {
+    for city in cfg.city_sweep().into_iter().take(2) {
         for &side in sides {
             let data = sample_side_data(&city, side, budget, &split, cfg.seed);
             let mut row = vec![

@@ -5,7 +5,6 @@
 
 use crate::ctx::{evaluate_side, harness_split, sample_side_data, ModelKind};
 use crate::{fmt, header, RunCfg};
-use gridtuner_datagen::City;
 
 /// Runs the Fig. 5 sweep.
 pub fn run(cfg: &RunCfg) {
@@ -33,7 +32,7 @@ pub fn run(cfg: &RunCfg) {
     } else {
         &[ModelKind::Mlp, ModelKind::DeepSt, ModelKind::Dmvst]
     };
-    for city in City::all_presets().into_iter().take(n_cities) {
+    for city in cfg.city_sweep().into_iter().take(n_cities) {
         for &side in sides {
             let data = sample_side_data(&city, side, budget, &split, cfg.seed);
             for &kind in kinds {

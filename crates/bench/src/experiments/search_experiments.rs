@@ -148,7 +148,7 @@ pub fn run_tab4(cfg: &RunCfg) {
             "optimal_ratio",
         ],
     );
-    for city in City::all_presets() {
+    for city in cfg.city_sweep() {
         let sc = build_curves(&city, cfg, budget(), lo, hi);
         let spd = sc.curves.len();
         let mut bf = AlgoStats::new();

@@ -14,6 +14,8 @@
 pub mod ctx;
 pub mod experiments;
 
+use gridtuner_datagen::City;
+
 /// Harness-wide configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunCfg {
@@ -26,6 +28,9 @@ pub struct RunCfg {
     pub quick: bool,
     /// Base RNG seed.
     pub seed: u64,
+    /// Restricts multi-city sweeps to one preset (canonical name from
+    /// [`City::PRESET_NAMES`]); `None` sweeps all three.
+    pub city: Option<&'static str>,
 }
 
 impl Default for RunCfg {
@@ -34,6 +39,7 @@ impl Default for RunCfg {
             volume_scale: 0.01,
             quick: false,
             seed: 2022,
+            city: None,
         }
     }
 }
@@ -55,6 +61,16 @@ impl RunCfg {
         } else {
             full
         }
+    }
+
+    /// The city presets a multi-city experiment should sweep: all three,
+    /// or just the one selected by `--city`. Unscaled — experiments apply
+    /// their own volume policy.
+    pub fn city_sweep(&self) -> Vec<City> {
+        City::all_presets()
+            .into_iter()
+            .filter(|c| self.city.is_none_or(|name| c.name() == name))
+            .collect()
     }
 }
 

@@ -12,18 +12,20 @@
 //! trip records as TSV; `simulate` runs a dispatcher on a generated test
 //! day; `heatmap` renders a city's mean demand field in the terminal.
 //! Everything is deterministic per `--seed`.
+//!
+//! All commands route through the engine's session API; failures exit
+//! with the engine's error taxonomy — 2 for usage/config errors, 3 for
+//! data errors, 4 for internal pipeline failures, 5 for malformed
+//! environment variables.
 
 mod args;
 
 use args::{ArgError, Args};
-use gridtuner::core::alpha::AlphaWindow;
 use gridtuner::core::expression::{expression_error_alg2, expression_error_windowed};
-use gridtuner::core::tuner::{GridTuner, SearchStrategy, TunerConfig};
 use gridtuner::datagen::{City, DataSplit, TripGenerator};
 use gridtuner::dispatch::daif::DaifConfig;
-use gridtuner::dispatch::{
-    Daif, DemandView, FleetConfig, Ls, Nearest, Order, Polar, SimConfig, Simulator,
-};
+use gridtuner::dispatch::{Daif, DemandView, FleetConfig, Ls, Nearest, Order, Polar, SimConfig};
+use gridtuner::engine::{AlphaWindow, EngineConfig, EngineError, SearchStrategy, TuningSession};
 use gridtuner::obs;
 use gridtuner::predict::{CityModelError, HistoricalAverage, Predictor};
 use gridtuner::spatial::Partition;
@@ -49,24 +51,65 @@ commands:
               --side N  --budget SIDE  --drivers N  --seed N
   heatmap     ASCII heat map of a city's mean demand field
               --city C  --side N  --hour H
+
+exit codes: 2 usage/config, 3 data, 4 internal, 5 environment
 ";
 
-fn city_by_name(name: &str) -> Result<City, ArgError> {
-    match name {
-        "nyc" => Ok(City::nyc()),
-        "chengdu" => Ok(City::chengdu()),
-        "xian" => Ok(City::xian()),
-        other => Err(ArgError(format!(
-            "unknown city {other:?} (expected nyc|chengdu|xian)"
-        ))),
+/// A CLI failure: either a usage error (bad flags) or an engine error
+/// carrying the workspace taxonomy. Exit codes follow the engine's
+/// mapping, with usage errors sharing the config code.
+enum CliError {
+    Usage(ArgError),
+    Engine(EngineError),
+}
+
+impl CliError {
+    fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Engine(e) => e.exit_code(),
+        }
+    }
+
+    /// Usage/config errors get the usage text appended; pipeline errors
+    /// don't (the flags were fine).
+    fn show_usage(&self) -> bool {
+        self.exit_code() == 2
     }
 }
 
-fn cmd_tune(a: &Args) -> Result<(), ArgError> {
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(e) => write!(f, "{e}"),
+            CliError::Engine(e) => write!(f, "{} error: {e}", e.kind()),
+        }
+    }
+}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Usage(e)
+    }
+}
+
+impl From<EngineError> for CliError {
+    fn from(e: EngineError) -> Self {
+        CliError::Engine(e)
+    }
+}
+
+impl From<gridtuner::datagen::UnknownCity> for CliError {
+    fn from(e: gridtuner::datagen::UnknownCity) -> Self {
+        CliError::Engine(EngineError::from(e))
+    }
+}
+
+fn cmd_tune(a: &Args) -> Result<(), CliError> {
     a.expect_only(&[
         "city", "scale", "seed", "strategy", "budget", "range", "trace", "report",
     ])?;
-    let city = city_by_name(&a.str_or("city", "xian"))?.scaled(a.get_or("scale", 0.05)?);
+    let city = City::by_name(&a.str_or("city", "xian"))?.scaled(a.get_or("scale", 0.05)?);
     let seed: u64 = a.get_or("seed", 2022u64)?;
     let budget: u32 = a.get_or("budget", 64u32)?;
     let range = a.range_or("range", (2, 24))?;
@@ -74,9 +117,8 @@ fn cmd_tune(a: &Args) -> Result<(), ArgError> {
         "brute" => SearchStrategy::BruteForce,
         "ternary" => SearchStrategy::Ternary,
         "iterative" => SearchStrategy::Iterative { init: 16, bound: 4 },
-        other => return Err(ArgError(format!("unknown strategy {other:?}"))),
+        other => return Err(ArgError(format!("unknown strategy {other:?}")).into()),
     };
-    let clock = *city.clock();
     let mut rng = StdRng::seed_from_u64(seed);
     let events = city.sample_history_events(16, 0..28, &mut rng);
     eprintln!(
@@ -96,13 +138,16 @@ fn cmd_tune(a: &Args) -> Result<(), ArgError> {
         Box::new(HistoricalAverage::new()) as Box<dyn Predictor>
     })
     .with_max_eval_slots(24);
-    let tuner = GridTuner::new(TunerConfig {
-        hgrid_budget_side: budget,
-        side_range: range,
-        strategy,
-        alpha_window: AlphaWindow::default(),
-    });
-    let result = tuner.tune(&events, clock, model);
+    let config = EngineConfig::builder()
+        .hgrid_budget_side(budget)
+        .side_range(range.0, range.1)
+        .strategy(strategy)
+        .alpha_window(AlphaWindow::default())
+        .clock(*city.clock())
+        .build()?;
+    let mut session = TuningSession::new(config, model)?;
+    session.ingest(&events)?;
+    let result = session.tune()?;
     println!("optimal_side\t{}", result.outcome.side);
     println!("optimal_n\t{0}x{0}", result.outcome.side);
     println!("upper_bound_error\t{:.2}", result.outcome.error);
@@ -115,7 +160,7 @@ fn cmd_tune(a: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
-fn cmd_expression(a: &Args) -> Result<(), ArgError> {
+fn cmd_expression(a: &Args) -> Result<(), CliError> {
     a.expect_only(&["alpha", "rest", "m", "k", "trace", "report"])?;
     let alpha: f64 = a.get_or("alpha", 2.0)?;
     let rest: f64 = a.get_or("rest", 30.0)?;
@@ -130,9 +175,9 @@ fn cmd_expression(a: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
-fn cmd_generate(a: &Args) -> Result<(), ArgError> {
+fn cmd_generate(a: &Args) -> Result<(), CliError> {
     a.expect_only(&["city", "scale", "day", "seed", "trace", "report"])?;
-    let city = city_by_name(&a.str_or("city", "xian"))?.scaled(a.get_or("scale", 0.01)?);
+    let city = City::by_name(&a.str_or("city", "xian"))?.scaled(a.get_or("scale", 0.01)?);
     let day: u32 = a.get_or("day", 0u32)?;
     let seed: u64 = a.get_or("seed", 2022u64)?;
     let mut rng = StdRng::seed_from_u64(seed);
@@ -154,7 +199,7 @@ fn cmd_generate(a: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
-fn cmd_simulate(a: &Args) -> Result<(), ArgError> {
+fn cmd_simulate(a: &Args) -> Result<(), CliError> {
     a.expect_only(&[
         "city",
         "scale",
@@ -166,7 +211,7 @@ fn cmd_simulate(a: &Args) -> Result<(), ArgError> {
         "trace",
         "report",
     ])?;
-    let city = city_by_name(&a.str_or("city", "xian"))?.scaled(a.get_or("scale", 0.01)?);
+    let city = City::by_name(&a.str_or("city", "xian"))?.scaled(a.get_or("scale", 0.01)?);
     let side: u32 = a.get_or("side", 16u32)?;
     let budget: u32 = a.get_or("budget", 64u32)?;
     let seed: u64 = a.get_or("seed", 2022u64)?;
@@ -190,20 +235,31 @@ fn cmd_simulate(a: &Args) -> Result<(), ArgError> {
         });
         daif.run(city.geo(), &orders, &mut demand)
     } else {
-        let sim = Simulator::new(SimConfig {
-            fleet: FleetConfig {
-                n_drivers,
-                seed,
-                ..FleetConfig::default()
-            },
-            geo: *city.geo(),
-            unserved_penalty_km: 10.0,
-        });
+        // Fleet/sim parameters go through the engine config so they are
+        // validated with everything else; the session hands the simulator
+        // out as its dispatch stage.
+        let config = EngineConfig::builder()
+            .side_range(side, side)
+            .strategy(SearchStrategy::BruteForce)
+            .hgrid_budget_side(budget)
+            .clock(*city.clock())
+            .sim(SimConfig {
+                fleet: FleetConfig {
+                    n_drivers,
+                    seed,
+                    ..FleetConfig::default()
+                },
+                geo: *city.geo(),
+                unserved_penalty_km: 10.0,
+            })
+            .build()?;
+        let mut session = TuningSession::new(config, |_s: u32| 0.0)?;
+        let sim = session.simulator()?;
         match algorithm.as_str() {
             "polar" => sim.run(&orders, &mut Polar::new(), &mut demand),
             "ls" => sim.run(&orders, &mut Ls::new(), &mut demand),
             "nearest" => sim.run(&orders, &mut Nearest::new(), &mut demand),
-            other => return Err(ArgError(format!("unknown algorithm {other:?}"))),
+            other => return Err(ArgError(format!("unknown algorithm {other:?}")).into()),
         }
     };
     println!("algorithm\t{algorithm}");
@@ -216,13 +272,13 @@ fn cmd_simulate(a: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
-fn cmd_heatmap(a: &Args) -> Result<(), ArgError> {
+fn cmd_heatmap(a: &Args) -> Result<(), CliError> {
     a.expect_only(&["city", "side", "hour", "trace", "report"])?;
-    let city = city_by_name(&a.str_or("city", "nyc"))?;
+    let city = City::by_name(&a.str_or("city", "nyc"))?;
     let side: u32 = a.get_or("side", 32u32)?;
     let hour: u32 = a.get_or("hour", 8u32)?;
     if hour >= 24 {
-        return Err(ArgError("--hour must be 0..24".into()));
+        return Err(ArgError("--hour must be 0..24".into()).into());
     }
     let clock = *city.clock();
     let slot = clock.slot_at(7, clock.slot_of_day_at(hour, 0));
@@ -256,21 +312,29 @@ fn setup_obs(args: &Args) -> Result<bool, ArgError> {
     Ok(report)
 }
 
+fn fail(e: &CliError) -> ! {
+    if e.show_usage() {
+        eprintln!("error: {e}\n\n{USAGE}");
+    } else {
+        eprintln!("error: {e}");
+    }
+    std::process::exit(e.exit_code());
+}
+
 fn main() {
+    // A malformed GRIDTUNER_THREADS is a diagnostic, not a silent
+    // single-thread fallback: surface it before any work starts.
+    if let Err(e) = gridtuner::engine::thread_override() {
+        fail(&CliError::Engine(e));
+    }
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = match Args::parse_with_switches(&argv, &["report"]) {
         Ok(a) => a,
-        Err(e) => {
-            eprintln!("error: {e}\n\n{USAGE}");
-            std::process::exit(2);
-        }
+        Err(e) => fail(&CliError::Usage(e)),
     };
     let want_report = match setup_obs(&args) {
         Ok(r) => r,
-        Err(e) => {
-            eprintln!("error: {e}\n\n{USAGE}");
-            std::process::exit(2);
-        }
+        Err(e) => fail(&CliError::Usage(e)),
     };
     let result = match args.command.as_str() {
         "tune" => cmd_tune(&args),
@@ -282,7 +346,7 @@ fn main() {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(ArgError(format!("unknown command {other:?}"))),
+        other => Err(ArgError(format!("unknown command {other:?}")).into()),
     };
     if result.is_ok() && want_report {
         let report = obs::report::RunReport::capture();
@@ -291,7 +355,6 @@ fn main() {
     }
     obs::trace::flush();
     if let Err(e) = result {
-        eprintln!("error: {e}\n\n{USAGE}");
-        std::process::exit(2);
+        fail(&e);
     }
 }

@@ -64,7 +64,7 @@ pub fn estimate_alpha(
         .iter()
         .map(|&d| clock.slot_at(d, window.slot_of_day).index())
         .max()
-        .unwrap();
+        .unwrap_or(0); // non-empty: guarded above
     let mut matching = vec![false; max_slot + 1];
     for &d in &days {
         matching[clock.slot_at(d, window.slot_of_day).index()] = true;

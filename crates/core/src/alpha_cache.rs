@@ -28,7 +28,7 @@ use crate::alpha::AlphaWindow;
 use gridtuner_obs as obs;
 use gridtuner_spatial::{CountMatrix, Event, GridSpec, Point, SlotClock};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// The α-field cache: one event-log pass at construction, `O(digest)`
 /// derivation per lattice side afterwards, memoised per side.
@@ -47,6 +47,26 @@ pub struct AlphaFieldCache {
     /// per-instance counter; the global `alpha.rescans` registry metric
     /// aggregates across caches.
     full_scans: obs::metrics::Counter,
+    /// Delta (append-only) scans performed since construction.
+    delta_scans: obs::metrics::Counter,
+}
+
+/// Marks which global slots a window matches, for O(1) membership checks
+/// during a scan — the filter [`estimate_alpha`] applies, factored out so
+/// the construction pass and the delta pass use the same code.
+///
+/// [`estimate_alpha`]: crate::alpha::estimate_alpha
+fn matching_slots(days: &[u32], clock: &SlotClock, window: &AlphaWindow) -> Vec<bool> {
+    let max_slot = days
+        .iter()
+        .map(|&d| clock.slot_at(d, window.slot_of_day).index())
+        .max()
+        .unwrap_or(0); // callers guard against empty windows
+    let mut matching = vec![false; max_slot + 1];
+    for &d in days {
+        matching[clock.slot_at(d, window.slot_of_day).index()] = true;
+    }
+    matching
 }
 
 impl AlphaFieldCache {
@@ -59,15 +79,7 @@ impl AlphaFieldCache {
         if !days.is_empty() {
             // Mark matching global slots for O(1) membership checks —
             // mirrors estimate_alpha exactly.
-            let max_slot = days
-                .iter()
-                .map(|&d| clock.slot_at(d, window.slot_of_day).index())
-                .max()
-                .unwrap();
-            let mut matching = vec![false; max_slot + 1];
-            for &d in &days {
-                matching[clock.slot_at(d, window.slot_of_day).index()] = true;
-            }
+            let matching = matching_slots(&days, clock, window);
             for e in events {
                 let s = e.slot(clock).index();
                 if s < matching.len() && matching[s] && e.loc.in_unit_square() {
@@ -82,7 +94,53 @@ impl AlphaFieldCache {
             n_days: days.len(),
             derived: Mutex::new(HashMap::new()),
             full_scans,
+            delta_scans: obs::metrics::Counter::new(),
         }
+    }
+
+    /// Appends a delta of new events — the incremental-ingestion hot path.
+    ///
+    /// Scans **only** `events` (the delta), pushing the locations that
+    /// match the window onto the digest. Because the window filter is
+    /// per-event and the digest preserves log order, the digest after
+    /// appending a delta is bit-identical to rebuilding the cache from the
+    /// concatenated log — provided `clock` and `window` are the ones the
+    /// cache was built with, and the delta follows the original log in
+    /// log order (the session API enforces both).
+    ///
+    /// Returns the number of delta events that matched the window. When
+    /// that is non-zero the derived-field memo is invalidated (every
+    /// lattice side's α changes); otherwise all memoised fields stay valid
+    /// and re-tuning is a pure cache hit.
+    pub fn append(&mut self, events: &[Event], clock: &SlotClock, window: &AlphaWindow) -> usize {
+        let _scan = obs::span!("alpha.delta_scan", events = events.len());
+        self.delta_scans.inc();
+        obs::counter!("alpha.delta_scans").inc();
+        let days = window.days(clock);
+        if days.is_empty() {
+            return 0;
+        }
+        let matching = matching_slots(&days, clock, window);
+        let before = self.digest.len();
+        for e in events {
+            let s = e.slot(clock).index();
+            if s < matching.len() && matching[s] && e.loc.in_unit_square() {
+                self.digest.push(e.loc);
+            }
+        }
+        let matched = self.digest.len() - before;
+        if matched > 0 {
+            self.lock_derived().clear();
+        }
+        matched
+    }
+
+    /// The derived-field memo, immune to lock poisoning: a panic in a
+    /// sibling thread must not cascade into every later probe (the map
+    /// holds only finished, immutable matrices, so the data is never
+    /// half-written).
+    fn lock_derived(&self) -> MutexGuard<'_, HashMap<u32, Arc<CountMatrix>>> {
+        self.derived.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// The α field on `spec`'s lattice — bit-identical to
@@ -90,7 +148,7 @@ impl AlphaFieldCache {
     /// Memoised per side; the lock is held only for map access, so
     /// concurrent probes of different sides derive in parallel.
     pub fn alpha(&self, spec: GridSpec) -> Arc<CountMatrix> {
-        if let Some(m) = self.derived.lock().unwrap().get(&spec.side()) {
+        if let Some(m) = self.lock_derived().get(&spec.side()) {
             obs::counter!("alpha.cache_hits").inc();
             return Arc::clone(m);
         }
@@ -99,7 +157,7 @@ impl AlphaFieldCache {
             let _derive = obs::span!("alpha.derive", side = spec.side());
             Arc::new(self.derive(spec))
         };
-        Arc::clone(self.derived.lock().unwrap().entry(spec.side()).or_insert(m))
+        Arc::clone(self.lock_derived().entry(spec.side()).or_insert(m))
     }
 
     /// Runs `f` against the α field on `spec`'s lattice. The memo lock is
@@ -161,9 +219,14 @@ impl AlphaFieldCache {
         self.full_scans.get()
     }
 
+    /// Delta (append-only) scans performed since construction.
+    pub fn delta_scans(&self) -> u64 {
+        self.delta_scans.get()
+    }
+
     /// Number of distinct lattice sides derived so far.
     pub fn derived_sides(&self) -> usize {
-        self.derived.lock().unwrap().len()
+        self.lock_derived().len()
     }
 }
 
@@ -270,6 +333,44 @@ mod tests {
         let total = cache.with_alpha(GridSpec::new(9), |a| a.total());
         let direct = estimate_alpha(&events, GridSpec::new(9), &clock(), &window(4)).total();
         assert_eq!(total, direct);
+    }
+
+    #[test]
+    fn append_matches_rebuild_bitwise() {
+        let all = scattered_events(400, 5);
+        let (old, delta) = all.split_at(250);
+        let c = clock();
+        let w = window(5);
+        let mut cache = AlphaFieldCache::new(old, &c, &w);
+        cache.alpha(GridSpec::new(9)); // warm the memo — append must invalidate it
+        let matched = cache.append(delta, &c, &w);
+        assert!(matched > 0, "delta must contain matching events");
+        let rebuilt = AlphaFieldCache::new(&all, &c, &w);
+        for side in [1u32, 4, 9, 17, 64] {
+            assert_eq!(
+                cache.alpha(GridSpec::new(side)).as_slice(),
+                rebuilt.alpha(GridSpec::new(side)).as_slice(),
+                "side {side}: append must equal rebuild bit-for-bit"
+            );
+        }
+        // One full pass ever; the delta went through the cheap path.
+        assert_eq!(cache.full_scans(), 1);
+        assert_eq!(cache.delta_scans(), 1);
+    }
+
+    #[test]
+    fn append_of_non_matching_events_keeps_the_memo() {
+        let events = scattered_events(200, 3);
+        let c = clock();
+        let w = window(3);
+        let mut cache = AlphaFieldCache::new(&events, &c, &w);
+        let before = cache.alpha(GridSpec::new(6));
+        // Slot 1 of day 0 never matches a slot-0 window.
+        let delta = vec![Event::new(Point::new(0.5, 0.5), 45)];
+        assert_eq!(cache.append(&delta, &c, &w), 0);
+        assert_eq!(cache.derived_sides(), 1, "memo must survive a no-op delta");
+        let after = cache.alpha(GridSpec::new(6));
+        assert_eq!(before.as_slice(), after.as_slice());
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub fn select_hgrid_side(curve: &[(u32, f64)], flat_threshold: f64) -> u32 {
             return s0;
         }
     }
-    curve.last().unwrap().0
+    curve.last().map_or(0, |&(side, _)| side) // non-empty: len >= 2 checked above
 }
 
 #[cfg(test)]

@@ -1,0 +1,59 @@
+//! Typed errors for the core tuning paths.
+//!
+//! The fallible variants of the search algorithms ([`crate::search`]) and
+//! the [`ModelErrorSource`] trait report failures through [`CoreError`]
+//! instead of panicking; the engine crate classifies these into its
+//! config/data/internal taxonomy for callers and exit codes.
+//!
+//! [`ModelErrorSource`]: crate::upper_bound::ModelErrorSource
+
+use gridtuner_spatial::SpatialError;
+
+/// A failure on a core tuning path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A side range with `lo < 1` or `lo > hi`.
+    InvalidSideRange {
+        /// Lower bound of the rejected range.
+        lo: u32,
+        /// Upper bound of the rejected range.
+        hi: u32,
+    },
+    /// An iterative-method search bound of zero.
+    InvalidSearchBound,
+    /// An HGrid budget side of zero.
+    ZeroHgridBudget,
+    /// The model-error leg failed at a probed side.
+    Model {
+        /// The MGrid side being probed when the source failed.
+        side: u32,
+        /// Human-readable cause from the source.
+        message: String,
+    },
+    /// A shape/bounds failure in the spatial substrate.
+    Spatial(SpatialError),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::InvalidSideRange { lo, hi } => {
+                write!(f, "invalid side range [{lo}, {hi}] (need 1 <= lo <= hi)")
+            }
+            CoreError::InvalidSearchBound => write!(f, "search bound must be at least 1"),
+            CoreError::ZeroHgridBudget => write!(f, "HGrid budget side must be positive"),
+            CoreError::Model { side, message } => {
+                write!(f, "model error source failed at side {side}: {message}")
+            }
+            CoreError::Spatial(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<SpatialError> for CoreError {
+    fn from(e: SpatialError) -> Self {
+        CoreError::Spatial(e)
+    }
+}

@@ -31,9 +31,13 @@
 //!   Iterative Method (Algorithm 5) over the upper bound;
 //! * [`tuner`] — the `GridTuner` facade that wires the above together.
 
+// Library code must not panic on fallible paths; tests are exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod alpha;
 pub mod alpha_cache;
 pub mod dalpha;
+pub mod error;
 pub mod errors;
 pub mod expression;
 pub mod kselect;
@@ -46,6 +50,7 @@ pub mod upper_bound;
 pub use alpha::estimate_alpha;
 pub use alpha_cache::{cached_alpha, AlphaFieldCache};
 pub use dalpha::{d_alpha, select_hgrid_side};
+pub use error::CoreError;
 pub use errors::ErrorReport;
 pub use expression::{
     expression_error_alg1, expression_error_alg2, expression_error_naive,
@@ -53,8 +58,11 @@ pub use expression::{
 };
 pub use kselect::{recommended_k, truncation_error_bound};
 pub use search::{
-    brute_force, brute_force_parallel, iterative_method, ternary_search, ErrorOracle, MemoOracle,
+    brute_force, brute_force_parallel, iterative_method, ternary_search, try_brute_force,
+    try_brute_force_parallel, try_iterative_method, try_ternary_search, ErrorOracle, MemoOracle,
     SearchOutcome, SyncErrorOracle,
 };
 pub use tuner::{GridTuner, TunerConfig, TunerResult};
-pub use upper_bound::{ModelErrorFn, UpperBoundOracle};
+pub use upper_bound::{
+    InfallibleSource, ModelErrorFn, ModelErrorSource, SyncModelErrorSource, UpperBoundOracle,
+};

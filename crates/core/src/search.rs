@@ -8,6 +8,7 @@
 //! expensive `UpperBound` evaluations (each one retrains the prediction
 //! model) and to count unique evaluations — the "cost" column of Table IV.
 
+use crate::error::CoreError;
 use gridtuner_obs as obs;
 use std::collections::HashMap;
 
@@ -105,28 +106,90 @@ pub struct SearchOutcome {
     pub probes: Vec<(u32, f64)>,
 }
 
+/// Fallible memoising probe backing the `try_*` searchers: the same
+/// span/counter behaviour as [`MemoOracle`] (one `search.probe` span and
+/// one `search.unique_evals` increment per unique side), over a `Result`
+/// probe. The infallible searchers delegate here with an `Ok`-wrapping
+/// probe, so both paths share one implementation — and so agree bit for
+/// bit.
+struct TryMemo<F> {
+    probe: F,
+    cache: HashMap<u32, f64>,
+}
+
+impl<F: FnMut(u32) -> Result<f64, CoreError>> TryMemo<F> {
+    fn new(probe: F) -> Self {
+        TryMemo {
+            probe,
+            cache: HashMap::new(),
+        }
+    }
+
+    fn eval(&mut self, side: u32) -> Result<f64, CoreError> {
+        if let Some(&e) = self.cache.get(&side) {
+            return Ok(e);
+        }
+        obs::counter!("search.unique_evals").inc();
+        // "search.probe" (one per unique memoised probe) deliberately
+        // differs from the inner oracle's "probe" span so the two layers
+        // stay distinguishable in span stats.
+        let _span = obs::span!("search.probe", side = side);
+        let e = (self.probe)(side)?;
+        self.cache.insert(side, e);
+        Ok(e)
+    }
+
+    fn outcome(&self, side: u32, error: f64) -> SearchOutcome {
+        let mut probes: Vec<(u32, f64)> = self.cache.iter().map(|(&s, &e)| (s, e)).collect();
+        probes.sort_by_key(|&(s, _)| s);
+        SearchOutcome {
+            side,
+            error,
+            evals: self.cache.len(),
+            probes,
+        }
+    }
+}
+
+fn check_range(lo: u32, hi: u32) -> Result<(), CoreError> {
+    if lo >= 1 && lo <= hi {
+        Ok(())
+    } else {
+        Err(CoreError::InvalidSideRange { lo, hi })
+    }
+}
+
 /// Exhaustive search over `lo..=hi`: the paper's Brute-force baseline,
 /// `O(√N)` oracle calls, always optimal. Ties break toward the **smaller**
 /// side (the update is strict `<`), so on plateaus the result is the
 /// left-most minimiser — the canonical tie rule every other searcher is
 /// measured against.
-pub fn brute_force<O: ErrorOracle>(oracle: O, lo: u32, hi: u32) -> SearchOutcome {
+pub fn brute_force<O: ErrorOracle>(mut oracle: O, lo: u32, hi: u32) -> SearchOutcome {
     assert!(lo >= 1 && lo <= hi, "invalid side range [{lo}, {hi}]");
+    match try_brute_force(|s| Ok(oracle.eval(s)), lo, hi) {
+        Ok(out) => out,
+        Err(e) => unreachable!("infallible probe failed: {e}"),
+    }
+}
+
+/// Fallible [`brute_force`]: a probe error aborts the search and
+/// propagates; an invalid range is a typed error instead of a panic.
+pub fn try_brute_force(
+    probe: impl FnMut(u32) -> Result<f64, CoreError>,
+    lo: u32,
+    hi: u32,
+) -> Result<SearchOutcome, CoreError> {
+    check_range(lo, hi)?;
     let _span = obs::span!("search.brute_force", lo = lo, hi = hi);
-    let mut memo = MemoOracle::new(oracle);
+    let mut memo = TryMemo::new(probe);
     let mut best = (lo, f64::INFINITY);
     for s in lo..=hi {
-        let e = memo.eval(s);
+        let e = memo.eval(s)?;
         if e < best.1 {
             best = (s, e);
         }
     }
-    SearchOutcome {
-        side: best.0,
-        error: best.1,
-        evals: memo.unique_evals(),
-        probes: memo.probes(),
-    }
+    Ok(memo.outcome(best.0, best.1))
 }
 
 /// Data-parallel Brute-force over `lo..=hi`: probes every side across the
@@ -140,23 +203,41 @@ pub fn brute_force_parallel<O: SyncErrorOracle + ?Sized>(
     hi: u32,
 ) -> SearchOutcome {
     assert!(lo >= 1 && lo <= hi, "invalid side range [{lo}, {hi}]");
+    match try_brute_force_parallel(&|s| Ok(oracle.eval_sync(s)), lo, hi) {
+        Ok(out) => out,
+        Err(e) => unreachable!("infallible probe failed: {e}"),
+    }
+}
+
+/// Fallible [`brute_force_parallel`]: every side is still probed across
+/// the pool; if any probe failed, the error of the **lowest** failing side
+/// propagates (deterministic regardless of worker count).
+pub fn try_brute_force_parallel(
+    probe: &(impl Fn(u32) -> Result<f64, CoreError> + Sync),
+    lo: u32,
+    hi: u32,
+) -> Result<SearchOutcome, CoreError> {
+    check_range(lo, hi)?;
     let _span = obs::span!("search.brute_force_parallel", lo = lo, hi = hi);
     let sides: Vec<u32> = (lo..=hi).collect();
-    let errors = gridtuner_par::par_map(&sides, |&s| oracle.eval_sync(s));
+    let errors = gridtuner_par::par_map(&sides, |&s| probe(s));
     obs::counter!("search.unique_evals").add(sides.len() as u64);
-    let probes: Vec<(u32, f64)> = sides.into_iter().zip(errors).collect();
+    let mut probes: Vec<(u32, f64)> = Vec::with_capacity(sides.len());
+    for (s, e) in sides.into_iter().zip(errors) {
+        probes.push((s, e?));
+    }
     let mut best = (lo, f64::INFINITY);
     for &(s, e) in &probes {
         if e < best.1 {
             best = (s, e);
         }
     }
-    SearchOutcome {
+    Ok(SearchOutcome {
         side: best.0,
         error: best.1,
         evals: probes.len(),
         probes,
-    }
+    })
 }
 
 /// Algorithm 4: Ternary Search over `lo..=hi`. Each round probes the two
@@ -180,10 +261,24 @@ pub fn brute_force_parallel<O: SyncErrorOracle + ?Sized>(
 /// assert_eq!(out.side, 20);
 /// assert!(out.evals < 20); // logarithmic, vs 76 for brute force
 /// ```
-pub fn ternary_search<O: ErrorOracle>(oracle: O, lo: u32, hi: u32) -> SearchOutcome {
+pub fn ternary_search<O: ErrorOracle>(mut oracle: O, lo: u32, hi: u32) -> SearchOutcome {
     assert!(lo >= 1 && lo <= hi, "invalid side range [{lo}, {hi}]");
+    match try_ternary_search(|s| Ok(oracle.eval(s)), lo, hi) {
+        Ok(out) => out,
+        Err(e) => unreachable!("infallible probe failed: {e}"),
+    }
+}
+
+/// Fallible [`ternary_search`]: a probe error aborts the search and
+/// propagates; an invalid range is a typed error instead of a panic.
+pub fn try_ternary_search(
+    probe: impl FnMut(u32) -> Result<f64, CoreError>,
+    lo: u32,
+    hi: u32,
+) -> Result<SearchOutcome, CoreError> {
+    check_range(lo, hi)?;
     let _span = obs::span!("search.ternary", lo = lo, hi = hi);
-    let mut memo = MemoOracle::new(oracle);
+    let mut memo = TryMemo::new(probe);
     let (mut l, mut r) = (lo, hi);
     // Bitwise probe ties observed; each one discarded the right interval
     // and may have been a misleading shoulder plateau (see above).
@@ -205,9 +300,9 @@ pub fn ternary_search<O: ErrorOracle>(oracle: O, lo: u32, hi: u32) -> SearchOutc
         }
         if ml == mr {
             // Single midpoint: shrink toward the better side.
-            let em = memo.eval(ml);
-            let el = memo.eval(l);
-            let er = memo.eval(r);
+            let em = memo.eval(ml)?;
+            let el = memo.eval(l)?;
+            let er = memo.eval(r)?;
             if em <= el && em <= er {
                 l = ml;
                 r = ml;
@@ -218,7 +313,7 @@ pub fn ternary_search<O: ErrorOracle>(oracle: O, lo: u32, hi: u32) -> SearchOutc
             }
             break;
         }
-        let (eml, emr) = (memo.eval(ml), memo.eval(mr));
+        let (eml, emr) = (memo.eval(ml)?, memo.eval(mr)?);
         if eml == emr {
             plateau_ties += 1;
         }
@@ -228,14 +323,9 @@ pub fn ternary_search<O: ErrorOracle>(oracle: O, lo: u32, hi: u32) -> SearchOutc
             r = mr;
         }
     }
-    let (el, er) = (memo.eval(l), memo.eval(r));
+    let (el, er) = (memo.eval(l)?, memo.eval(r)?);
     let (side, error) = if el > er { (r, er) } else { (l, el) };
-    let outcome = SearchOutcome {
-        side,
-        error,
-        evals: memo.unique_evals(),
-        probes: memo.probes(),
-    };
+    let outcome = memo.outcome(side, error);
     // Divergence diagnostics: a tie means a flat stretch steered the
     // search; a probe strictly below the returned error proves the result
     // is suboptimal. Both are anomalies the run report should surface.
@@ -264,7 +354,7 @@ pub fn ternary_search<O: ErrorOracle>(oracle: O, lo: u32, hi: u32) -> SearchOutc
             );
         }
     }
-    outcome
+    Ok(outcome)
 }
 
 /// Algorithm 5: the Iterative Method. Starts from `init` (the paper uses
@@ -282,7 +372,7 @@ pub fn ternary_search<O: ErrorOracle>(oracle: O, lo: u32, hi: u32) -> SearchOutc
 /// any `bound ≥ 1` reaches the optimum; with a minimum plateau it stops at
 /// the first plateau point it touches.
 pub fn iterative_method<O: ErrorOracle>(
-    oracle: O,
+    mut oracle: O,
     lo: u32,
     hi: u32,
     init: u32,
@@ -290,19 +380,38 @@ pub fn iterative_method<O: ErrorOracle>(
 ) -> SearchOutcome {
     assert!(lo >= 1 && lo <= hi, "invalid side range [{lo}, {hi}]");
     assert!(bound >= 1, "bound must be at least 1");
+    match try_iterative_method(|s| Ok(oracle.eval(s)), lo, hi, init, bound) {
+        Ok(out) => out,
+        Err(e) => unreachable!("infallible probe failed: {e}"),
+    }
+}
+
+/// Fallible [`iterative_method`]: a probe error aborts the search and
+/// propagates; invalid ranges/bounds are typed errors instead of panics.
+pub fn try_iterative_method(
+    probe: impl FnMut(u32) -> Result<f64, CoreError>,
+    lo: u32,
+    hi: u32,
+    init: u32,
+    bound: u32,
+) -> Result<SearchOutcome, CoreError> {
+    check_range(lo, hi)?;
+    if bound < 1 {
+        return Err(CoreError::InvalidSearchBound);
+    }
     let _span = obs::span!("search.iterative", lo = lo, hi = hi, init = init);
-    let mut memo = MemoOracle::new(oracle);
+    let mut memo = TryMemo::new(probe);
     let mut p = init.clamp(lo, hi);
     loop {
-        let ep = memo.eval(p);
+        let ep = memo.eval(p)?;
         let mut moved = false;
         for i in (1..=bound).rev() {
-            if p + i <= hi && memo.eval(p + i) < ep {
+            if p + i <= hi && memo.eval(p + i)? < ep {
                 p += i;
                 moved = true;
                 break;
             }
-            if p >= lo + i && memo.eval(p - i) < ep {
+            if p >= lo + i && memo.eval(p - i)? < ep {
                 p -= i;
                 moved = true;
                 break;
@@ -312,13 +421,8 @@ pub fn iterative_method<O: ErrorOracle>(
             break;
         }
     }
-    let error = memo.eval(p);
-    SearchOutcome {
-        side: p,
-        error,
-        evals: memo.unique_evals(),
-        probes: memo.probes(),
-    }
+    let error = memo.eval(p)?;
+    Ok(memo.outcome(p, error))
 }
 
 #[cfg(test)]
@@ -450,6 +554,61 @@ mod tests {
             assert_eq!(par.probes, seq.probes, "opt={opt}");
             assert_eq!(par.evals, seq.evals);
         }
+    }
+
+    #[test]
+    fn try_searchers_match_infallible_and_propagate_errors() {
+        use crate::error::CoreError;
+        let mut curve = convex(20.0);
+        let ok = |s: u32| -> Result<f64, CoreError> { Ok(convex(20.0)(s)) };
+        let want = brute_force(&mut curve, 1, 76);
+        let got = try_brute_force(ok, 1, 76).unwrap();
+        assert_eq!(got, want);
+        let want = ternary_search(&mut curve, 1, 76);
+        let got = try_ternary_search(ok, 1, 76).unwrap();
+        assert_eq!(got, want);
+        let want = iterative_method(&mut curve, 1, 76, 16, 4);
+        let got = try_iterative_method(ok, 1, 76, 16, 4).unwrap();
+        assert_eq!(got, want);
+        // A failing probe aborts the search with the probe's error.
+        let failing = |s: u32| -> Result<f64, CoreError> {
+            if s == 10 {
+                Err(CoreError::Model {
+                    side: s,
+                    message: "boom".into(),
+                })
+            } else {
+                Ok(convex(20.0)(s))
+            }
+        };
+        assert!(matches!(
+            try_brute_force(failing, 1, 76),
+            Err(CoreError::Model { side: 10, .. })
+        ));
+        // An invalid range is a typed error, not a panic.
+        assert!(matches!(
+            try_brute_force(ok, 10, 3),
+            Err(CoreError::InvalidSideRange { lo: 10, hi: 3 })
+        ));
+        assert!(matches!(
+            try_iterative_method(ok, 1, 76, 16, 0),
+            Err(CoreError::InvalidSearchBound)
+        ));
+        // The parallel variant surfaces the lowest failing side.
+        let failing_sync = |s: u32| -> Result<f64, CoreError> {
+            if s.is_multiple_of(7) {
+                Err(CoreError::Model {
+                    side: s,
+                    message: "boom".into(),
+                })
+            } else {
+                Ok(s as f64)
+            }
+        };
+        assert!(matches!(
+            try_brute_force_parallel(&failing_sync, 1, 76),
+            Err(CoreError::Model { side: 7, .. })
+        ));
     }
 
     #[test]

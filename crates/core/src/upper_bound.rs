@@ -15,6 +15,7 @@
 
 use crate::alpha::AlphaWindow;
 use crate::alpha_cache::AlphaFieldCache;
+use crate::error::CoreError;
 use crate::expression::total_expression_error;
 use crate::search::{ErrorOracle, SyncErrorOracle};
 use gridtuner_obs as obs;
@@ -30,6 +31,57 @@ pub trait ModelErrorFn {
 impl<F: FnMut(u32) -> f64> ModelErrorFn for F {
     fn total_model_error(&mut self, mgrid_side: u32) -> f64 {
         self(mgrid_side)
+    }
+}
+
+/// The typed, fallible generalisation of [`ModelErrorFn`] — the model leg
+/// of the engine's session API. `HistoricalAverage`-backed city models,
+/// the nn predictors, and testkit's synthetic oracles all plug in through
+/// this one trait; failures surface as [`CoreError::Model`] instead of
+/// panicking mid-search.
+pub trait ModelErrorSource {
+    /// Total model error at MGrid side `s`, or a typed failure.
+    fn model_error(&mut self, mgrid_side: u32) -> Result<f64, CoreError>;
+
+    /// Whether the source reads the ingested event log. When true, a data
+    /// delta invalidates the session's per-side model-error memo; analytic
+    /// sources (the default) keep their memo across ingests.
+    fn data_dependent(&self) -> bool {
+        false
+    }
+}
+
+impl<F: FnMut(u32) -> f64> ModelErrorSource for F {
+    fn model_error(&mut self, mgrid_side: u32) -> Result<f64, CoreError> {
+        Ok(self(mgrid_side))
+    }
+}
+
+/// A thread-safe model-error source: probes through `&self`, so a
+/// parallel brute-force sweep can evaluate many sides concurrently.
+pub trait SyncModelErrorSource: Sync {
+    /// Total model error at MGrid side `s`, or a typed failure.
+    fn model_error_sync(&self, mgrid_side: u32) -> Result<f64, CoreError>;
+
+    /// See [`ModelErrorSource::data_dependent`].
+    fn data_dependent(&self) -> bool {
+        false
+    }
+}
+
+impl<F: Fn(u32) -> f64 + Sync> SyncModelErrorSource for F {
+    fn model_error_sync(&self, mgrid_side: u32) -> Result<f64, CoreError> {
+        Ok(self(mgrid_side))
+    }
+}
+
+/// Adapter presenting any infallible [`ModelErrorFn`] (closures included)
+/// as a [`ModelErrorSource`].
+pub struct InfallibleSource<M>(pub M);
+
+impl<M: ModelErrorFn> ModelErrorSource for InfallibleSource<M> {
+    fn model_error(&mut self, mgrid_side: u32) -> Result<f64, CoreError> {
+        Ok(self.0.total_model_error(mgrid_side))
     }
 }
 

@@ -142,6 +142,22 @@ impl City {
         vec![City::nyc(), City::chengdu(), City::xian()]
     }
 
+    /// Preset names accepted by [`City::by_name`], in the paper's order.
+    pub const PRESET_NAMES: [&'static str; 3] = ["nyc", "chengdu", "xian"];
+
+    /// Looks up a preset by name (case-insensitive). The shared front door
+    /// for every CLI-style `--city` argument.
+    pub fn by_name(name: &str) -> Result<City, UnknownCity> {
+        match name.to_ascii_lowercase().as_str() {
+            "nyc" => Ok(City::nyc()),
+            "chengdu" => Ok(City::chengdu()),
+            "xian" => Ok(City::xian()),
+            _ => Err(UnknownCity {
+                name: name.to_string(),
+            }),
+        }
+    }
+
     /// City name.
     pub fn name(&self) -> &str {
         &self.name
@@ -264,11 +280,44 @@ impl City {
     }
 }
 
+/// [`City::by_name`] was asked for a preset that does not exist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnknownCity {
+    /// The name that was requested.
+    pub name: String,
+}
+
+impl std::fmt::Display for UnknownCity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown city {:?} (expected one of: {})",
+            self.name,
+            City::PRESET_NAMES.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownCity {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use gridtuner_core::dalpha::d_alpha;
     use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn by_name_resolves_presets_and_rejects_unknowns() {
+        assert_eq!(City::by_name("nyc").unwrap().name(), "nyc");
+        assert_eq!(City::by_name("Chengdu").unwrap().name(), "chengdu");
+        assert_eq!(City::by_name("XIAN").unwrap().name(), "xian");
+        let err = City::by_name("gotham").unwrap_err();
+        assert_eq!(err.name, "gotham");
+        let msg = err.to_string();
+        for name in City::PRESET_NAMES {
+            assert!(msg.contains(name), "{msg} should list {name}");
+        }
+    }
 
     #[test]
     fn preset_volumes_match_paper() {

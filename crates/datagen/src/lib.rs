@@ -32,7 +32,7 @@ pub mod sampling;
 pub mod temporal;
 pub mod trips;
 
-pub use city::{City, DataSplit};
+pub use city::{City, DataSplit, UnknownCity};
 pub use intensity::IntensityField;
 pub use sampling::sample_poisson;
 pub use temporal::TemporalProfile;

@@ -180,7 +180,8 @@ impl Daif {
         // pre-position before demand ramps up.
         let first_order_slot = clock.slot_of_minute(sorted[0].minute);
         let first = clock.slot_at(clock.day_of(first_order_slot), 0).0;
-        let last = clock.slot_of_minute(sorted.last().unwrap().minute).0;
+        let last_minute = sorted.last().map_or(0, |o| o.minute); // non-empty: checked above
+        let last = clock.slot_of_minute(last_minute).0;
         let mut cursor = 0usize;
         let half_budget_km = self.cfg.speed_km_per_min * clock.slot_minutes() as f64 / 2.0;
         for s in first..=last {

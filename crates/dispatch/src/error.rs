@@ -1,0 +1,32 @@
+//! Typed errors for the dispatch layer.
+
+use gridtuner_spatial::SpatialError;
+
+/// A failure while preparing dispatcher inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DispatchError {
+    /// The prediction handed to [`crate::DemandView::try_from_mgrid`] does
+    /// not live on the partition's MGrid lattice.
+    DemandLattice(SpatialError),
+}
+
+impl std::fmt::Display for DispatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DispatchError::DemandLattice(e) => {
+                write!(
+                    f,
+                    "prediction does not match the partition's MGrid lattice: {e}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DispatchError {}
+
+impl From<SpatialError> for DispatchError {
+    fn from(e: SpatialError) -> Self {
+        DispatchError::DemandLattice(e)
+    }
+}

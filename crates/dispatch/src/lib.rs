@@ -23,8 +23,12 @@
 //! (Kuhn–Munkres) solver and a scalable greedy matcher; the simulator
 //! switches between them by instance size.
 
+// Library code must not panic on fallible paths; tests are exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod baseline;
 pub mod daif;
+pub mod error;
 pub mod ls;
 pub mod matching;
 pub mod metrics;
@@ -34,6 +38,7 @@ pub mod sim;
 
 pub use baseline::Nearest;
 pub use daif::Daif;
+pub use error::DispatchError;
 pub use ls::Ls;
 pub use matching::{assignment_cost, greedy_assignment, hungarian, INFEASIBLE};
 pub use metrics::DispatchOutcome;

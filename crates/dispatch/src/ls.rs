@@ -85,7 +85,7 @@ impl Dispatcher for Ls {
                 scored.push((score, oi, di));
             }
         }
-        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores"));
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
         let mut order_used = vec![false; orders.len()];
         let mut driver_used = vec![false; drivers.len()];
         let mut out = Vec::new();

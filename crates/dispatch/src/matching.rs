@@ -117,7 +117,7 @@ pub fn greedy_assignment(cost: &[f64], n_rows: usize, n_cols: usize) -> Vec<Opti
             }
         }
     }
-    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("non-NaN costs"));
+    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
     let mut row_used = vec![false; n_rows];
     let mut col_used = vec![false; n_cols];
     let mut out = vec![None; n_rows];

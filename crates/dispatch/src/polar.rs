@@ -73,7 +73,7 @@ impl Dispatcher for Polar {
             .map(|c| (c.index(), ctx.demand.cell_demand(c) - supply.get(c)))
             .filter(|&(_, s)| s > 0.0)
             .collect();
-        surplus.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite surplus"));
+        surplus.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         let budget = ((idle.len() as f64) * self.cfg.reposition_fraction).floor() as usize;
         // Grid-bucket index over idle drivers: each surplus unit pulls the
         // nearest remaining one in O(ring) instead of O(idle).

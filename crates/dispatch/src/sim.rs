@@ -16,6 +16,7 @@
 //! MGrid output — the exact quantity whose fidelity the grid size `n`
 //! controls.
 
+use crate::error::DispatchError;
 use crate::metrics::DispatchOutcome;
 use crate::model::{Driver, FleetConfig, Order};
 use gridtuner_obs as obs;
@@ -32,13 +33,24 @@ pub struct DemandView {
 
 impl DemandView {
     /// Spreads an MGrid prediction uniformly over the partition's HGrids
-    /// (`λ̂_ij = λ̂_i / m`).
+    /// (`λ̂_ij = λ̂_i / m`). Panics on a lattice mismatch; see
+    /// [`try_from_mgrid`](Self::try_from_mgrid) for the typed-error form.
     pub fn from_mgrid(pred_mgrid: &CountMatrix, partition: &Partition) -> Self {
-        DemandView {
-            field: pred_mgrid
-                .to_hgrid(partition)
-                .expect("prediction must live on the partition's MGrid lattice"),
+        match Self::try_from_mgrid(pred_mgrid, partition) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
         }
+    }
+
+    /// Fallible [`from_mgrid`](Self::from_mgrid): a prediction on the wrong
+    /// lattice is a typed error instead of a panic.
+    pub fn try_from_mgrid(
+        pred_mgrid: &CountMatrix,
+        partition: &Partition,
+    ) -> Result<Self, DispatchError> {
+        Ok(DemandView {
+            field: pred_mgrid.to_hgrid(partition)?,
+        })
     }
 
     /// Uses an HGrid-resolution field directly (e.g. ground-truth demand
@@ -77,7 +89,7 @@ impl DemandView {
             .cells()
             .map(|c| (c, self.field.get(c)))
             .collect();
-        cells.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite demand"));
+        cells.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         cells.truncate(k);
         cells
     }
@@ -211,7 +223,8 @@ impl Simulator {
         // repositioning needs the quiet early slots to pre-place drivers.
         let first_order_slot = self.clock.slot_of_minute(sorted[0].minute);
         let first_slot = self.clock.slot_at(self.clock.day_of(first_order_slot), 0).0;
-        let last_slot = self.clock.slot_of_minute(sorted.last().unwrap().minute).0;
+        let last_minute = sorted.last().map_or(0, |o| o.minute); // non-empty: checked above
+        let last_slot = self.clock.slot_of_minute(last_minute).0;
         let mut cursor = 0usize;
         let slot_budget_km = self.cfg.fleet.speed_km_per_min * self.clock.slot_minutes() as f64;
         for s in first_slot..=last_slot {

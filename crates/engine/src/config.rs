@@ -1,0 +1,257 @@
+//! The unified, validated engine configuration.
+//!
+//! One struct subsumes the knobs previously scattered across
+//! [`TunerConfig`], [`AlphaWindow`], [`SimConfig`] and `FleetConfig`
+//! (which travels inside the sim config): a session is constructed from a
+//! single [`EngineConfig`], and every invariant the old facades asserted
+//! at call time is checked once, up front, by the builder — returning a
+//! typed [`EngineError::Config`] instead of panicking mid-pipeline.
+
+use crate::error::EngineError;
+use gridtuner_core::alpha::AlphaWindow;
+use gridtuner_core::tuner::{SearchStrategy, TunerConfig};
+use gridtuner_dispatch::SimConfig;
+use gridtuner_spatial::SlotClock;
+
+/// Everything a [`TuningSession`](crate::TuningSession) needs to know.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// `√N`: side of the HGrid budget lattice (paper: 128).
+    pub hgrid_budget_side: u32,
+    /// Inclusive range of MGrid sides to search (paper: 4..=76).
+    pub side_range: (u32, u32),
+    /// Search algorithm.
+    pub strategy: SearchStrategy,
+    /// α-estimation window.
+    pub alpha_window: AlphaWindow,
+    /// The slot clock events are binned with.
+    pub clock: SlotClock,
+    /// Dispatch-simulation parameters, when the session drives the
+    /// downstream case study (fleet config included).
+    pub sim: Option<SimConfig>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig::from_tuner(TunerConfig::default())
+    }
+}
+
+impl EngineConfig {
+    /// Starts a builder pre-loaded with the paper's defaults.
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder {
+            cfg: EngineConfig::default(),
+        }
+    }
+
+    /// Lifts a legacy [`TunerConfig`] (default clock, no sim).
+    pub fn from_tuner(t: TunerConfig) -> Self {
+        EngineConfig {
+            hgrid_budget_side: t.hgrid_budget_side,
+            side_range: t.side_range,
+            strategy: t.strategy,
+            alpha_window: t.alpha_window,
+            clock: SlotClock::default(),
+            sim: None,
+        }
+    }
+
+    /// The tuning subset, for interop with the legacy `GridTuner` facade.
+    pub fn tuner(&self) -> TunerConfig {
+        TunerConfig {
+            hgrid_budget_side: self.hgrid_budget_side,
+            side_range: self.side_range,
+            strategy: self.strategy,
+            alpha_window: self.alpha_window,
+        }
+    }
+
+    /// Checks every cross-field invariant. Sessions call this once at
+    /// construction; the builder calls it on `build`.
+    pub fn validate(&self) -> Result<(), EngineError> {
+        let (lo, hi) = self.side_range;
+        if lo < 1 || lo > hi {
+            return Err(EngineError::Config(format!(
+                "invalid side range [{lo}, {hi}]"
+            )));
+        }
+        if self.hgrid_budget_side == 0 {
+            return Err(EngineError::Config(
+                "HGrid budget side must be positive".into(),
+            ));
+        }
+        // Iterative's `init` is deliberately NOT range-checked: Algorithm 5
+        // clamps it into [lo, hi] (its documented contract), so an
+        // out-of-range start is a valid way to say "start at the edge".
+        if let SearchStrategy::Iterative { bound, .. } = self.strategy {
+            if bound < 1 {
+                return Err(EngineError::Config(
+                    "iterative search bound must be at least 1".into(),
+                ));
+            }
+        }
+        let w = &self.alpha_window;
+        if w.day_start > w.day_end {
+            return Err(EngineError::Config(format!(
+                "α window days reversed: [{}, {})",
+                w.day_start, w.day_end
+            )));
+        }
+        if w.slot_of_day >= self.clock.slots_per_day() {
+            return Err(EngineError::Config(format!(
+                "α window slot-of-day {} outside the clock's {} slots",
+                w.slot_of_day,
+                self.clock.slots_per_day()
+            )));
+        }
+        if let Some(sim) = &self.sim {
+            if sim.fleet.n_drivers == 0 {
+                return Err(EngineError::Config(
+                    "fleet must have at least one driver".into(),
+                ));
+            }
+            if sim.fleet.speed_km_per_min.is_nan() || sim.fleet.speed_km_per_min <= 0.0 {
+                return Err(EngineError::Config(format!(
+                    "driving speed must be positive, got {}",
+                    sim.fleet.speed_km_per_min
+                )));
+            }
+            if sim.fleet.max_wait_min.is_nan() || sim.fleet.max_wait_min < 0.0 {
+                return Err(EngineError::Config(format!(
+                    "wait cap must be non-negative, got {}",
+                    sim.fleet.max_wait_min
+                )));
+            }
+            if sim.unserved_penalty_km.is_nan() || sim.unserved_penalty_km < 0.0 {
+                return Err(EngineError::Config(format!(
+                    "unserved-order penalty must be non-negative, got {}",
+                    sim.unserved_penalty_km
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`EngineConfig`]; `build` validates.
+#[derive(Debug, Clone)]
+pub struct EngineConfigBuilder {
+    cfg: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// `√N`: side of the HGrid budget lattice.
+    pub fn hgrid_budget_side(mut self, side: u32) -> Self {
+        self.cfg.hgrid_budget_side = side;
+        self
+    }
+
+    /// Inclusive MGrid side range to search.
+    pub fn side_range(mut self, lo: u32, hi: u32) -> Self {
+        self.cfg.side_range = (lo, hi);
+        self
+    }
+
+    /// Search algorithm.
+    pub fn strategy(mut self, strategy: SearchStrategy) -> Self {
+        self.cfg.strategy = strategy;
+        self
+    }
+
+    /// α-estimation window.
+    pub fn alpha_window(mut self, window: AlphaWindow) -> Self {
+        self.cfg.alpha_window = window;
+        self
+    }
+
+    /// Slot clock.
+    pub fn clock(mut self, clock: SlotClock) -> Self {
+        self.cfg.clock = clock;
+        self
+    }
+
+    /// Dispatch-simulation parameters (fleet travels inside).
+    pub fn sim(mut self, sim: SimConfig) -> Self {
+        self.cfg.sim = Some(sim);
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<EngineConfig, EngineError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridtuner_dispatch::FleetConfig;
+    use gridtuner_spatial::GeoBounds;
+
+    #[test]
+    fn default_mirrors_the_legacy_tuner_config() {
+        let cfg = EngineConfig::default();
+        assert_eq!(cfg.tuner(), TunerConfig::default());
+        assert!(cfg.sim.is_none());
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn builder_rejects_reversed_ranges() {
+        let err = EngineConfig::builder()
+            .side_range(10, 2)
+            .build()
+            .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("side range"), "{err}");
+    }
+
+    #[test]
+    fn builder_accepts_out_of_range_iterative_start_but_rejects_zero_bound() {
+        // Algorithm 5 clamps `init` into the range, so this is valid...
+        EngineConfig::builder()
+            .side_range(2, 8)
+            .strategy(SearchStrategy::Iterative { init: 16, bound: 4 })
+            .build()
+            .unwrap();
+        // ...while a zero bound can never terminate a comparison step.
+        let err = EngineConfig::builder()
+            .side_range(2, 8)
+            .strategy(SearchStrategy::Iterative { init: 4, bound: 0 })
+            .build()
+            .map(|_| ())
+            .unwrap_err();
+        assert!(err.to_string().contains("bound"), "{err}");
+    }
+
+    #[test]
+    fn builder_rejects_bad_fleet() {
+        let err = EngineConfig::builder()
+            .side_range(2, 24)
+            .strategy(SearchStrategy::BruteForce)
+            .sim(SimConfig {
+                fleet: FleetConfig {
+                    n_drivers: 0,
+                    ..FleetConfig::default()
+                },
+                geo: GeoBounds::xian(),
+                unserved_penalty_km: 10.0,
+            })
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("driver"), "{err}");
+    }
+
+    #[test]
+    fn builder_accepts_the_paper_setup() {
+        let cfg = EngineConfig::builder()
+            .hgrid_budget_side(128)
+            .side_range(4, 76)
+            .strategy(SearchStrategy::Iterative { init: 16, bound: 4 })
+            .build()
+            .unwrap();
+        assert_eq!(cfg.side_range, (4, 76));
+    }
+}

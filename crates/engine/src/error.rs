@@ -1,0 +1,161 @@
+//! The workspace-wide error taxonomy.
+//!
+//! Every failure a session can surface collapses into four kinds, each
+//! with a stable process exit code so scripts can branch on *why* a run
+//! failed without parsing messages:
+//!
+//! | kind       | exit code | meaning                                        |
+//! |------------|-----------|------------------------------------------------|
+//! | `Config`   | 2         | invalid configuration or arguments             |
+//! | `Data`     | 3         | the ingested data is unusable                  |
+//! | `Internal` | 4         | a model/spatial failure inside the pipeline    |
+//! | `Env`      | 5         | a malformed environment variable               |
+//!
+//! The per-crate typed errors ([`CoreError`], [`SpatialError`],
+//! [`DispatchError`], [`UnknownCity`], [`EnvParseError`]) convert in via
+//! `From`, carrying their messages along.
+
+use gridtuner_core::CoreError;
+use gridtuner_datagen::UnknownCity;
+use gridtuner_dispatch::DispatchError;
+use gridtuner_par::EnvParseError;
+use gridtuner_spatial::SpatialError;
+
+/// A failure anywhere in the tuning pipeline, classified for exit codes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// Invalid configuration: bad side range, unknown city preset,
+    /// malformed arguments. Exit code 2.
+    Config(String),
+    /// The ingested data is unusable (e.g. non-finite coordinates).
+    /// Exit code 3.
+    Data(String),
+    /// An unexpected failure inside the pipeline: model training,
+    /// spatial shape mismatch. Exit code 4.
+    Internal(String),
+    /// A malformed environment variable (`GRIDTUNER_THREADS`,
+    /// `GRIDTUNER_TESTKIT_SEED`, ...). Exit code 5.
+    Env(EnvParseError),
+}
+
+impl EngineError {
+    /// The process exit code for this kind of failure.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            EngineError::Config(_) => 2,
+            EngineError::Data(_) => 3,
+            EngineError::Internal(_) => 4,
+            EngineError::Env(_) => 5,
+        }
+    }
+
+    /// The kind as a short label (for logs and stage records).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            EngineError::Config(_) => "config",
+            EngineError::Data(_) => "data",
+            EngineError::Internal(_) => "internal",
+            EngineError::Env(_) => "env",
+        }
+    }
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Config(m) | EngineError::Data(m) | EngineError::Internal(m) => {
+                write!(f, "{m}")
+            }
+            EngineError::Env(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<CoreError> for EngineError {
+    fn from(e: CoreError) -> Self {
+        match &e {
+            CoreError::InvalidSideRange { .. }
+            | CoreError::InvalidSearchBound
+            | CoreError::ZeroHgridBudget => EngineError::Config(e.to_string()),
+            CoreError::Model { .. } | CoreError::Spatial(_) => EngineError::Internal(e.to_string()),
+        }
+    }
+}
+
+impl From<SpatialError> for EngineError {
+    fn from(e: SpatialError) -> Self {
+        EngineError::Internal(e.to_string())
+    }
+}
+
+impl From<DispatchError> for EngineError {
+    fn from(e: DispatchError) -> Self {
+        EngineError::Internal(e.to_string())
+    }
+}
+
+impl From<UnknownCity> for EngineError {
+    fn from(e: UnknownCity) -> Self {
+        EngineError::Config(e.to_string())
+    }
+}
+
+impl From<EnvParseError> for EngineError {
+    fn from(e: EnvParseError) -> Self {
+        EngineError::Env(e)
+    }
+}
+
+/// Validated `GRIDTUNER_THREADS` override, as an engine error: front doors
+/// call this once at startup so a malformed value is a diagnostic (exit
+/// code 5) instead of a silent fallback.
+pub fn thread_override() -> Result<Option<usize>, EngineError> {
+    gridtuner_par::env_thread_override().map_err(EngineError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_distinct_per_kind() {
+        let errors = [
+            EngineError::Config("c".into()),
+            EngineError::Data("d".into()),
+            EngineError::Internal("i".into()),
+            EngineError::Env(EnvParseError {
+                var: "GRIDTUNER_THREADS",
+                value: "lots".into(),
+                expected: "a positive integer",
+            }),
+        ];
+        let codes: Vec<i32> = errors.iter().map(|e| e.exit_code()).collect();
+        assert_eq!(codes, vec![2, 3, 4, 5]);
+        let mut unique = codes.clone();
+        unique.dedup();
+        assert_eq!(unique.len(), codes.len());
+    }
+
+    #[test]
+    fn core_errors_classify_by_variant() {
+        let cfg: EngineError = CoreError::InvalidSideRange { lo: 9, hi: 2 }.into();
+        assert_eq!(cfg.exit_code(), 2);
+        let internal: EngineError = CoreError::Model {
+            side: 4,
+            message: "no evaluable slots".into(),
+        }
+        .into();
+        assert_eq!(internal.exit_code(), 4);
+    }
+
+    #[test]
+    fn unknown_city_is_a_config_error() {
+        let e: EngineError = gridtuner_datagen::City::by_name("gotham")
+            .unwrap_err()
+            .into();
+        assert_eq!(e.exit_code(), 2);
+        assert!(e.to_string().contains("xian"), "{e}");
+    }
+}

@@ -1,0 +1,46 @@
+//! The stage-based tuning engine: the workspace's stateful front door.
+//!
+//! Everything above the algorithm layer routes through a
+//! [`TuningSession`]: it owns the ingested event log, the one-pass α-field
+//! cache, the per-side model-error memo and the run's stage log, and it
+//! drives the explicit pipeline **ingest → alpha → search → report** (plus
+//! an optional dispatch stage for the case study).
+//!
+//! * [`config`] — [`EngineConfig`]: one validated struct subsuming the
+//!   tuner, α-window, simulator and fleet knobs, with a builder that
+//!   rejects invalid setups up front;
+//! * [`error`] — [`EngineError`]: the workspace error taxonomy
+//!   (config / data / internal / env), each kind with a distinct process
+//!   exit code;
+//! * [`stage`] — [`StageKind`] / [`StageRecord`]: the explicit phases a
+//!   session records as it runs;
+//! * [`session`] — [`TuningSession`]: ingest events (incrementally — a
+//!   delta append does one partial scan, not a pipeline rebuild), tune
+//!   (bit-identical to the legacy `GridTuner` facade), re-tune after a
+//!   data delta with memoised work served from the caches.
+//!
+//! Model-error legs plug in through
+//! [`gridtuner_core::upper_bound::ModelErrorSource`] (or its `Sync`
+//! sibling for parallel sweeps); infallible closures adapt via
+//! [`gridtuner_core::upper_bound::InfallibleSource`].
+
+// Library code must not panic on fallible paths; tests are exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod config;
+pub mod error;
+pub mod session;
+pub mod stage;
+
+pub use config::{EngineConfig, EngineConfigBuilder};
+pub use error::{thread_override, EngineError};
+pub use session::{IngestReport, TuneReport, TuningSession};
+pub use stage::{StageKind, StageRecord};
+
+// The traits and types sessions are used with, re-exported so front ends
+// need only this crate.
+pub use gridtuner_core::tuner::SearchStrategy;
+pub use gridtuner_core::upper_bound::{
+    InfallibleSource, ModelErrorFn, ModelErrorSource, SyncModelErrorSource,
+};
+pub use gridtuner_core::{alpha::AlphaWindow, search::SearchOutcome};

@@ -1,0 +1,656 @@
+//! The tuning session: the engine's stateful front door.
+//!
+//! A [`TuningSession`] owns the ingested event log, the one-pass
+//! [`AlphaFieldCache`], the per-side model-error memo and the observability
+//! root of the run. The tune flow is the explicit stage pipeline
+//! ingest → alpha → search → report; every stage is recorded and every
+//! failure surfaces as a typed [`EngineError`].
+//!
+//! **Incremental re-tune.** Appending events with [`ingest`] after a tune
+//! does *not* rebuild the pipeline: the delta goes through
+//! [`AlphaFieldCache::append`] (one partial scan, `O(|delta|)`), the
+//! derived α memo is invalidated only if the delta touched the window, and
+//! the model-error memo survives unless the model source declares itself
+//! data-dependent. The resulting session is **bit-identical** to one built
+//! from scratch on the concatenated log — the testkit pins this down
+//! across thread counts.
+//!
+//! [`ingest`]: TuningSession::ingest
+
+use crate::config::EngineConfig;
+use crate::error::EngineError;
+use crate::stage::{StageKind, StageRecord};
+use gridtuner_core::alpha_cache::AlphaFieldCache;
+use gridtuner_core::error::CoreError;
+use gridtuner_core::search::{
+    try_brute_force, try_brute_force_parallel, try_iterative_method, try_ternary_search,
+    SearchOutcome,
+};
+use gridtuner_core::total_expression_error;
+use gridtuner_core::tuner::SearchStrategy;
+use gridtuner_core::upper_bound::{ModelErrorSource, SyncModelErrorSource};
+use gridtuner_obs as obs;
+use gridtuner_spatial::{Event, Partition};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// What one [`TuningSession::ingest`] call did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Events appended to the session log.
+    pub ingested: usize,
+    /// How many of them entered the α window's digest.
+    pub matched: usize,
+    /// Whether the delta invalidated derived α fields (and, for
+    /// data-dependent models, the model-error memo).
+    pub invalidated: bool,
+    /// Session log size after the append.
+    pub total_events: usize,
+}
+
+/// Outcome of one tune: the winning partition plus the search trace and
+/// the cache counters that certify how the work was done.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneReport {
+    /// The selected partition (MGrid side = `outcome.side`).
+    pub partition: Partition,
+    /// The search trace (selected side, error, evaluation count, probes).
+    pub outcome: SearchOutcome,
+    /// Full event-log passes the α cache performed (the invariant: 1 for
+    /// the session's lifetime, however many tunes and probes ran).
+    pub alpha_full_scans: u64,
+    /// Delta (append-only) passes — one per matching [`ingest`] call.
+    ///
+    /// [`ingest`]: TuningSession::ingest
+    pub alpha_delta_scans: u64,
+    /// Probes served from the per-side model-error memo during this tune —
+    /// the incremental re-tune dividend.
+    pub model_memo_hits: usize,
+}
+
+/// A stateful tuning run: dataset handle, α cache, model-error memo and
+/// stage log in one place. Create with [`TuningSession::new`], feed with
+/// [`ingest`](Self::ingest), run with [`tune`](Self::tune).
+pub struct TuningSession<S> {
+    config: EngineConfig,
+    events: Vec<Event>,
+    cache: Option<AlphaFieldCache>,
+    model: S,
+    model_memo: Mutex<HashMap<u32, f64>>,
+    stages: Vec<StageRecord>,
+}
+
+impl<S> TuningSession<S> {
+    /// Validates `config` and opens an empty session around `model`.
+    pub fn new(config: EngineConfig, model: S) -> Result<Self, EngineError> {
+        config.validate()?;
+        Ok(TuningSession {
+            config,
+            events: Vec::new(),
+            cache: None,
+            model,
+            model_memo: Mutex::new(HashMap::new()),
+            stages: Vec::new(),
+        })
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The ingested event log, in ingestion order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Every stage executed so far, in order.
+    pub fn stages(&self) -> &[StageRecord] {
+        &self.stages
+    }
+
+    /// Events that survived the α window filter (0 before the first scan).
+    pub fn digest_len(&self) -> usize {
+        self.cache.as_ref().map_or(0, |c| c.digest_len())
+    }
+
+    /// The α cache, once the alpha stage has run.
+    pub fn alpha_cache(&self) -> Option<&AlphaFieldCache> {
+        self.cache.as_ref()
+    }
+
+    /// The model-error source.
+    pub fn model(&self) -> &S {
+        &self.model
+    }
+
+    /// Number of sides with a memoised model error.
+    pub fn memoised_sides(&self) -> usize {
+        lock_memo(&self.model_memo).len()
+    }
+
+    /// Hands out a dispatch simulator for the configured case study.
+    pub fn simulator(&mut self) -> Result<gridtuner_dispatch::Simulator, EngineError> {
+        let sim = self.config.sim.ok_or_else(|| {
+            EngineError::Config(
+                "no dispatch configuration: set EngineConfig::builder().sim(...)".into(),
+            )
+        })?;
+        self.stages.push(StageRecord::new(
+            StageKind::Dispatch,
+            sim.fleet.n_drivers,
+            format!("simulator with {} drivers", sim.fleet.n_drivers),
+        ));
+        Ok(gridtuner_dispatch::Simulator::new(sim))
+    }
+
+    /// The α stage: build the cache on first use (the session's single
+    /// full scan), serve it afterwards. Returns whether this call built it.
+    fn ensure_cache(&mut self) -> bool {
+        if self.cache.is_some() {
+            return false;
+        }
+        self.cache = Some(AlphaFieldCache::new(
+            &self.events,
+            &self.config.clock,
+            &self.config.alpha_window,
+        ));
+        true
+    }
+}
+
+impl<S: ModelErrorSource> TuningSession<S> {
+    /// Appends `events` to the session log.
+    ///
+    /// The first ingest (or the first [`tune`](Self::tune)) performs the
+    /// session's one full α scan; every later ingest is an `O(|delta|)`
+    /// append that invalidates only what the delta actually touched.
+    /// Events with non-finite coordinates are rejected as
+    /// [`EngineError::Data`] before anything is mutated.
+    pub fn ingest(&mut self, events: &[Event]) -> Result<IngestReport, EngineError> {
+        let _span = obs::span!("ingest", events = events.len());
+        for (i, e) in events.iter().enumerate() {
+            if !e.loc.x.is_finite() || !e.loc.y.is_finite() {
+                return Err(EngineError::Data(format!(
+                    "event {i} has a non-finite coordinate ({}, {})",
+                    e.loc.x, e.loc.y
+                )));
+            }
+        }
+        let matched = match &mut self.cache {
+            None => {
+                self.events.extend_from_slice(events);
+                let cache = AlphaFieldCache::new(
+                    &self.events,
+                    &self.config.clock,
+                    &self.config.alpha_window,
+                );
+                let matched = cache.digest_len();
+                self.cache = Some(cache);
+                matched
+            }
+            Some(cache) => {
+                let matched = cache.append(events, &self.config.clock, &self.config.alpha_window);
+                self.events.extend_from_slice(events);
+                matched
+            }
+        };
+        // A data-dependent model reads the whole log, window or not: any
+        // delta dirties its memo. Analytic sources keep theirs.
+        let model_dirty = !events.is_empty() && self.model.data_dependent();
+        if model_dirty {
+            lock_memo(&self.model_memo).clear();
+        }
+        let invalidated = matched > 0 || model_dirty;
+        self.stages.push(StageRecord::new(
+            StageKind::Ingest,
+            events.len(),
+            format!("{matched} of {} events entered the α window", events.len()),
+        ));
+        Ok(IngestReport {
+            ingested: events.len(),
+            matched,
+            invalidated,
+            total_events: self.events.len(),
+        })
+    }
+
+    /// Runs the configured search. Bit-identical to the legacy
+    /// `GridTuner::tune` on the same events, window and model values: the
+    /// probe performs the same α-cache derivation and emits the same
+    /// `probe` span/event, and the `try_*` searchers replicate the
+    /// infallible searchers' trajectories exactly.
+    pub fn tune(&mut self) -> Result<TuneReport, EngineError> {
+        let (lo, hi) = self.config.side_range;
+        let _span = obs::span!("tune", lo = lo, hi = hi, events = self.events.len());
+        let built = self.ensure_cache();
+        self.stages.push(StageRecord::new(
+            StageKind::Alpha,
+            self.digest_len(),
+            if built {
+                "digest built (full scan)"
+            } else {
+                "digest served from cache"
+            },
+        ));
+        let budget = self.config.hgrid_budget_side;
+        let strategy = self.config.strategy;
+        let mut memo_hits = 0usize;
+        let outcome = {
+            let cache = self.cache.as_ref().ok_or_else(|| {
+                EngineError::Internal("α cache missing after the alpha stage".into())
+            })?;
+            let model = &mut self.model;
+            let memo = &self.model_memo;
+            let mut probe = |side: u32| -> Result<f64, CoreError> {
+                let _span = obs::span!("probe", side = side);
+                obs::counter!("tune.probes").inc();
+                let part = Partition::for_budget(side, budget);
+                let expr = cache.with_alpha(part.hgrid_spec(), |alpha| {
+                    total_expression_error(alpha, &part)
+                });
+                // Bind the lookup first: a guard living in a `match`
+                // scrutinee would still be held in the miss arm.
+                let cached = lock_memo(memo).get(&side).copied();
+                let model_err = match cached {
+                    Some(m) => {
+                        memo_hits += 1;
+                        m
+                    }
+                    None => {
+                        let m = model.model_error(side)?;
+                        lock_memo(memo).insert(side, m);
+                        m
+                    }
+                };
+                let total = expr + model_err;
+                obs::event!(
+                    "probe",
+                    side = side,
+                    expression_error = expr,
+                    model_error = model_err,
+                    total = total,
+                );
+                Ok(total)
+            };
+            match strategy {
+                SearchStrategy::BruteForce => try_brute_force(&mut probe, lo, hi),
+                SearchStrategy::Ternary => try_ternary_search(&mut probe, lo, hi),
+                SearchStrategy::Iterative { init, bound } => {
+                    try_iterative_method(&mut probe, lo, hi, init, bound)
+                }
+            }?
+        };
+        self.report(outcome, memo_hits)
+    }
+
+    /// Memoised model error at one side (outside a search).
+    pub fn model_error(&mut self, side: u32) -> Result<f64, EngineError> {
+        if let Some(m) = lock_memo(&self.model_memo).get(&side).copied() {
+            return Ok(m);
+        }
+        let m = self.model.model_error(side)?;
+        lock_memo(&self.model_memo).insert(side, m);
+        Ok(m)
+    }
+
+    /// Expression error at one side, served from the α cache (building it
+    /// on first use).
+    pub fn expression_error(&mut self, side: u32) -> f64 {
+        self.ensure_cache();
+        let budget = self.config.hgrid_budget_side;
+        let part = Partition::for_budget(side, budget);
+        self.cache.as_ref().map_or(0.0, |cache| {
+            cache.with_alpha(part.hgrid_spec(), |alpha| {
+                total_expression_error(alpha, &part)
+            })
+        })
+    }
+
+    /// The report stage, shared by the sequential and parallel paths.
+    fn report(
+        &mut self,
+        outcome: SearchOutcome,
+        memo_hits: usize,
+    ) -> Result<TuneReport, EngineError> {
+        obs::gauge!("tune.selected_side").set(f64::from(outcome.side));
+        self.stages.push(StageRecord::new(
+            StageKind::Search,
+            outcome.evals,
+            format!("{} unique evaluations", outcome.evals),
+        ));
+        let cache = self.cache.as_ref().ok_or_else(|| {
+            EngineError::Internal("α cache missing after the search stage".into())
+        })?;
+        let report = TuneReport {
+            partition: Partition::for_budget(outcome.side, self.config.hgrid_budget_side),
+            outcome,
+            alpha_full_scans: cache.full_scans(),
+            alpha_delta_scans: cache.delta_scans(),
+            model_memo_hits: memo_hits,
+        };
+        self.stages.push(StageRecord::new(
+            StageKind::Report,
+            1,
+            format!(
+                "side {} selected ({} memo hits)",
+                report.outcome.side, report.model_memo_hits
+            ),
+        ));
+        Ok(report)
+    }
+}
+
+impl<S: SyncModelErrorSource> TuningSession<S> {
+    /// Brute-force over the side range with probes spread across the
+    /// worker pool. Deterministic: identical to [`tune`](Self::tune) under
+    /// [`SearchStrategy::BruteForce`] with the same model values, for any
+    /// `GRIDTUNER_THREADS`.
+    pub fn tune_parallel(&mut self) -> Result<TuneReport, EngineError> {
+        let (lo, hi) = self.config.side_range;
+        let _span = obs::span!("tune", lo = lo, hi = hi, events = self.events.len());
+        let built = self.ensure_cache();
+        self.stages.push(StageRecord::new(
+            StageKind::Alpha,
+            self.digest_len(),
+            if built {
+                "digest built (full scan)"
+            } else {
+                "digest served from cache"
+            },
+        ));
+        let budget = self.config.hgrid_budget_side;
+        let memo_hits = AtomicUsize::new(0);
+        let outcome = {
+            let cache = self.cache.as_ref().ok_or_else(|| {
+                EngineError::Internal("α cache missing after the alpha stage".into())
+            })?;
+            let model = &self.model;
+            let memo = &self.model_memo;
+            let probe = |side: u32| -> Result<f64, CoreError> {
+                let _span = obs::span!("probe", side = side);
+                obs::counter!("tune.probes").inc();
+                let part = Partition::for_budget(side, budget);
+                let expr = cache.with_alpha(part.hgrid_spec(), |alpha| {
+                    total_expression_error(alpha, &part)
+                });
+                // Bind the lookup first: a guard living in a `match`
+                // scrutinee would still be held in the miss arm.
+                let cached = lock_memo(memo).get(&side).copied();
+                let model_err = match cached {
+                    Some(m) => {
+                        memo_hits.fetch_add(1, Ordering::Relaxed);
+                        m
+                    }
+                    None => {
+                        let m = model.model_error_sync(side)?;
+                        lock_memo(memo).insert(side, m);
+                        m
+                    }
+                };
+                let total = expr + model_err;
+                obs::event!(
+                    "probe",
+                    side = side,
+                    expression_error = expr,
+                    model_error = model_err,
+                    total = total,
+                );
+                Ok(total)
+            };
+            try_brute_force_parallel(&probe, lo, hi)?
+        };
+        let hits = memo_hits.load(Ordering::Relaxed);
+        self.report_sync(outcome, hits)
+    }
+
+    // `report` is bounded on ModelErrorSource; duplicate the tail for the
+    // Sync-only bound rather than forcing both bounds everywhere.
+    fn report_sync(
+        &mut self,
+        outcome: SearchOutcome,
+        memo_hits: usize,
+    ) -> Result<TuneReport, EngineError> {
+        obs::gauge!("tune.selected_side").set(f64::from(outcome.side));
+        self.stages.push(StageRecord::new(
+            StageKind::Search,
+            outcome.evals,
+            format!("{} unique evaluations", outcome.evals),
+        ));
+        let cache = self.cache.as_ref().ok_or_else(|| {
+            EngineError::Internal("α cache missing after the search stage".into())
+        })?;
+        let report = TuneReport {
+            partition: Partition::for_budget(outcome.side, self.config.hgrid_budget_side),
+            outcome,
+            alpha_full_scans: cache.full_scans(),
+            alpha_delta_scans: cache.delta_scans(),
+            model_memo_hits: memo_hits,
+        };
+        self.stages.push(StageRecord::new(
+            StageKind::Report,
+            1,
+            format!(
+                "side {} selected ({} memo hits)",
+                report.outcome.side, report.model_memo_hits
+            ),
+        ));
+        Ok(report)
+    }
+}
+
+/// The model-error memo, immune to lock poisoning (it only ever holds
+/// finished values).
+fn lock_memo(memo: &Mutex<HashMap<u32, f64>>) -> MutexGuard<'_, HashMap<u32, f64>> {
+    memo.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridtuner_core::alpha::AlphaWindow;
+    use gridtuner_core::tuner::{GridTuner, TunerConfig};
+    use gridtuner_core::upper_bound::InfallibleSource;
+    use gridtuner_spatial::{Point, SlotClock};
+
+    fn skewed_events(n: usize, days: u32) -> Vec<Event> {
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut unit = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut out = Vec::new();
+        for d in 0..days {
+            for i in 0..n {
+                let (x, y) = if i % 2 == 0 {
+                    (
+                        0.2 + 0.2 * (unit() + unit()) / 2.0,
+                        0.2 + 0.2 * (unit() + unit()) / 2.0,
+                    )
+                } else {
+                    (unit(), unit())
+                };
+                out.push(Event::new(Point::new(x, y), d * 24 * 60 + (i % 30) as u32));
+            }
+        }
+        out
+    }
+
+    fn cfg(strategy: SearchStrategy) -> EngineConfig {
+        EngineConfig::builder()
+            .hgrid_budget_side(64)
+            .side_range(2, 20)
+            .strategy(strategy)
+            .alpha_window(AlphaWindow {
+                slot_of_day: 0,
+                day_start: 0,
+                day_end: 7,
+                weekdays_only: false,
+            })
+            .build()
+            .unwrap()
+    }
+
+    fn model(s: u32) -> f64 {
+        (s * s) as f64 * 1.5
+    }
+
+    #[test]
+    fn session_tune_matches_legacy_gridtuner_bitwise() {
+        let events = skewed_events(600, 7);
+        let clock = SlotClock::default();
+        for strategy in [
+            SearchStrategy::BruteForce,
+            SearchStrategy::Ternary,
+            SearchStrategy::Iterative { init: 16, bound: 4 },
+        ] {
+            let config = cfg(strategy);
+            let legacy = GridTuner::new(TunerConfig {
+                hgrid_budget_side: 64,
+                side_range: (2, 20),
+                strategy,
+                alpha_window: config.alpha_window,
+            })
+            .tune(&events, clock, model);
+            let mut session = TuningSession::new(config, InfallibleSource(model)).unwrap();
+            session.ingest(&events).unwrap();
+            let report = session.tune().unwrap();
+            assert_eq!(report.outcome.side, legacy.outcome.side, "{strategy:?}");
+            assert_eq!(
+                report.outcome.error.to_bits(),
+                legacy.outcome.error.to_bits(),
+                "{strategy:?}"
+            );
+            assert_eq!(report.outcome.probes, legacy.outcome.probes, "{strategy:?}");
+            assert_eq!(report.alpha_full_scans, 1);
+        }
+    }
+
+    #[test]
+    fn incremental_ingest_matches_rebuild_bitwise() {
+        let all = skewed_events(400, 7);
+        let (old, delta) = all.split_at(900);
+        let mk = || TuningSession::new(cfg(SearchStrategy::BruteForce), InfallibleSource(model));
+        let mut incremental = mk().unwrap();
+        incremental.ingest(old).unwrap();
+        incremental.tune().unwrap(); // warm every memo, then perturb
+        let ingest = incremental.ingest(delta).unwrap();
+        assert!(ingest.matched > 0);
+        assert!(ingest.invalidated);
+        let re = incremental.tune().unwrap();
+        let mut fresh = mk().unwrap();
+        fresh.ingest(&all).unwrap();
+        let scratch = fresh.tune().unwrap();
+        assert_eq!(re.outcome.side, scratch.outcome.side);
+        assert_eq!(re.outcome.error.to_bits(), scratch.outcome.error.to_bits());
+        assert_eq!(re.outcome.probes, scratch.outcome.probes);
+        // The incremental session never rescanned the full log...
+        assert_eq!(re.alpha_full_scans, 1);
+        assert_eq!(re.alpha_delta_scans, 1);
+        // ...and served every model probe from the memo (analytic source).
+        assert_eq!(re.model_memo_hits, re.outcome.evals);
+    }
+
+    #[test]
+    fn parallel_tune_matches_sequential() {
+        let events = skewed_events(500, 7);
+        let mut seq =
+            TuningSession::new(cfg(SearchStrategy::BruteForce), InfallibleSource(model)).unwrap();
+        seq.ingest(&events).unwrap();
+        let s = seq.tune().unwrap();
+        let mut par = TuningSession::new(cfg(SearchStrategy::BruteForce), model).unwrap();
+        par.ingest(&events).unwrap();
+        let p = par.tune_parallel().unwrap();
+        assert_eq!(p.outcome.side, s.outcome.side);
+        assert_eq!(p.outcome.error.to_bits(), s.outcome.error.to_bits());
+        assert_eq!(p.outcome.probes, s.outcome.probes);
+        assert_eq!(p.alpha_full_scans, 1);
+    }
+
+    #[test]
+    fn non_finite_events_are_a_data_error() {
+        let mut session =
+            TuningSession::new(cfg(SearchStrategy::BruteForce), InfallibleSource(model)).unwrap();
+        let bad = vec![Event::new(Point::new(f64::NAN, 0.5), 0)];
+        let err = session.ingest(&bad).unwrap_err();
+        assert_eq!(err.exit_code(), 3, "{err}");
+        assert_eq!(session.events().len(), 0, "rejected delta must not land");
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_at_session_open() {
+        let cfg = EngineConfig {
+            side_range: (10, 2),
+            ..EngineConfig::default()
+        };
+        let err = TuningSession::new(cfg, InfallibleSource(model))
+            .map(|_| ())
+            .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn model_failures_propagate_as_internal() {
+        struct Failing;
+        impl ModelErrorSource for Failing {
+            fn model_error(&mut self, side: u32) -> Result<f64, CoreError> {
+                Err(CoreError::Model {
+                    side,
+                    message: "synthetic failure".into(),
+                })
+            }
+        }
+        let mut session = TuningSession::new(cfg(SearchStrategy::BruteForce), Failing).unwrap();
+        session.ingest(&skewed_events(50, 7)).unwrap();
+        let err = session.tune().unwrap_err();
+        assert_eq!(err.exit_code(), 4, "{err}");
+        assert!(err.to_string().contains("synthetic failure"), "{err}");
+    }
+
+    #[test]
+    fn stages_run_in_pipeline_order() {
+        let events = skewed_events(200, 7);
+        let mut session =
+            TuningSession::new(cfg(SearchStrategy::Ternary), InfallibleSource(model)).unwrap();
+        session.ingest(&events).unwrap();
+        session.tune().unwrap();
+        let kinds: Vec<StageKind> = session.stages().iter().map(|s| s.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                StageKind::Ingest,
+                StageKind::Alpha,
+                StageKind::Search,
+                StageKind::Report
+            ]
+        );
+    }
+
+    #[test]
+    fn simulator_requires_a_sim_config() {
+        let mut session = TuningSession::<InfallibleSource<fn(u32) -> f64>>::new(
+            cfg(SearchStrategy::BruteForce),
+            InfallibleSource(model as fn(u32) -> f64),
+        )
+        .unwrap();
+        let err = session.simulator().map(|_| ()).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        let sim = gridtuner_dispatch::SimConfig::for_geo(gridtuner_spatial::GeoBounds::xian());
+        let mut with_sim = TuningSession::new(
+            EngineConfig {
+                sim: Some(sim),
+                ..cfg(SearchStrategy::BruteForce)
+            },
+            InfallibleSource(model as fn(u32) -> f64),
+        )
+        .unwrap();
+        with_sim.simulator().unwrap();
+        assert_eq!(
+            with_sim.stages().last().map(|s| s.kind),
+            Some(StageKind::Dispatch)
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! Explicit pipeline stages.
+//!
+//! A tuning run is no longer an opaque call: sessions record each phase —
+//! ingest → alpha → search → report (plus dispatch, when the case study
+//! runs) — as a [`StageRecord`], so harnesses and run reports can show
+//! *where* the work went and assert invariants per stage (e.g. "the α
+//! stage after a delta ingest was served from the cache").
+
+/// The phases of a tuning session, in pipeline order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StageKind {
+    /// Events entered the session (full scan or delta append).
+    Ingest,
+    /// The α field digest was built or served from the cache.
+    Alpha,
+    /// The configured search probed the upper bound.
+    Search,
+    /// The winning partition and trace were assembled.
+    Report,
+    /// A dispatch simulator was handed out for the case study.
+    Dispatch,
+}
+
+impl StageKind {
+    /// Short stable label (used in run reports and span attributes).
+    pub fn name(&self) -> &'static str {
+        match self {
+            StageKind::Ingest => "ingest",
+            StageKind::Alpha => "alpha",
+            StageKind::Search => "search",
+            StageKind::Report => "report",
+            StageKind::Dispatch => "dispatch",
+        }
+    }
+}
+
+impl std::fmt::Display for StageKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One executed stage: what ran and how much work it did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageRecord {
+    /// Which phase ran.
+    pub kind: StageKind,
+    /// The stage's work measure: events ingested, digest size, unique
+    /// probe evaluations, ...
+    pub items: usize,
+    /// Human-readable detail for run reports.
+    pub detail: String,
+}
+
+impl StageRecord {
+    /// Creates a record.
+    pub fn new(kind: StageKind, items: usize, detail: impl Into<String>) -> Self {
+        StageRecord {
+            kind,
+            items,
+            detail: detail.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        let kinds = [
+            StageKind::Ingest,
+            StageKind::Alpha,
+            StageKind::Search,
+            StageKind::Report,
+            StageKind::Dispatch,
+        ];
+        let names: Vec<&str> = kinds.iter().map(|k| k.name()).collect();
+        assert_eq!(
+            names,
+            vec!["ingest", "alpha", "search", "report", "dispatch"]
+        );
+        assert_eq!(StageKind::Search.to_string(), "search");
+    }
+
+    #[test]
+    fn records_carry_their_measure() {
+        let r = StageRecord::new(StageKind::Ingest, 42, "42 events");
+        assert_eq!(r.items, 42);
+        assert_eq!(r.kind, StageKind::Ingest);
+    }
+}

@@ -15,10 +15,8 @@
 //! ## Quick start
 //!
 //! ```
-//! use gridtuner::core::tuner::{GridTuner, SearchStrategy, TunerConfig};
-//! use gridtuner::core::alpha::AlphaWindow;
+//! use gridtuner::engine::{EngineConfig, SearchStrategy, TuningSession};
 //! use gridtuner::datagen::City;
-//! use gridtuner::spatial::SlotClock;
 //! use rand::{rngs::StdRng, SeedableRng};
 //!
 //! // A small synthetic city (1% of Xi'an's volume keeps the doctest fast).
@@ -27,16 +25,26 @@
 //! // History events at 8:00–8:30 for four weeks — the α-estimation window.
 //! let events = city.sample_history_events(16, 0..28, &mut rng);
 //!
-//! // Tune n with a toy model-error curve (real users plug in
-//! // `gridtuner::predict::CityModelError` here).
-//! let tuner = GridTuner::new(TunerConfig {
-//!     hgrid_budget_side: 32,
-//!     side_range: (2, 16),
-//!     strategy: SearchStrategy::Ternary,
-//!     alpha_window: AlphaWindow::default(),
-//! });
-//! let result = tuner.tune(&events, SlotClock::default(), |s: u32| (s * s) as f64 * 0.05);
-//! assert!(result.partition.mgrid_side() >= 2);
+//! // One validated config, one session. The model leg here is a toy
+//! // closure (real users plug in `gridtuner::predict::CityModelError`).
+//! let config = EngineConfig::builder()
+//!     .hgrid_budget_side(32)
+//!     .side_range(2, 16)
+//!     .strategy(SearchStrategy::Ternary)
+//!     .build()
+//!     .unwrap();
+//! let mut session =
+//!     TuningSession::new(config, |s: u32| (s * s) as f64 * 0.05).unwrap();
+//! session.ingest(&events).unwrap();
+//! let report = session.tune().unwrap();
+//! assert!(report.partition.mgrid_side() >= 2);
+//!
+//! // Appending new data re-tunes incrementally: one delta scan, no
+//! // pipeline rebuild — bit-identical to starting from scratch.
+//! let delta = city.sample_history_events(16, 28..29, &mut rng);
+//! session.ingest(&delta).unwrap();
+//! let again = session.tune().unwrap();
+//! assert_eq!(again.alpha_full_scans, 1);
 //! ```
 //!
 //! ## Crate map
@@ -49,6 +57,8 @@
 //!   DMVST-like);
 //! * [`core`] — the paper's contribution: error decomposition, expression
 //!   error algorithms, `D_α` analysis, OGSS search;
+//! * [`engine`] — the stage-based session API above it all: unified
+//!   config, typed errors, incremental re-tune;
 //! * [`dispatch`] — the case-study dispatchers (POLAR / LS / DAIF);
 //! * [`obs`] — spans, metrics and trace/report exporters (see
 //!   `OBSERVABILITY.md` at the repo root).
@@ -56,6 +66,7 @@
 pub use gridtuner_core as core;
 pub use gridtuner_datagen as datagen;
 pub use gridtuner_dispatch as dispatch;
+pub use gridtuner_engine as engine;
 pub use gridtuner_nn as nn;
 pub use gridtuner_obs as obs;
 pub use gridtuner_predict as predict;
@@ -93,6 +104,37 @@ mod tests {
         assert!((2..=12).contains(&result.outcome.side));
         assert_eq!(result.alpha_rescans, 1);
         assert_eq!(result.partition.mgrid_side(), result.outcome.side);
+    }
+
+    #[test]
+    fn session_matches_the_legacy_facade_tune_bitwise() {
+        use crate::engine::{EngineConfig, TuningSession};
+        let city = City::chengdu().scaled(0.005);
+        let mut rng = StdRng::seed_from_u64(3);
+        let events = city.sample_history_events(16, 0..7, &mut rng);
+        let window = AlphaWindow {
+            slot_of_day: 16,
+            day_start: 0,
+            day_end: 7,
+            weekdays_only: true,
+        };
+        let tuner_cfg = TunerConfig {
+            hgrid_budget_side: 16,
+            side_range: (2, 12),
+            strategy: SearchStrategy::BruteForce,
+            alpha_window: window,
+        };
+        let model = |s: u32| (s * s) as f64 * 0.1;
+        let legacy = GridTuner::new(tuner_cfg).tune(&events, SlotClock::default(), model);
+        let mut session = TuningSession::new(EngineConfig::from_tuner(tuner_cfg), model).unwrap();
+        session.ingest(&events).unwrap();
+        let report = session.tune().unwrap();
+        assert_eq!(report.outcome.side, legacy.outcome.side);
+        assert_eq!(
+            report.outcome.error.to_bits(),
+            legacy.outcome.error.to_bits()
+        );
+        assert_eq!(report.outcome.probes, legacy.outcome.probes);
     }
 
     #[test]

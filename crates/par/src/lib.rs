@@ -41,11 +41,60 @@ const ACC_CHUNKS: usize = 8;
 /// Cached worker-pool size (0 = not resolved yet).
 static CACHED_THREADS: AtomicUsize = AtomicUsize::new(0);
 
+/// A malformed environment variable: the name, the offending value, and
+/// what a well-formed value looks like.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvParseError {
+    /// Variable name, e.g. `GRIDTUNER_THREADS`.
+    pub var: &'static str,
+    /// The raw value found in the environment.
+    pub value: String,
+    /// Human description of the expected format.
+    pub expected: &'static str,
+}
+
+impl std::fmt::Display for EnvParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}={:?} is malformed (expected {})",
+            self.var, self.value, self.expected
+        )
+    }
+}
+
+impl std::error::Error for EnvParseError {}
+
+/// The `GRIDTUNER_THREADS` override, validated: `Ok(None)` when unset,
+/// `Ok(Some(n))` (clamped to ≥ 1) when well-formed, `Err` when the value
+/// does not parse. Entry points (CLI, engine sessions) call this at
+/// startup so a typo fails loudly instead of silently falling back to the
+/// detected parallelism.
+pub fn env_thread_override() -> Result<Option<usize>, EnvParseError> {
+    match std::env::var("GRIDTUNER_THREADS") {
+        Err(_) => Ok(None),
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) => Ok(Some(n.max(1))),
+            Err(_) => Err(EnvParseError {
+                var: "GRIDTUNER_THREADS",
+                value: v,
+                expected: "a positive integer",
+            }),
+        },
+    }
+}
+
 fn env_threads() -> Option<usize> {
-    std::env::var("GRIDTUNER_THREADS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .map(|n| n.max(1))
+    match env_thread_override() {
+        Ok(n) => n,
+        Err(e) => {
+            // Library fallback stays permissive, but no longer silent:
+            // the malformed value is surfaced on the warn stream, and
+            // validated entry points turn it into a hard error.
+            obs::warn_event!("env.parse_error", var = e.var, value = e.value);
+            None
+        }
+    }
 }
 
 /// The worker-pool size: `GRIDTUNER_THREADS` if set, else the machine's

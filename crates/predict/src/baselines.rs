@@ -5,6 +5,7 @@
 //! (tomorrow = the same slot yesterday/last week). They cost nothing to
 //! "train" and calibrate how much the learned models actually add.
 
+use crate::error::PredictError;
 use crate::models::Predictor;
 use gridtuner_spatial::{CountMatrix, CountSeries, SlotClock, SlotId};
 
@@ -26,12 +27,17 @@ impl Predictor for Persistence {
 
     fn fit(&mut self, _series: &CountSeries, _clock: &SlotClock, _train_end: SlotId) {}
 
-    fn predict(&mut self, series: &CountSeries, _clock: &SlotClock, slot: SlotId) -> CountMatrix {
-        if slot.0 == 0 {
+    fn try_predict(
+        &mut self,
+        series: &CountSeries,
+        _clock: &SlotClock,
+        slot: SlotId,
+    ) -> Result<CountMatrix, PredictError> {
+        Ok(if slot.0 == 0 {
             CountMatrix::zeros(series.side())
         } else {
             series.slot_matrix(SlotId(slot.0 - 1))
-        }
+        })
     }
 }
 
@@ -65,12 +71,17 @@ impl Predictor for SeasonalNaive {
 
     fn fit(&mut self, _series: &CountSeries, _clock: &SlotClock, _train_end: SlotId) {}
 
-    fn predict(&mut self, series: &CountSeries, _clock: &SlotClock, slot: SlotId) -> CountMatrix {
-        if slot.0 < self.season_slots {
+    fn try_predict(
+        &mut self,
+        series: &CountSeries,
+        _clock: &SlotClock,
+        slot: SlotId,
+    ) -> Result<CountMatrix, PredictError> {
+        Ok(if slot.0 < self.season_slots {
             CountMatrix::zeros(series.side())
         } else {
             series.slot_matrix(SlotId(slot.0 - self.season_slots))
-        }
+        })
     }
 }
 

@@ -1,0 +1,46 @@
+//! Typed errors for the prediction layer.
+
+use gridtuner_spatial::SpatialError;
+
+/// A failure while fitting or evaluating a predictor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PredictError {
+    /// `predict` was called before `fit`.
+    NotFitted,
+    /// The series passed to `predict` is on a different lattice than the
+    /// one the model was fitted on.
+    LatticeMismatch {
+        /// Side the model was fitted on.
+        expected: u32,
+        /// Side of the series received.
+        got: u32,
+    },
+    /// Every requested evaluation slot fell beyond the series horizon.
+    NoEvaluableSlots,
+    /// A shape/bounds failure in the spatial substrate.
+    Shape(SpatialError),
+}
+
+impl std::fmt::Display for PredictError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PredictError::NotFitted => write!(f, "predict called before fit"),
+            PredictError::LatticeMismatch { expected, got } => {
+                write!(
+                    f,
+                    "series resolution changed: fitted on side {expected}, got {got}"
+                )
+            }
+            PredictError::NoEvaluableSlots => write!(f, "no evaluable slots"),
+            PredictError::Shape(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PredictError {}
+
+impl From<SpatialError> for PredictError {
+    fn from(e: SpatialError) -> Self {
+        PredictError::Shape(e)
+    }
+}

@@ -6,9 +6,11 @@
 //! `s`, fit a fresh predictor, evaluate on validation slots" as a
 //! [`ModelErrorFn`], the model leg of Algorithm 3.
 
+use crate::error::PredictError;
 use crate::features::FeatureConfig;
 use crate::models::Predictor;
-use gridtuner_core::upper_bound::ModelErrorFn;
+use gridtuner_core::error::CoreError;
+use gridtuner_core::upper_bound::{ModelErrorFn, ModelErrorSource};
 use gridtuner_datagen::{City, DataSplit};
 use gridtuner_spatial::{CountSeries, GridSpec, SlotClock, SlotId};
 use rand::{rngs::StdRng, SeedableRng};
@@ -23,26 +25,42 @@ pub fn slots_in_days(clock: &SlotClock, days: (u32, u32)) -> Vec<SlotId> {
 
 /// Mean over `eval_slots` of `Σ_i |λ̂_i − λ_i|` — the total model error of
 /// Eq. 20. Slots beyond the series horizon are skipped; panics if none
-/// remain.
+/// remain (see [`try_total_model_error`] for the typed-error variant).
 pub fn total_model_error<P: Predictor + ?Sized>(
     model: &mut P,
     series: &CountSeries,
     clock: &SlotClock,
     eval_slots: &[SlotId],
 ) -> f64 {
+    match try_total_model_error(model, series, clock, eval_slots) {
+        Ok(e) => e,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`total_model_error`]: an unfitted model, lattice mismatch or
+/// empty evaluable set is a typed error instead of a panic.
+pub fn try_total_model_error<P: Predictor + ?Sized>(
+    model: &mut P,
+    series: &CountSeries,
+    clock: &SlotClock,
+    eval_slots: &[SlotId],
+) -> Result<f64, PredictError> {
     let mut acc = 0.0;
     let mut used = 0usize;
     for &slot in eval_slots {
         if slot.index() >= series.n_slots() {
             continue;
         }
-        let pred = model.predict(series, clock, slot);
+        let pred = model.try_predict(series, clock, slot)?;
         let actual = series.slot_matrix(slot);
-        acc += pred.l1_distance(&actual).expect("same lattice");
+        acc += pred.l1_distance(&actual)?;
         used += 1;
     }
-    assert!(used > 0, "no evaluable slots");
-    acc / used as f64
+    if used == 0 {
+        return Err(PredictError::NoEvaluableSlots);
+    }
+    Ok(acc / used as f64)
 }
 
 /// The model leg of Algorithm 3 for a synthetic [`City`]: each call samples
@@ -77,8 +95,18 @@ impl<F: FnMut() -> Box<dyn Predictor>> CityModelError<F> {
     }
 
     /// Fits a predictor at `side` and returns `(model error, series)` —
-    /// useful when the caller also needs the sampled series.
+    /// useful when the caller also needs the sampled series. Panicking
+    /// convenience over [`try_measure`](Self::try_measure).
     pub fn measure(&mut self, side: u32) -> (f64, CountSeries) {
+        match self.try_measure(side) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`measure`](Self::measure): evaluation failures surface as
+    /// typed errors instead of panics.
+    pub fn try_measure(&mut self, side: u32) -> Result<(f64, CountSeries), PredictError> {
         let _span = gridtuner_obs::span!("model_error", side = side);
         let clock = *self.city.clock();
         let spec = GridSpec::new(side);
@@ -102,16 +130,29 @@ impl<F: FnMut() -> Box<dyn Predictor>> CityModelError<F> {
         if self.max_eval_slots > 0 && slots.len() > self.max_eval_slots {
             slots.truncate(self.max_eval_slots);
         }
-        (
-            total_model_error(model.as_mut(), &series, &clock, &slots),
-            series,
-        )
+        let err = try_total_model_error(model.as_mut(), &series, &clock, &slots)?;
+        Ok((err, series))
     }
 }
 
 impl<F: FnMut() -> Box<dyn Predictor>> ModelErrorFn for CityModelError<F> {
     fn total_model_error(&mut self, mgrid_side: u32) -> f64 {
         self.measure(mgrid_side).0
+    }
+}
+
+/// The session-API face of the city model oracle: same measurement, typed
+/// failures. The series is re-sampled per (seed, side) from the city's
+/// generator — not from the session's ingested log — so a data delta does
+/// not invalidate memoised values (`data_dependent` stays false).
+impl<F: FnMut() -> Box<dyn Predictor>> ModelErrorSource for CityModelError<F> {
+    fn model_error(&mut self, mgrid_side: u32) -> Result<f64, CoreError> {
+        self.try_measure(mgrid_side)
+            .map(|(e, _)| e)
+            .map_err(|e| CoreError::Model {
+                side: mgrid_side,
+                message: e.to_string(),
+            })
     }
 }
 

@@ -20,14 +20,22 @@
 //! to [`gridtuner_core::upper_bound::ModelErrorFn`] so it can drive the
 //! OGSS search.
 
+// Library code must not panic on fallible paths; tests are exempt. (The
+// explicitly-documented panicking conveniences — `predict`, `measure`,
+// `total_model_error` — route through `panic!` on a typed error, which the
+// gate permits; sessions use the `try_*` forms.)
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod baselines;
+pub mod error;
 pub mod eval;
 pub mod features;
 pub mod models;
 pub mod trainer;
 
 pub use baselines::{Persistence, SeasonalNaive};
-pub use eval::{total_model_error, CityModelError};
+pub use error::PredictError;
+pub use eval::{total_model_error, try_total_model_error, CityModelError};
 pub use features::{FeatureConfig, Sample};
 pub use models::{
     DeepStLike, DmvstLike, HistoricalAverage, Mlp, MlpConfig, Predictor, TrainConfig,

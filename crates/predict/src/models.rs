@@ -12,6 +12,7 @@
 //! view). Widths are CPU-sized; the paper's exact MLP widths are available
 //! via [`MlpConfig::paper_sized`].
 
+use crate::error::PredictError;
 use crate::features::{build_samples, features_for, FeatureConfig};
 use gridtuner_nn::{
     huber_loss, Adam, Conv2d, Dense, Flatten, Layer, Optimizer, ReLU, Residual, Sequential,
@@ -25,8 +26,23 @@ pub trait Predictor {
     fn name(&self) -> &'static str;
     /// Fits on slots `[0, train_end)` of the series.
     fn fit(&mut self, series: &CountSeries, clock: &SlotClock, train_end: SlotId);
-    /// Predicts the counts of `slot` using only strictly earlier history.
-    fn predict(&mut self, series: &CountSeries, clock: &SlotClock, slot: SlotId) -> CountMatrix;
+    /// Predicts the counts of `slot` using only strictly earlier history,
+    /// or a typed failure (unfitted model, lattice mismatch).
+    fn try_predict(
+        &mut self,
+        series: &CountSeries,
+        clock: &SlotClock,
+        slot: SlotId,
+    ) -> Result<CountMatrix, PredictError>;
+    /// Panicking convenience over [`try_predict`](Predictor::try_predict)
+    /// for harnesses and experiments where a failure is a programming
+    /// error. Library paths (the engine's sessions) use `try_predict`.
+    fn predict(&mut self, series: &CountSeries, clock: &SlotClock, slot: SlotId) -> CountMatrix {
+        match self.try_predict(series, clock, slot) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
 }
 
 /// Training hyper-parameters shared by the neural predictors.
@@ -118,13 +134,27 @@ impl Predictor for HistoricalAverage {
         self.tables = sums;
     }
 
-    fn predict(&mut self, series: &CountSeries, clock: &SlotClock, slot: SlotId) -> CountMatrix {
-        assert!(!self.tables.is_empty(), "predict called before fit");
-        assert_eq!(series.side(), self.side, "series resolution changed");
+    fn try_predict(
+        &mut self,
+        series: &CountSeries,
+        clock: &SlotClock,
+        slot: SlotId,
+    ) -> Result<CountMatrix, PredictError> {
+        if self.tables.is_empty() {
+            return Err(PredictError::NotFitted);
+        }
+        if series.side() != self.side {
+            return Err(PredictError::LatticeMismatch {
+                expected: self.side,
+                got: series.side(),
+            });
+        }
         let wk = usize::from(!clock.is_weekday(slot));
         let sod = clock.slot_of_day(slot) as usize;
-        CountMatrix::from_vec(self.side, self.tables[wk][sod].clone())
-            .expect("table shape matches side")
+        Ok(CountMatrix::from_vec(
+            self.side,
+            self.tables[wk][sod].clone(),
+        )?)
     }
 }
 
@@ -207,9 +237,19 @@ impl NnCore {
         self.net = Some(net);
     }
 
-    fn predict(&mut self, series: &CountSeries, clock: &SlotClock, slot: SlotId) -> CountMatrix {
-        let net = self.net.as_mut().expect("predict called before fit");
-        assert_eq!(series.side(), self.side, "series resolution changed");
+    fn try_predict(
+        &mut self,
+        series: &CountSeries,
+        clock: &SlotClock,
+        slot: SlotId,
+    ) -> Result<CountMatrix, PredictError> {
+        let net = self.net.as_mut().ok_or(PredictError::NotFitted)?;
+        if series.side() != self.side {
+            return Err(PredictError::LatticeMismatch {
+                expected: self.side,
+                got: series.side(),
+            });
+        }
         match features_for(series, clock, &self.feature_cfg, slot) {
             Some(mut x) => {
                 x.scale(1.0 / self.norm);
@@ -219,15 +259,15 @@ impl NnCore {
                     .iter()
                     .map(|&v| (v * self.norm).max(0.0) as f64)
                     .collect();
-                CountMatrix::from_vec(self.side, data).expect("net output is side²")
+                Ok(CountMatrix::from_vec(self.side, data)?)
             }
             None => {
                 // Persistence fallback: repeat the previous slot (or zeros
                 // at the very start of the series).
                 if slot.0 == 0 {
-                    CountMatrix::zeros(self.side)
+                    Ok(CountMatrix::zeros(self.side))
                 } else {
-                    series.slot_matrix(SlotId(slot.0 - 1))
+                    Ok(series.slot_matrix(SlotId(slot.0 - 1)))
                 }
             }
         }
@@ -320,8 +360,13 @@ impl Predictor for Mlp {
         self.core.fit(series, clock, train_end);
     }
 
-    fn predict(&mut self, series: &CountSeries, clock: &SlotClock, slot: SlotId) -> CountMatrix {
-        self.core.predict(series, clock, slot)
+    fn try_predict(
+        &mut self,
+        series: &CountSeries,
+        clock: &SlotClock,
+        slot: SlotId,
+    ) -> Result<CountMatrix, PredictError> {
+        self.core.try_predict(series, clock, slot)
     }
 }
 
@@ -377,8 +422,13 @@ impl Predictor for DeepStLike {
         self.core.fit(series, clock, train_end);
     }
 
-    fn predict(&mut self, series: &CountSeries, clock: &SlotClock, slot: SlotId) -> CountMatrix {
-        self.core.predict(series, clock, slot)
+    fn try_predict(
+        &mut self,
+        series: &CountSeries,
+        clock: &SlotClock,
+        slot: SlotId,
+    ) -> Result<CountMatrix, PredictError> {
+        self.core.try_predict(series, clock, slot)
     }
 }
 
@@ -440,8 +490,13 @@ impl Predictor for DmvstLike {
         self.core.fit(series, clock, train_end);
     }
 
-    fn predict(&mut self, series: &CountSeries, clock: &SlotClock, slot: SlotId) -> CountMatrix {
-        self.core.predict(series, clock, slot)
+    fn try_predict(
+        &mut self,
+        series: &CountSeries,
+        clock: &SlotClock,
+        slot: SlotId,
+    ) -> Result<CountMatrix, PredictError> {
+        self.core.try_predict(series, clock, slot)
     }
 }
 

@@ -63,7 +63,7 @@ impl GridIndex {
     /// are clamped in.
     pub fn insert(&mut self, id: usize, p: Point) {
         let p = p.clamp_unit();
-        let cell = self.spec.cell_of(&p).expect("clamped point is inside");
+        let cell = self.clamped_cell(&p);
         self.buckets[cell.index()].push(Entry { id, p });
         self.len += 1;
     }
@@ -73,7 +73,7 @@ impl GridIndex {
     /// was inserted with.
     pub fn remove(&mut self, id: usize, p: Point) -> bool {
         let p = p.clamp_unit();
-        let cell = self.spec.cell_of(&p).expect("clamped point is inside");
+        let cell = self.clamped_cell(&p);
         let bucket = &mut self.buckets[cell.index()];
         if let Some(i) = bucket.iter().position(|e| e.id == id) {
             bucket.swap_remove(i);
@@ -82,6 +82,16 @@ impl GridIndex {
         } else {
             false
         }
+    }
+
+    /// Cell of a point that has already been clamped into the unit square.
+    /// `clamp_unit` keeps both coordinates strictly below 1.0, so the
+    /// lookup cannot miss; the origin-cell fallback only keeps this path
+    /// panic-free.
+    fn clamped_cell(&self, p: &Point) -> crate::grid::CellId {
+        self.spec
+            .cell_of(p)
+            .unwrap_or_else(|| self.spec.cell_at(0, 0))
     }
 
     /// Anisotropic Manhattan distance used by queries.
@@ -100,7 +110,7 @@ impl GridIndex {
         }
         let q = q.clamp_unit();
         let side = self.spec.side() as isize;
-        let (qr, qc) = self.spec.row_col(self.spec.cell_of(&q).expect("clamped"));
+        let (qr, qc) = self.spec.row_col(self.clamped_cell(&q));
         let (qr, qc) = (qr as isize, qc as isize);
         let cell_w = self.spec.cell_size();
         // Lower bound on the distance to any point in a ring at Chebyshev
@@ -150,7 +160,7 @@ impl GridIndex {
         let cell_w = self.spec.cell_size();
         // How many cells the radius spans along the cheaper axis.
         let span = (radius / (cell_w * self.scale_x.min(self.scale_y))).ceil() as isize + 1;
-        let (qr, qc) = self.spec.row_col(self.spec.cell_of(&q).expect("clamped"));
+        let (qr, qc) = self.spec.row_col(self.clamped_cell(&q));
         let (qr, qc) = (qr as isize, qc as isize);
         let mut out = Vec::new();
         for rr in (qr - span).max(0)..=(qr + span).min(side - 1) {

@@ -18,6 +18,9 @@
 //! Everything is deterministic and allocation-conscious: count series are
 //! stored as flat `Vec<f64>` in row-major `(slot, row, col)` order.
 
+// Library code must not panic on fallible paths; tests are exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod counts;
 pub mod events;
 pub mod geom;

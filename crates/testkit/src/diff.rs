@@ -17,8 +17,14 @@
 //!   a small `n`; the default suite uses the per-test default);
 //! * `GRIDTUNER_TESTKIT_SEED=<s>` — run exactly one seed, the repro path
 //!   quoted in every divergence report.
+//!
+//! A malformed value is a diagnostic, not a silent fallback: `seed_budget`
+//! fails the run with the parse error, and [`try_seed_budget`] surfaces it
+//! as a typed [`EngineError::Env`].
 
 use crate::scenario::{Scenario, ScenarioParams};
+use gridtuner_engine::EngineError;
+use gridtuner_par::EnvParseError;
 
 /// Maximum greedy shrink steps before giving up and reporting the current
 /// smallest counterexample.
@@ -216,19 +222,44 @@ impl DiffEngine {
     }
 }
 
-/// The seed list for a sweep: `GRIDTUNER_TESTKIT_SEED` pins one seed,
-/// `GRIDTUNER_TESTKIT_SEEDS` overrides the count, otherwise `0..default`.
-pub fn seed_budget(default: u64) -> Vec<u64> {
+/// Fallible seed list for a sweep: `GRIDTUNER_TESTKIT_SEED` pins one
+/// seed, `GRIDTUNER_TESTKIT_SEEDS` overrides the count, otherwise
+/// `0..default`. A malformed value is an [`EngineError::Env`] carrying
+/// the variable name and the offending value.
+pub fn try_seed_budget(default: u64) -> Result<Vec<u64>, EngineError> {
     if let Ok(s) = std::env::var("GRIDTUNER_TESTKIT_SEED") {
-        if let Ok(seed) = s.trim().parse::<u64>() {
-            return vec![seed];
-        }
+        let seed = parse_seed_var("GRIDTUNER_TESTKIT_SEED", s, "a u64 seed")?;
+        return Ok(vec![seed]);
     }
-    let n = std::env::var("GRIDTUNER_TESTKIT_SEEDS")
-        .ok()
-        .and_then(|s| s.trim().parse::<u64>().ok())
-        .unwrap_or(default);
-    (0..n).collect()
+    let n = match std::env::var("GRIDTUNER_TESTKIT_SEEDS") {
+        Err(_) => default,
+        Ok(s) => parse_seed_var("GRIDTUNER_TESTKIT_SEEDS", s, "a seed count")?,
+    };
+    Ok((0..n).collect())
+}
+
+/// Parses one budget variable's raw value into a `u64`, keeping the
+/// offending text in the error.
+fn parse_seed_var(
+    var: &'static str,
+    raw: String,
+    expected: &'static str,
+) -> Result<u64, EnvParseError> {
+    raw.trim().parse::<u64>().map_err(|_| EnvParseError {
+        var,
+        value: raw,
+        expected,
+    })
+}
+
+/// The seed list for a sweep. A typo'd budget variable fails the run with
+/// the parse diagnostic (exit taxonomy: env) instead of silently sweeping
+/// the default seeds as if the override weren't there.
+pub fn seed_budget(default: u64) -> Vec<u64> {
+    match try_seed_budget(default) {
+        Ok(seeds) => seeds,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 #[cfg(test)]
@@ -285,6 +316,21 @@ mod tests {
             && std::env::var("GRIDTUNER_TESTKIT_SEEDS").is_err()
         {
             assert_eq!(seed_budget(4), vec![0, 1, 2, 3]);
+            assert_eq!(try_seed_budget(2).unwrap(), vec![0, 1]);
         }
+    }
+
+    #[test]
+    fn malformed_seed_values_are_env_errors() {
+        let err =
+            parse_seed_var("GRIDTUNER_TESTKIT_SEED", "banana".into(), "a u64 seed").unwrap_err();
+        assert_eq!(err.var, "GRIDTUNER_TESTKIT_SEED");
+        assert!(err.to_string().contains("banana"), "{err}");
+        let engine_err = EngineError::from(err);
+        assert_eq!(engine_err.exit_code(), 5);
+        assert_eq!(
+            parse_seed_var("GRIDTUNER_TESTKIT_SEEDS", " 12 ".into(), "a seed count").unwrap(),
+            12
+        );
     }
 }

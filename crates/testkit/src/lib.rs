@@ -36,7 +36,7 @@ pub mod golden;
 pub mod pairs;
 pub mod scenario;
 
-pub use diff::{seed_budget, Check, DiffEngine, Divergence, Report};
+pub use diff::{seed_budget, try_seed_budget, Check, DiffEngine, Divergence, Report};
 pub use golden::{check_golden, goldens_dir, Json};
 pub use pairs::standard_checks;
 pub use scenario::{Scenario, ScenarioParams};

@@ -36,6 +36,7 @@ use gridtuner_core::expression::{
 };
 use gridtuner_core::search::{brute_force, iterative_method, ternary_search};
 use gridtuner_core::tuner::{GridTuner, SearchStrategy, TunerConfig};
+use gridtuner_engine::{EngineConfig, TuningSession};
 use gridtuner_nn::{Conv2d, Dense, Layer, Tensor};
 use gridtuner_spatial::{CountMatrix, GridSpec, Partition};
 use rand::Rng;
@@ -286,6 +287,106 @@ pub fn standard_checks() -> Vec<Check> {
             if out.alpha_rescans != 1 {
                 return Err(format!("{strat:?} rescanned the log"));
             }
+        }
+        Ok(())
+    }));
+
+    checks.push(Check::new("session-vs-tuner", |s| {
+        let model = s.model_fn();
+        let (_, hi) = s.params.side_range();
+        let strategies = [
+            SearchStrategy::BruteForce,
+            SearchStrategy::Ternary,
+            SearchStrategy::Iterative {
+                init: 1 + (s.params.seed % hi as u64) as u32,
+                bound: 1 + (s.params.seed % 4) as u32,
+            },
+        ];
+        for strat in strategies {
+            let legacy = GridTuner::new(tuner_config(s, strat)).tune(&s.events, s.clock, model);
+            let config = EngineConfig {
+                clock: s.clock,
+                ..EngineConfig::from_tuner(tuner_config(s, strat))
+            };
+            let mut session = TuningSession::new(config, model)
+                .map_err(|e| format!("session rejected {strat:?}: {e}"))?;
+            session.ingest(&s.events).map_err(|e| e.to_string())?;
+            let report = session.tune().map_err(|e| e.to_string())?;
+            if report.outcome.side != legacy.outcome.side {
+                return Err(format!(
+                    "{strat:?} optimum side {} vs legacy {}",
+                    report.outcome.side, legacy.outcome.side
+                ));
+            }
+            bit_eq(
+                &format!("{strat:?} optimum error"),
+                report.outcome.error,
+                legacy.outcome.error,
+            )?;
+            if report.outcome.probes.len() != legacy.outcome.probes.len() {
+                return Err(format!(
+                    "{strat:?} probe counts {} vs {}",
+                    report.outcome.probes.len(),
+                    legacy.outcome.probes.len()
+                ));
+            }
+            for ((s1, e1), (s2, e2)) in report.outcome.probes.iter().zip(&legacy.outcome.probes) {
+                if s1 != s2 {
+                    return Err(format!("{strat:?} probe order diverged: side {s1} vs {s2}"));
+                }
+                bit_eq(&format!("{strat:?} probe e({s1})"), *e1, *e2)?;
+            }
+            if report.alpha_full_scans != 1 {
+                return Err(format!(
+                    "{strat:?} did {} full scans, contract says 1",
+                    report.alpha_full_scans
+                ));
+            }
+        }
+        Ok(())
+    }));
+
+    checks.push(Check::new("session-incremental-vs-rebuild", |s| {
+        if s.events.len() < 2 {
+            return Ok(()); // nothing to split (shrunk scenarios)
+        }
+        let model = s.model_fn();
+        let config = EngineConfig {
+            clock: s.clock,
+            ..EngineConfig::from_tuner(tuner_config(s, SearchStrategy::BruteForce))
+        };
+        let mut rebuilt = TuningSession::new(config, model).map_err(|e| e.to_string())?;
+        rebuilt.ingest(&s.events).map_err(|e| e.to_string())?;
+        let whole = rebuilt.tune().map_err(|e| e.to_string())?;
+        // Seed-derived split point, kept off the ends so the delta is real.
+        let cut = 1 + (s.params.seed as usize % (s.events.len() - 1));
+        let mut inc = TuningSession::new(config, model).map_err(|e| e.to_string())?;
+        inc.ingest(&s.events[..cut]).map_err(|e| e.to_string())?;
+        inc.tune().map_err(|e| e.to_string())?;
+        inc.ingest(&s.events[cut..]).map_err(|e| e.to_string())?;
+        let delta = inc.tune().map_err(|e| e.to_string())?;
+        if delta.outcome.side != whole.outcome.side {
+            return Err(format!(
+                "incremental optimum side {} vs rebuild {}",
+                delta.outcome.side, whole.outcome.side
+            ));
+        }
+        bit_eq(
+            "incremental optimum error",
+            delta.outcome.error,
+            whole.outcome.error,
+        )?;
+        for ((s1, e1), (s2, e2)) in delta.outcome.probes.iter().zip(&whole.outcome.probes) {
+            if s1 != s2 {
+                return Err(format!("probe order diverged: side {s1} vs {s2}"));
+            }
+            bit_eq(&format!("probe e({s1})"), *e1, *e2)?;
+        }
+        if delta.alpha_full_scans != 1 || delta.alpha_delta_scans != 1 {
+            return Err(format!(
+                "scan counters full={} delta={}, contract says 1/1",
+                delta.alpha_full_scans, delta.alpha_delta_scans
+            ));
         }
         Ok(())
     }));

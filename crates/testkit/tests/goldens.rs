@@ -3,18 +3,19 @@
 //! One golden per preset city (NYC / Chengdu / Xi'an, scaled down so the
 //! suite stays in CI budget): the tuning optimum and its error
 //! decomposition, the α-cache counters, and the dispatch case-study
-//! metrics under the Polar dispatcher at the tuned partition.
+//! metrics under the Polar dispatcher at the tuned partition. The whole
+//! pipeline runs through the engine's [`TuningSession`] — the snapshots
+//! double as the refactor-inertness gate for the session migration.
 //!
 //! First run (or `UPDATE_GOLDENS=1`) writes `tests/goldens/<city>.json`
 //! at the repo root; later runs compare against the checked-in file with
 //! a 1e-9 relative float tolerance. See `TESTING.md`.
 
 use gridtuner_core::alpha::AlphaWindow;
-use gridtuner_core::tuner::{GridTuner, SearchStrategy, TunerConfig};
-use gridtuner_core::upper_bound::UpperBoundOracle;
+use gridtuner_core::tuner::{SearchStrategy, TunerConfig};
 use gridtuner_datagen::{City, TripGenerator};
-use gridtuner_dispatch::{DemandView, FleetConfig, Order, Polar, SimConfig, Simulator};
-use gridtuner_spatial::Partition;
+use gridtuner_dispatch::{DemandView, FleetConfig, Order, Polar, SimConfig};
+use gridtuner_engine::{EngineConfig, TuningSession};
 use gridtuner_testkit::{check_golden, Json};
 use rand::{rngs::StdRng, SeedableRng};
 
@@ -40,33 +41,40 @@ fn golden_for_city(city: City, seed: u64) -> Json {
     let mut rng = StdRng::seed_from_u64(seed);
     let events = city.sample_history_events(window.slot_of_day, 0..HISTORY_DAYS, &mut rng);
     let model = |s: u32| MODEL_COEF * (s * s) as f64;
-    let config = TunerConfig {
-        hgrid_budget_side: BUDGET_SIDE,
-        side_range: SIDE_RANGE,
-        strategy: SearchStrategy::BruteForce,
-        alpha_window: window,
+    let config = EngineConfig {
+        clock: *city.clock(),
+        sim: Some(SimConfig {
+            fleet: FleetConfig {
+                n_drivers: 60,
+                ..FleetConfig::default()
+            },
+            ..SimConfig::for_geo(*city.geo())
+        }),
+        ..EngineConfig::from_tuner(TunerConfig {
+            hgrid_budget_side: BUDGET_SIDE,
+            side_range: SIDE_RANGE,
+            strategy: SearchStrategy::BruteForce,
+            alpha_window: window,
+        })
     };
-    let result = GridTuner::new(config).tune_brute_parallel(&events, *city.clock(), model);
+    let mut session = TuningSession::new(config, model).expect("golden config is valid");
+    session
+        .ingest(&events)
+        .expect("synthetic events are finite");
+    let result = session.tune_parallel().expect("analytic model leg");
     let side = result.outcome.side;
 
-    // Error decomposition at the optimum, served from a fresh oracle (same
-    // inputs → same α digest).
-    let oracle = UpperBoundOracle::new(events.clone(), *city.clock(), window, BUDGET_SIDE, model);
-    let expression = oracle.expression_error(side);
+    // Error decomposition at the optimum, served from the session's own
+    // α cache (same inputs → same digest as a fresh oracle).
+    let expression = session.expression_error(side);
     let model_err = MODEL_COEF * (side * side) as f64;
 
     // Dispatch case study: one day of trips, Polar dispatcher, demand
     // predicted as the city's mean field on the tuned MGrid lattice.
-    let partition = Partition::for_budget(side, BUDGET_SIDE);
+    let partition = result.partition;
     let trips = TripGenerator::default().trips_for_day(&city, HISTORY_DAYS, &mut rng);
     let orders = Order::from_trips(&trips);
-    let sim = Simulator::new(SimConfig {
-        fleet: FleetConfig {
-            n_drivers: 60,
-            ..FleetConfig::default()
-        },
-        ..SimConfig::for_geo(*city.geo())
-    });
+    let sim = session.simulator().expect("sim config set above");
     let mspec = partition.mgrid_spec();
     let mut demand = |slot| {
         let pred = city.mean_field(mspec, slot);
@@ -86,11 +94,8 @@ fn golden_for_city(city: City, seed: u64) -> Json {
                 ("expression_error", Json::Num(expression)),
                 ("model_error", Json::Num(model_err)),
                 ("evals", Json::Num(result.outcome.evals as f64)),
-                ("alpha_rescans", Json::Num(result.alpha_rescans as f64)),
-                (
-                    "alpha_digest_len",
-                    Json::Num(oracle.alpha_cache().digest_len() as f64),
-                ),
+                ("alpha_rescans", Json::Num(result.alpha_full_scans as f64)),
+                ("alpha_digest_len", Json::Num(session.digest_len() as f64)),
             ]),
         ),
         (

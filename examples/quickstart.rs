@@ -11,9 +11,8 @@
 //! Ternary Search, the Iterative Method). Takes a few minutes in release
 //! mode — most of it is the brute-force baseline's 45 model trainings.
 
-use gridtuner::core::alpha::AlphaWindow;
-use gridtuner::core::tuner::{GridTuner, SearchStrategy, TunerConfig};
 use gridtuner::datagen::{City, DataSplit};
+use gridtuner::engine::{EngineConfig, SearchStrategy, TuningSession};
 use gridtuner::predict::{CityModelError, HistoricalAverage, Predictor};
 use rand::{rngs::StdRng, SeedableRng};
 
@@ -22,7 +21,6 @@ fn main() {
     // training cost does not depend on volume — predictors see gridded
     // counts — and the dense-count regime is where the U-shape lives.)
     let city = City::nyc();
-    let clock = *city.clock();
     println!(
         "city: {} (daily volume {:.0})",
         city.name(),
@@ -59,13 +57,20 @@ fn main() {
             SearchStrategy::Iterative { init: 16, bound: 4 },
         ),
     ] {
-        let tuner = GridTuner::new(TunerConfig {
-            hgrid_budget_side: budget,
-            side_range: range,
-            strategy,
-            alpha_window: AlphaWindow::default(),
-        });
-        let result = tuner.tune(&events, clock, make());
+        // One validated config, one session: ingest the history once,
+        // then tune. (Appending more events later re-tunes incrementally.)
+        let config = EngineConfig::builder()
+            .hgrid_budget_side(budget)
+            .side_range(range.0, range.1)
+            .strategy(strategy)
+            .clock(*city.clock())
+            .build()
+            .expect("valid quickstart config");
+        let mut session = TuningSession::new(config, make()).expect("session opens");
+        session
+            .ingest(&events)
+            .expect("synthetic events are finite");
+        let result = session.tune().expect("tuning succeeds");
         println!(
             "{label:>17}: optimal n = {s}x{s}  e(√n) = {e:.1}  ({k} model trainings)",
             s = result.outcome.side,
