@@ -12,13 +12,24 @@
 //!   [`AlphaFieldCache`], `O(digest)` α derivation per probe, memoised
 //!   per-MGrid expression errors, worker-pool parallel sweep.
 //!
+//! On top of the two sweeps the benchmark isolates the expression kernel
+//! (`kernel`: the pre-batching per-cell sweep vs the batched workspace +
+//! pmf-memo path, single-threaded over the probed sides) and re-runs the
+//! cached tune under `GRIDTUNER_THREADS` ∈ {1, 2, 8} (`thread_rows`),
+//! asserting the selected side and error are bit-identical across counts.
+//!
 //! ```text
-//! cargo run --release -p gridtuner-bench --bin tune_bench [-- --scale X]
+//! cargo run --release -p gridtuner-bench --bin tune_bench \
+//!     [-- --scale X] [--min-kernel-speedup S]
 //! ```
+//!
+//! `--min-kernel-speedup S` makes the run exit non-zero when the batched
+//! kernel is less than `S`× faster than the per-cell sweep — the CI
+//! perf-smoke gate.
 
 use gridtuner_core::alpha::AlphaWindow;
 use gridtuner_core::estimate_alpha;
-use gridtuner_core::expression::expression_error_windowed;
+use gridtuner_core::expression::{expression_error_windowed, total_expression_error_percell};
 use gridtuner_core::tuner::{SearchStrategy, TunerConfig};
 use gridtuner_datagen::City;
 use gridtuner_engine::{EngineConfig, TuningSession};
@@ -29,7 +40,11 @@ use rand::{rngs::StdRng, SeedableRng};
 use std::time::Instant;
 
 /// Schema tag of `BENCH_tune.json` — bump when fields change meaning.
-const BENCH_SCHEMA: &str = "gridtuner.bench_tune/2";
+/// v3 adds `kernel`, `thread_rows` and the `expr_*` counters.
+const BENCH_SCHEMA: &str = "gridtuner.bench_tune/3";
+
+/// Thread counts the determinism sweep re-tunes under.
+const THREAD_SWEEP: [usize; 3] = [1, 2, 8];
 
 /// Per-phase wall timings of the cached sweep, keyed by span name, from
 /// the observability layer's aggregated span stats.
@@ -94,23 +109,43 @@ fn naive_sweep(
     (best.0, best.1, rescans)
 }
 
-/// Parses `[--scale X]`; anything unparsable falls back to full volume.
-fn parse_scale(args: &[String]) -> f64 {
-    let mut scale = 1.0f64;
+/// Parsed command line.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct BenchArgs {
+    /// City volume scale; anything unparsable falls back to full volume.
+    scale: f64,
+    /// When set, exit non-zero if the batched kernel's speedup over the
+    /// per-cell sweep falls below this factor.
+    min_kernel_speedup: Option<f64>,
+}
+
+fn parse_args(args: &[String]) -> BenchArgs {
+    let mut out = BenchArgs {
+        scale: 1.0,
+        min_kernel_speedup: None,
+    };
     let mut i = 0;
     while i < args.len() {
-        if args[i] == "--scale" {
-            i += 1;
-            scale = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                out.scale = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+            }
+            "--min-kernel-speedup" => {
+                i += 1;
+                out.min_kernel_speedup = args.get(i).and_then(|s| s.parse().ok());
+            }
+            _ => {}
         }
         i += 1;
     }
-    scale
+    out
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = parse_scale(&args);
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = parse_args(&argv);
+    let scale = args.scale;
 
     // Paper defaults: NYC-volume history, √N = 128, sides 4..=76, α window
     // = slot 16 over one month of workdays.
@@ -182,6 +217,79 @@ fn main() {
         result.outcome.error
     );
 
+    // Kernel isolation: the same probed sides, same warm α cache, single
+    // thread — only the expression sweep differs. The per-cell sweep is the
+    // pre-batching hot loop (per-MGrid memo, fresh window Vecs per cell);
+    // the batched path is what the session just ran (workspace reuse,
+    // dedup, cross-probe pmf memo).
+    let prev_threads = gridtuner_par::max_threads();
+    gridtuner_par::set_max_threads(1);
+    let cache = session.alpha_cache().expect("tune built the α cache");
+    let probed: Vec<u32> = result.outcome.probes.iter().map(|&(s, _)| s).collect();
+    let budget = session.config().hgrid_budget_side;
+    let tk = Instant::now();
+    let mut percell_total = 0.0f64;
+    for &s in &probed {
+        let part = Partition::for_budget(s, budget);
+        percell_total += cache.with_alpha(part.hgrid_spec(), |alpha| {
+            total_expression_error_percell(alpha, &part)
+        });
+    }
+    let percell_ms = tk.elapsed().as_secs_f64() * 1e3;
+    let tk = Instant::now();
+    let mut batched_total = 0.0f64;
+    for &s in &probed {
+        let part = Partition::for_budget(s, budget);
+        batched_total += cache
+            .expression_error(&part)
+            .expect("α field from finite synthetic events");
+    }
+    let batched_ms = tk.elapsed().as_secs_f64() * 1e3;
+    assert!(
+        (percell_total - batched_total).abs() <= 1e-9 * (1.0 + percell_total.abs()),
+        "kernels disagree on total expression error: {percell_total} vs {batched_total}"
+    );
+    let kernel_speedup = percell_ms / batched_ms.max(1e-9);
+    eprintln!(
+        "[tune_bench] kernel: per-cell {percell_ms:.1} ms vs batched {batched_ms:.1} ms \
+         ({kernel_speedup:.2}x) over {} probes",
+        probed.len()
+    );
+
+    // Determinism sweep: the same tune under 1/2/8 workers must select the
+    // same side with a bit-identical error.
+    let mut thread_rows = Vec::new();
+    let mut sweep_ref: Option<(u32, u64)> = None;
+    for threads in THREAD_SWEEP {
+        gridtuner_par::set_max_threads(threads);
+        let ts = Instant::now();
+        let mut sweep = TuningSession::new(engine_cfg, model).expect("valid bench config");
+        sweep.ingest(&events).expect("finite synthetic events");
+        let r = sweep.tune_parallel().expect("infallible model leg");
+        let ms = ts.elapsed().as_secs_f64() * 1e3;
+        match sweep_ref {
+            None => sweep_ref = Some((r.outcome.side, r.outcome.error.to_bits())),
+            Some((side, bits)) => {
+                assert_eq!(r.outcome.side, side, "side drifted at {threads} threads");
+                assert_eq!(
+                    r.outcome.error.to_bits(),
+                    bits,
+                    "error bits drifted at {threads} threads"
+                );
+            }
+        }
+        thread_rows.push(Val::obj(vec![
+            ("threads", Val::from(threads as u64)),
+            ("wall_ms", Val::from(ms)),
+            ("selected_side", Val::from(r.outcome.side)),
+        ]));
+        eprintln!(
+            "[tune_bench] threads {threads}: {ms:.1} ms, side {}",
+            r.outcome.side
+        );
+    }
+    gridtuner_par::set_max_threads(prev_threads);
+
     let speedup = naive_ms / wall_ms.max(1e-9);
     let json = Val::obj(vec![
         ("schema", Val::from(BENCH_SCHEMA)),
@@ -194,6 +302,22 @@ fn main() {
         ("naive_alpha_rescans", Val::from(naive_rescans)),
         ("speedup", Val::from(speedup)),
         ("threads", Val::from(gridtuner_par::max_threads() as u64)),
+        ("expr_cell_evals", Val::from(result.expr_cell_evals)),
+        ("expr_dedup_hits", Val::from(result.expr_dedup_hits)),
+        ("expr_pmf_memo_hits", Val::from(result.expr_pmf_memo_hits)),
+        (
+            "expr_workspace_bytes",
+            Val::from(result.expr_workspace_bytes),
+        ),
+        (
+            "kernel",
+            Val::obj(vec![
+                ("percell_ms", Val::from(percell_ms)),
+                ("batched_ms", Val::from(batched_ms)),
+                ("speedup", Val::from(kernel_speedup)),
+            ]),
+        ),
+        ("thread_rows", Val::Arr(thread_rows)),
         ("phases", phase_timings()),
     ])
     .render();
@@ -201,6 +325,17 @@ fn main() {
     println!("{json}");
     eprintln!("[tune_bench] speedup {speedup:.2}x, wrote BENCH_tune.json");
     obs::trace::flush();
+
+    if let Some(min) = args.min_kernel_speedup {
+        if kernel_speedup < min {
+            eprintln!(
+                "[tune_bench] FAIL: batched kernel speedup {kernel_speedup:.2}x \
+                 below the required {min}x"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("[tune_bench] kernel speedup gate passed ({kernel_speedup:.2}x >= {min}x)");
+    }
 }
 
 #[cfg(test)]
@@ -213,10 +348,30 @@ mod tests {
 
     #[test]
     fn scale_parsing() {
-        assert_eq!(parse_scale(&argv("")), 1.0);
-        assert_eq!(parse_scale(&argv("--scale 0.1")), 0.1);
-        assert_eq!(parse_scale(&argv("--scale nope")), 1.0);
-        assert_eq!(parse_scale(&argv("--scale")), 1.0);
+        assert_eq!(parse_args(&argv("")).scale, 1.0);
+        assert_eq!(parse_args(&argv("--scale 0.1")).scale, 0.1);
+        assert_eq!(parse_args(&argv("--scale nope")).scale, 1.0);
+        assert_eq!(parse_args(&argv("--scale")).scale, 1.0);
+    }
+
+    #[test]
+    fn kernel_speedup_gate_parsing() {
+        assert_eq!(parse_args(&argv("")).min_kernel_speedup, None);
+        assert_eq!(
+            parse_args(&argv("--min-kernel-speedup 2")).min_kernel_speedup,
+            Some(2.0)
+        );
+        assert_eq!(
+            parse_args(&argv("--scale 0.5 --min-kernel-speedup 1.5")),
+            BenchArgs {
+                scale: 0.5,
+                min_kernel_speedup: Some(1.5)
+            }
+        );
+        assert_eq!(
+            parse_args(&argv("--min-kernel-speedup nope")).min_kernel_speedup,
+            None
+        );
     }
 
     /// The benchmark's correctness gate, in miniature: the naive

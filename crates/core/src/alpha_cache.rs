@@ -25,8 +25,11 @@
 //! impossible in general.)
 
 use crate::alpha::AlphaWindow;
+use crate::error::CoreError;
+use crate::expr_kernel::PmfMemo;
+use crate::expression::try_total_expression_error;
 use gridtuner_obs as obs;
-use gridtuner_spatial::{CountMatrix, Event, GridSpec, Point, SlotClock};
+use gridtuner_spatial::{CountMatrix, Event, GridSpec, Partition, Point, SlotClock};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
@@ -49,6 +52,13 @@ pub struct AlphaFieldCache {
     full_scans: obs::metrics::Counter,
     /// Delta (append-only) scans performed since construction.
     delta_scans: obs::metrics::Counter,
+    /// Cross-probe Poisson-table cache for the batched expression-error
+    /// kernel. A pure function of the rate, so it survives [`append`]
+    /// (unlike the derived-field memo) and incremental re-tunes inherit a
+    /// warm cache.
+    ///
+    /// [`append`]: AlphaFieldCache::append
+    pmf_memo: PmfMemo,
 }
 
 /// Marks which global slots a window matches, for O(1) membership checks
@@ -95,6 +105,7 @@ impl AlphaFieldCache {
             derived: Mutex::new(HashMap::new()),
             full_scans,
             delta_scans: obs::metrics::Counter::new(),
+            pmf_memo: PmfMemo::default(),
         }
     }
 
@@ -164,6 +175,22 @@ impl AlphaFieldCache {
     /// released before `f` runs.
     pub fn with_alpha<T>(&self, spec: GridSpec, f: impl FnOnce(&CountMatrix) -> T) -> T {
         f(&self.alpha(spec))
+    }
+
+    /// Total expression error for `partition`, with the α field served
+    /// from this cache and the Poisson tables served from the cache's
+    /// cross-probe [`PmfMemo`] — the probe hot path. Thread-safe, like
+    /// [`alpha`](Self::alpha); the note in the [`append`](Self::append)
+    /// docs applies to the pmf memo too (it is never invalidated: its
+    /// entries depend only on the rate).
+    pub fn expression_error(&self, partition: &Partition) -> Result<f64, CoreError> {
+        let alpha = self.alpha(partition.hgrid_spec());
+        try_total_expression_error(&alpha, partition, Some(&self.pmf_memo))
+    }
+
+    /// The cross-probe Poisson-table cache.
+    pub fn pmf_memo(&self) -> &PmfMemo {
+        &self.pmf_memo
     }
 
     fn derive(&self, spec: GridSpec) -> CountMatrix {
@@ -371,6 +398,48 @@ mod tests {
         assert_eq!(cache.derived_sides(), 1, "memo must survive a no-op delta");
         let after = cache.alpha(GridSpec::new(6));
         assert_eq!(before.as_slice(), after.as_slice());
+    }
+
+    #[test]
+    fn expression_error_matches_direct_sweep_bitwise() {
+        use crate::expression::total_expression_error;
+        use gridtuner_spatial::Partition;
+        let events = scattered_events(400, 5);
+        let cache = AlphaFieldCache::new(&events, &clock(), &window(5));
+        for side in [1u32, 3, 8] {
+            let part = Partition::for_budget(side, 16);
+            let via_cache = cache.expression_error(&part).unwrap();
+            let direct = cache.with_alpha(part.hgrid_spec(), |a| total_expression_error(a, &part));
+            assert_eq!(
+                via_cache.to_bits(),
+                direct.to_bits(),
+                "side {side}: memoised sweep drifted"
+            );
+        }
+    }
+
+    #[test]
+    fn pmf_memo_survives_appends_and_serves_re_tunes() {
+        use gridtuner_spatial::Partition;
+        let all = scattered_events(400, 5);
+        let (old, delta) = all.split_at(250);
+        let c = clock();
+        let w = window(5);
+        let mut cache = AlphaFieldCache::new(old, &c, &w);
+        let part = Partition::for_budget(4, 16);
+        cache.expression_error(&part).unwrap();
+        let warm_entries = cache.pmf_memo().entries();
+        assert!(warm_entries > 0, "sweep must populate the pmf memo");
+        assert!(cache.append(delta, &c, &w) > 0);
+        // The derived-field memo was invalidated; the pmf memo was not.
+        assert_eq!(cache.derived_sides(), 0);
+        assert_eq!(cache.pmf_memo().entries(), warm_entries);
+        // And the re-tune matches a from-scratch cache bit for bit.
+        let rebuilt = AlphaFieldCache::new(&all, &c, &w);
+        assert_eq!(
+            cache.expression_error(&part).unwrap().to_bits(),
+            rebuilt.expression_error(&part).unwrap().to_bits()
+        );
     }
 
     #[test]

@@ -23,6 +23,11 @@ pub enum CoreError {
     InvalidSearchBound,
     /// An HGrid budget side of zero.
     ZeroHgridBudget,
+    /// The data driving a tuning path is unusable: a non-finite or
+    /// negative α value, or a field on the wrong lattice. The engine maps
+    /// this to its `Data` class (exit code 3) instead of panicking
+    /// mid-session.
+    Data(String),
     /// The model-error leg failed at a probed side.
     Model {
         /// The MGrid side being probed when the source failed.
@@ -42,6 +47,7 @@ impl std::fmt::Display for CoreError {
             }
             CoreError::InvalidSearchBound => write!(f, "search bound must be at least 1"),
             CoreError::ZeroHgridBudget => write!(f, "HGrid budget side must be positive"),
+            CoreError::Data(m) => write!(f, "{m}"),
             CoreError::Model { side, message } => {
                 write!(f, "model error source failed at side {side}: {message}")
             }

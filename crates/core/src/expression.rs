@@ -28,6 +28,8 @@
 //! `alg2` and `windowed` anchor pmf evaluation at the mode
 //! (see [`crate::poisson::poisson_pmf_range`]) and have no such limit.
 
+use crate::error::CoreError;
+use crate::expr_kernel::{ExprWorkspace, PmfMemo};
 use crate::poisson::{mass_window, poisson_pmf_range};
 use gridtuner_spatial::{CountMatrix, Partition};
 
@@ -191,70 +193,147 @@ pub fn expression_error_windowed(a: f64, b: f64, m: usize) -> f64 {
 }
 
 /// Sum of `E_e(i,j)` over all HGrids of one MGrid with per-HGrid means
-/// `alphas` (`m = alphas.len()`). Uses the adaptive-window algorithm.
+/// `alphas` (`m = alphas.len()`). Uses the batched adaptive-window kernel:
+/// identical rates are grouped and each group is evaluated once, with the
+/// group results accumulated multiplicity-weighted in first-occurrence
+/// order — deterministic, and bit-identical to the per-cell loop whenever
+/// the rates are all distinct (group order = cell order).
 ///
-/// α values are estimated as `count / days`, so within one MGrid they take
-/// few distinct values (often mostly zeros). Since `b = total − a` is a
-/// function of `a` here, `E_e` is memoised per distinct `a` — the sum
-/// itself still runs in cell order, so the result is bit-identical to the
-/// unmemoised loop.
+/// One-shot convenience around [`ExprWorkspace`]: field sweeps reuse a
+/// workspace and a cross-probe [`PmfMemo`] instead.
 pub fn mgrid_expression_error(alphas: &[f64]) -> f64 {
-    let m = alphas.len();
-    if m <= 1 {
-        return 0.0;
+    let memo = PmfMemo::default();
+    match ExprWorkspace::new().mgrid_error(alphas, &memo) {
+        Ok(e) => e,
+        Err(e) => panic!("{e}"),
     }
-    let total: f64 = alphas.iter().sum();
-    let mut memo: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
-    alphas
-        .iter()
-        .map(|&a| {
-            let e = *memo
-                .entry(a.to_bits())
-                .or_insert_with(|| expression_error_windowed(a, (total - a).max(0.0), m));
-            #[cfg(feature = "check-invariants")]
-            {
-                let bound = lemma_upper_bound(a, (total - a).max(0.0), m);
-                assert!(
-                    e >= -1e-12 && e <= bound + 1e-9 * (1.0 + bound),
-                    "Lemma III.1 violated: E_e = {e} outside [0, {bound}] at a={a}, total={total}, m={m}"
-                );
-            }
-            e
-        })
-        .sum()
+}
+
+/// Rejects a field containing non-finite or negative rates before any
+/// kernel work — once per field, not once per cell.
+fn validate_field(alpha: &CountMatrix) -> Result<(), CoreError> {
+    for (i, &a) in alpha.as_slice().iter().enumerate() {
+        if !a.is_finite() || a < 0.0 {
+            return Err(CoreError::Data(format!(
+                "α field has a non-finite or negative value {a} at cell {i}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Fallible core of [`total_expression_error`]: total expression error
+/// `Σ_i Σ_j E_e(i,j)` for a partition via the batched kernel, with a
+/// lattice-mismatched or invalid α field reported as [`CoreError::Data`]
+/// instead of a panic (the session path's contract).
+///
+/// `memo` is the cross-probe pmf cache; pass `None` for a per-call cache
+/// (rates still dedup across this field's MGrids, but nothing survives the
+/// call). MGrids are swept in parallel over fixed-size contiguous blocks
+/// with one [`ExprWorkspace`] per worker ([`gridtuner_par::par_sum_with`]);
+/// block partials are reduced in block order and the blocking depends only
+/// on the MGrid count, so the result is **bit-identical for every worker
+/// count** and equals [`total_expression_error_seq`] exactly.
+pub fn try_total_expression_error(
+    alpha: &CountMatrix,
+    partition: &Partition,
+    memo: Option<&PmfMemo>,
+) -> Result<f64, CoreError> {
+    if alpha.side() != partition.hgrid_spec().side() {
+        return Err(CoreError::Data(format!(
+            "alpha field must live on the partition's HGrid lattice \
+             (field side {}, lattice side {})",
+            alpha.side(),
+            partition.hgrid_spec().side()
+        )));
+    }
+    validate_field(alpha)?;
+    let _span = gridtuner_obs::span!("expression_error", side = partition.mgrid_spec().side());
+    let local;
+    let memo = match memo {
+        Some(m) => m,
+        None => {
+            local = PmfMemo::default();
+            &local
+        }
+    };
+    let mgrids: Vec<_> = partition.mgrid_spec().cells().collect();
+    Ok(gridtuner_par::par_sum_with(
+        &mgrids,
+        ExprWorkspace::new,
+        |ws, &mcell| {
+            ws.mgrid_error_trusted(partition.hgrid_iter(mcell).map(|h| alpha.get(h)), memo)
+        },
+    ))
 }
 
 /// Total expression error `Σ_i Σ_j E_e(i,j)` for a partition, given the
 /// per-HGrid mean field `alpha` on the partition's HGrid lattice.
 ///
-/// MGrids are processed in parallel (fixed-size contiguous blocks, see
-/// [`gridtuner_par::par_sum`]); block partials are reduced in block order
-/// and the blocking depends only on the MGrid count, so the result is
-/// **bit-identical for every worker count**, and it matches the plain
-/// sequential sum ([`total_expression_error_seq`]) to floating-point
-/// reassociation tolerance.
+/// Infallible form of [`try_total_expression_error`] with a per-call pmf
+/// cache: panics on a lattice mismatch or an invalid α value (legacy
+/// contract; sessions route through the fallible form).
 pub fn total_expression_error(alpha: &CountMatrix, partition: &Partition) -> f64 {
+    match try_total_expression_error(alpha, partition, None) {
+        Ok(e) => e,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`total_expression_error`] against a caller-owned cross-probe
+/// [`PmfMemo`] — the warm-cache entry point field harnesses and benchmarks
+/// use directly (sessions get it via
+/// [`AlphaFieldCache::expression_error`]).
+///
+/// [`AlphaFieldCache::expression_error`]:
+///     crate::alpha_cache::AlphaFieldCache::expression_error
+pub fn total_expression_error_memo(
+    alpha: &CountMatrix,
+    partition: &Partition,
+    memo: &PmfMemo,
+) -> f64 {
+    match try_total_expression_error(alpha, partition, Some(memo)) {
+        Ok(e) => e,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Sequential reference implementation of [`total_expression_error`]: the
+/// batched kernel on one thread, folding MGrids in the same fixed
+/// [`gridtuner_par::SUM_BLOCK`] association the parallel sweep uses — so
+/// the parallel path must match it **bit for bit**, a property the testkit
+/// pins across worker counts.
+pub fn total_expression_error_seq(alpha: &CountMatrix, partition: &Partition) -> f64 {
     assert_eq!(
         alpha.side(),
         partition.hgrid_spec().side(),
         "alpha field must live on the partition's HGrid lattice"
     );
-    let _span = gridtuner_obs::span!("expression_error", side = partition.mgrid_spec().side());
+    if let Err(e) = validate_field(alpha) {
+        panic!("{e}");
+    }
+    let memo = PmfMemo::default();
+    let mut ws = ExprWorkspace::new();
     let mgrids: Vec<_> = partition.mgrid_spec().cells().collect();
-    gridtuner_par::par_sum(&mgrids, |&mcell| {
-        let alphas: Vec<f64> = partition
-            .hgrids_of(mcell)
-            .into_iter()
-            .map(|h| alpha.get(h))
-            .collect();
-        mgrid_expression_error(&alphas)
-    })
+    let mut partials = Vec::with_capacity(mgrids.len().div_ceil(gridtuner_par::SUM_BLOCK).max(1));
+    for block in mgrids.chunks(gridtuner_par::SUM_BLOCK) {
+        let mut p = 0.0;
+        for &mcell in block {
+            p += ws.mgrid_error_trusted(partition.hgrid_iter(mcell).map(|h| alpha.get(h)), &memo);
+        }
+        partials.push(p);
+    }
+    partials.iter().sum()
 }
 
-/// Sequential reference implementation of [`total_expression_error`]: the
-/// exact per-cell loop, single-threaded. Kept public so tests (and future
-/// regressions hunts) can pin the parallel path against it.
-pub fn total_expression_error_seq(alpha: &CountMatrix, partition: &Partition) -> f64 {
+/// The pre-batching sweep, kept verbatim for comparison: one
+/// [`expression_error_windowed`] call per distinct rate per MGrid (a
+/// per-MGrid memo, allocated per cell row), summed in cell order on one
+/// thread. `tune_bench`'s kernel comparison and the CI `perf-smoke` gate
+/// measure the batched kernel against this; it also serves as an
+/// independent numeric cross-check (agreement to reassociation tolerance,
+/// not bitwise — the batched path groups before it sums).
+pub fn total_expression_error_percell(alpha: &CountMatrix, partition: &Partition) -> f64 {
     assert_eq!(
         alpha.side(),
         partition.hgrid_spec().side(),
@@ -269,7 +348,20 @@ pub fn total_expression_error_seq(alpha: &CountMatrix, partition: &Partition) ->
                 .into_iter()
                 .map(|h| alpha.get(h))
                 .collect();
-            mgrid_expression_error(&alphas)
+            let m = alphas.len();
+            if m <= 1 {
+                return 0.0;
+            }
+            let total: f64 = alphas.iter().sum();
+            let mut memo: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
+            alphas
+                .iter()
+                .map(|&a| {
+                    *memo
+                        .entry(a.to_bits())
+                        .or_insert_with(|| expression_error_windowed(a, (total - a).max(0.0), m))
+                })
+                .sum::<f64>()
         })
         .sum()
 }
@@ -281,7 +373,13 @@ pub fn lemma_upper_bound(a: f64, b: f64, m: usize) -> f64 {
 }
 
 fn check_args(a: f64, b: f64, m: usize) {
-    assert!(a >= 0.0 && b >= 0.0, "negative Poisson means");
+    // NaN fails the >= comparisons too, so the message must cover both
+    // causes (the old "negative Poisson means" text blamed the wrong thing
+    // for non-finite inputs).
+    assert!(
+        a.is_finite() && b.is_finite() && a >= 0.0 && b >= 0.0,
+        "Poisson means must be finite and non-negative (a={a}, b={b})"
+    );
     assert!(m >= 1, "m must be at least 1");
 }
 
@@ -472,6 +570,70 @@ mod tests {
         let p = Partition::new(2, 2);
         let alpha = CountMatrix::zeros(5);
         total_expression_error(&alpha, &p);
+    }
+
+    fn uneven_field(side: u32) -> CountMatrix {
+        let mut alpha = CountMatrix::zeros(side);
+        for r in 0..side as usize {
+            for c in 0..side as usize {
+                // Quantised like a real estimate (count / days), with
+                // plenty of repeats for the dedup path.
+                alpha.as_mut_slice()[r * side as usize + c] = ((r * 13 + c * 7) % 9) as f64 / 5.0;
+            }
+        }
+        alpha
+    }
+
+    #[test]
+    fn parallel_seq_and_percell_paths_agree() {
+        let p = Partition::new(4, 6);
+        let alpha = uneven_field(24);
+        let par = total_expression_error(&alpha, &p);
+        let seq = total_expression_error_seq(&alpha, &p);
+        // The parallel sweep replicates the sequential association exactly.
+        assert_eq!(par.to_bits(), seq.to_bits(), "par {par} vs seq {seq}");
+        // The pre-batching per-cell loop agrees to reassociation tolerance.
+        let percell = total_expression_error_percell(&alpha, &p);
+        assert!(
+            (par - percell).abs() <= 1e-9 * percell.max(1.0),
+            "batched {par} vs per-cell {percell}"
+        );
+    }
+
+    #[test]
+    fn warm_memo_does_not_move_a_bit() {
+        use crate::expr_kernel::PmfMemo;
+        let p = Partition::new(3, 5);
+        let alpha = uneven_field(15);
+        let memo = PmfMemo::default();
+        let cold = total_expression_error_memo(&alpha, &p, &memo);
+        assert!(memo.entries() > 0, "field sweep must populate the memo");
+        let warm = total_expression_error_memo(&alpha, &p, &memo);
+        assert_eq!(cold.to_bits(), warm.to_bits());
+        assert!(memo.hits() > 0, "second sweep must hit the memo");
+    }
+
+    #[test]
+    fn invalid_fields_are_data_errors_on_the_fallible_path() {
+        let p = Partition::new(2, 2);
+        let mut alpha = CountMatrix::zeros(4);
+        alpha.as_mut_slice()[5] = f64::NAN;
+        let err = try_total_expression_error(&alpha, &p, None).unwrap_err();
+        match err {
+            CoreError::Data(msg) => assert!(msg.contains("cell 5"), "{msg}"),
+            other => panic!("expected Data, got {other:?}"),
+        }
+        let mismatched = CountMatrix::zeros(5);
+        match try_total_expression_error(&mismatched, &p, None).unwrap_err() {
+            CoreError::Data(msg) => assert!(msg.contains("HGrid lattice"), "{msg}"),
+            other => panic!("expected Data, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn check_args_names_non_finite_means() {
+        expression_error_windowed(f64::NAN, 1.0, 4);
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod alpha_cache;
 pub mod dalpha;
 pub mod error;
 pub mod errors;
+pub mod expr_kernel;
 pub mod expression;
 pub mod kselect;
 pub mod metrics;
@@ -52,9 +53,12 @@ pub use alpha_cache::{cached_alpha, AlphaFieldCache};
 pub use dalpha::{d_alpha, select_hgrid_side};
 pub use error::CoreError;
 pub use errors::ErrorReport;
+pub use expr_kernel::{dedup_groups, ExprWorkspace, PmfMemo, PmfTable};
 pub use expression::{
     expression_error_alg1, expression_error_alg2, expression_error_naive,
     expression_error_windowed, mgrid_expression_error, total_expression_error,
+    total_expression_error_memo, total_expression_error_percell, total_expression_error_seq,
+    try_total_expression_error,
 };
 pub use kselect::{recommended_k, truncation_error_bound};
 pub use search::{

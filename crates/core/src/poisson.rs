@@ -39,9 +39,33 @@ pub fn ln_gamma(x: f64) -> f64 {
     0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
 }
 
-/// Natural log of `k!` for integer `k`.
+/// Entries in the precomputed `ln k!` table: every `k < 1024` is served
+/// from memory, which removes the Lanczos [`ln_gamma`] evaluation from the
+/// pmf mode-anchor recurrence for all realistic per-cell rates.
+const LN_FACT_TABLE_LEN: usize = 1024;
+
+/// The `ln k!` lookup table, built once on first use. Each entry is the
+/// value [`ln_gamma`]`(k + 1)` would return, so table hits are
+/// bit-identical to the direct evaluation.
+fn ln_fact_table() -> &'static [f64] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<Vec<f64>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        (0..LN_FACT_TABLE_LEN)
+            .map(|k| ln_gamma(k as f64 + 1.0))
+            .collect()
+    })
+}
+
+/// Natural log of `k!` for integer `k`. Served from a precomputed table
+/// for `k < 1024` (bit-identical to the [`ln_gamma`] evaluation it
+/// replaces), falling back to Lanczos for larger arguments.
 pub fn ln_factorial(k: u64) -> f64 {
-    ln_gamma(k as f64 + 1.0)
+    if (k as usize) < LN_FACT_TABLE_LEN {
+        ln_fact_table()[k as usize]
+    } else {
+        ln_gamma(k as f64 + 1.0)
+    }
 }
 
 /// Log of the Poisson pmf `P(X = k)` for `X ~ Pois(lambda)`.
@@ -65,15 +89,27 @@ pub fn poisson_pmf(lambda: f64, k: u64) -> f64 {
 /// two-sided recurrence `p(k+1) = p(k)·λ/(k+1)` fills the rest. Values that
 /// underflow far in the tails become `0.0`, which is the correct limit.
 pub fn poisson_pmf_range(lambda: f64, lo: u64, hi: u64) -> Vec<f64> {
+    let mut out = Vec::new();
+    poisson_pmf_into(lambda, lo, hi, &mut out);
+    out
+}
+
+/// Buffer-reusing form of [`poisson_pmf_range`]: clears `out` and fills it
+/// with the pmf over `lo..=hi`, reallocating only when the window outgrows
+/// the buffer's capacity. The arithmetic is identical to the allocating
+/// form, so the two produce bit-identical values — the batched
+/// expression-error kernel leans on both properties.
+pub fn poisson_pmf_into(lambda: f64, lo: u64, hi: u64, out: &mut Vec<f64>) {
     assert!(lambda >= 0.0, "negative Poisson mean");
     assert!(lo <= hi, "empty pmf range");
     let len = (hi - lo + 1) as usize;
-    let mut out = vec![0.0; len];
+    out.clear();
+    out.resize(len, 0.0);
     if lambda == 0.0 {
         if lo == 0 {
             out[0] = 1.0;
         }
-        return out;
+        return;
     }
     let mode = (lambda.floor() as u64).clamp(lo, hi);
     let anchor = (mode - lo) as usize;
@@ -88,7 +124,6 @@ pub fn poisson_pmf_range(lambda: f64, lo: u64, hi: u64) -> Vec<f64> {
         let k = lo + i as u64;
         out[i + 1] = out[i] * lambda / (k + 1) as f64;
     }
-    out
 }
 
 /// Closed-form mean absolute deviation of a Poisson variable,
@@ -141,6 +176,48 @@ mod tests {
                 f.ln()
             );
         }
+    }
+
+    #[test]
+    fn ln_factorial_table_matches_ln_gamma_everywhere() {
+        // The lookup table must agree with the Lanczos evaluation it
+        // replaces at 1e-13 relative tolerance over the whole table range
+        // (in fact it is built from ln_gamma, so the match is exact), and
+        // the fallback must take over seamlessly at the boundary.
+        for k in 0..1024u64 {
+            let table = ln_factorial(k);
+            let direct = ln_gamma(k as f64 + 1.0);
+            let tol = 1e-13 * (1.0 + direct.abs());
+            assert!(
+                (table - direct).abs() <= tol,
+                "k={k}: table {table} vs ln_gamma {direct}"
+            );
+        }
+        for k in [1024u64, 1025, 5_000, 1_000_000] {
+            assert_eq!(
+                ln_factorial(k).to_bits(),
+                ln_gamma(k as f64 + 1.0).to_bits(),
+                "fallback must be the direct evaluation at k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn pmf_into_reuses_capacity_and_matches_allocating_form() {
+        let mut buf = Vec::new();
+        poisson_pmf_into(40.0, 0, 120, &mut buf);
+        assert_eq!(buf, poisson_pmf_range(40.0, 0, 120));
+        let cap = buf.capacity();
+        let ptr = buf.as_ptr();
+        // A smaller window must reuse the allocation…
+        poisson_pmf_into(3.0, 0, 30, &mut buf);
+        assert_eq!(buf, poisson_pmf_range(3.0, 0, 30));
+        assert_eq!(buf.capacity(), cap, "capacity must be reused");
+        assert_eq!(buf.as_ptr(), ptr, "buffer must not be reallocated");
+        // …including the degenerate λ = 0 window.
+        poisson_pmf_into(0.0, 0, 3, &mut buf);
+        assert_eq!(buf, vec![1.0, 0.0, 0.0, 0.0]);
+        assert_eq!(buf.capacity(), cap);
     }
 
     #[test]

@@ -16,7 +16,6 @@
 use crate::alpha::AlphaWindow;
 use crate::alpha_cache::AlphaFieldCache;
 use crate::error::CoreError;
-use crate::expression::total_expression_error;
 use crate::search::{ErrorOracle, SyncErrorOracle};
 use gridtuner_obs as obs;
 use gridtuner_spatial::{Event, Partition, SlotClock};
@@ -123,14 +122,16 @@ impl<M: ModelErrorFn> UpperBoundOracle<M> {
     }
 
     /// Expression-error leg only (useful for reporting the decomposition).
-    /// Served from the α cache: no event-log access.
+    /// Served from the α cache: no event-log access. Routes through the
+    /// cache's batched kernel so the pmf memo stays warm across probes.
     pub fn expression_error(&self, side: u32) -> f64 {
-        // (The "expression_error" span opens inside total_expression_error,
-        // the common entry point for both this oracle and the harnesses.)
+        // (The "expression_error" span opens inside the batched sweep, the
+        // common entry point for both this oracle and the harnesses.)
         let part = self.partition_for(side);
-        self.alpha.with_alpha(part.hgrid_spec(), |alpha| {
-            total_expression_error(alpha, &part)
-        })
+        match self.alpha.expression_error(&part) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Model-error leg only.

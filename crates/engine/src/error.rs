@@ -79,6 +79,7 @@ impl From<CoreError> for EngineError {
             CoreError::InvalidSideRange { .. }
             | CoreError::InvalidSearchBound
             | CoreError::ZeroHgridBudget => EngineError::Config(e.to_string()),
+            CoreError::Data(_) => EngineError::Data(e.to_string()),
             CoreError::Model { .. } | CoreError::Spatial(_) => EngineError::Internal(e.to_string()),
         }
     }
@@ -148,6 +149,12 @@ mod tests {
         }
         .into();
         assert_eq!(internal.exit_code(), 4);
+        // Unusable α values surface as a data failure (exit 3), not a
+        // panic or an internal error.
+        let data: EngineError =
+            CoreError::Data("α value NaN at local HGrid 3 is non-finite or negative".into()).into();
+        assert_eq!(data.exit_code(), 3);
+        assert_eq!(data.kind(), "data");
     }
 
     #[test]

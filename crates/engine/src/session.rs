@@ -26,7 +26,6 @@ use gridtuner_core::search::{
     try_brute_force, try_brute_force_parallel, try_iterative_method, try_ternary_search,
     SearchOutcome,
 };
-use gridtuner_core::total_expression_error;
 use gridtuner_core::tuner::SearchStrategy;
 use gridtuner_core::upper_bound::{ModelErrorSource, SyncModelErrorSource};
 use gridtuner_obs as obs;
@@ -67,6 +66,50 @@ pub struct TuneReport {
     /// Probes served from the per-side model-error memo during this tune —
     /// the incremental re-tune dividend.
     pub model_memo_hits: usize,
+    /// HGrid cells fed through the batched expression kernel during this
+    /// tune (delta of the global `expr.cell_evals` counter).
+    pub expr_cell_evals: u64,
+    /// Cells whose rate duplicated an earlier cell in the same MGrid and
+    /// skipped the kernel (delta of `expr.dedup_hits`).
+    pub expr_dedup_hits: u64,
+    /// Pmf tables served from the session's cross-probe memo instead of
+    /// being rebuilt (delta of `expr.pmf_memo_hits`).
+    pub expr_pmf_memo_hits: u64,
+    /// Bytes of workspace scratch (re)allocated during this tune — the
+    /// zero-allocation claim made measurable (delta of
+    /// `expr.workspace_bytes`; steady-state sweeps add nothing).
+    pub expr_workspace_bytes: u64,
+}
+
+/// Start-of-tune snapshot of the global expression-kernel counters, so the
+/// report can expose per-tune deltas instead of process-lifetime totals.
+#[derive(Debug, Clone, Copy)]
+struct ExprCounters {
+    cell_evals: u64,
+    dedup_hits: u64,
+    pmf_memo_hits: u64,
+    workspace_bytes: u64,
+}
+
+impl ExprCounters {
+    fn snapshot() -> Self {
+        ExprCounters {
+            cell_evals: obs::counter!("expr.cell_evals").get(),
+            dedup_hits: obs::counter!("expr.dedup_hits").get(),
+            pmf_memo_hits: obs::counter!("expr.pmf_memo_hits").get(),
+            workspace_bytes: obs::counter!("expr.workspace_bytes").get(),
+        }
+    }
+
+    fn delta_since(self) -> Self {
+        let now = Self::snapshot();
+        ExprCounters {
+            cell_evals: now.cell_evals.saturating_sub(self.cell_evals),
+            dedup_hits: now.dedup_hits.saturating_sub(self.dedup_hits),
+            pmf_memo_hits: now.pmf_memo_hits.saturating_sub(self.pmf_memo_hits),
+            workspace_bytes: now.workspace_bytes.saturating_sub(self.workspace_bytes),
+        }
+    }
 }
 
 /// A stateful tuning run: dataset handle, α cache, model-error memo and
@@ -237,6 +280,7 @@ impl<S: ModelErrorSource> TuningSession<S> {
         let budget = self.config.hgrid_budget_side;
         let strategy = self.config.strategy;
         let mut memo_hits = 0usize;
+        let expr_base = ExprCounters::snapshot();
         let outcome = {
             let cache = self.cache.as_ref().ok_or_else(|| {
                 EngineError::Internal("α cache missing after the alpha stage".into())
@@ -247,9 +291,7 @@ impl<S: ModelErrorSource> TuningSession<S> {
                 let _span = obs::span!("probe", side = side);
                 obs::counter!("tune.probes").inc();
                 let part = Partition::for_budget(side, budget);
-                let expr = cache.with_alpha(part.hgrid_spec(), |alpha| {
-                    total_expression_error(alpha, &part)
-                });
+                let expr = cache.expression_error(&part)?;
                 // Bind the lookup first: a guard living in a `match`
                 // scrutinee would still be held in the miss arm.
                 let cached = lock_memo(memo).get(&side).copied();
@@ -282,7 +324,7 @@ impl<S: ModelErrorSource> TuningSession<S> {
                 }
             }?
         };
-        self.report(outcome, memo_hits)
+        self.report(outcome, memo_hits, expr_base.delta_since())
     }
 
     /// Memoised model error at one side (outside a search).
@@ -296,16 +338,16 @@ impl<S: ModelErrorSource> TuningSession<S> {
     }
 
     /// Expression error at one side, served from the α cache (building it
-    /// on first use).
-    pub fn expression_error(&mut self, side: u32) -> f64 {
+    /// on first use). Routes through the batched kernel and the session's
+    /// pmf memo, so a post-tune decomposition query is nearly free.
+    pub fn expression_error(&mut self, side: u32) -> Result<f64, EngineError> {
         self.ensure_cache();
         let budget = self.config.hgrid_budget_side;
         let part = Partition::for_budget(side, budget);
-        self.cache.as_ref().map_or(0.0, |cache| {
-            cache.with_alpha(part.hgrid_spec(), |alpha| {
-                total_expression_error(alpha, &part)
-            })
-        })
+        match self.cache.as_ref() {
+            None => Ok(0.0),
+            Some(cache) => Ok(cache.expression_error(&part)?),
+        }
     }
 
     /// The report stage, shared by the sequential and parallel paths.
@@ -313,6 +355,7 @@ impl<S: ModelErrorSource> TuningSession<S> {
         &mut self,
         outcome: SearchOutcome,
         memo_hits: usize,
+        expr: ExprCounters,
     ) -> Result<TuneReport, EngineError> {
         obs::gauge!("tune.selected_side").set(f64::from(outcome.side));
         self.stages.push(StageRecord::new(
@@ -329,6 +372,10 @@ impl<S: ModelErrorSource> TuningSession<S> {
             alpha_full_scans: cache.full_scans(),
             alpha_delta_scans: cache.delta_scans(),
             model_memo_hits: memo_hits,
+            expr_cell_evals: expr.cell_evals,
+            expr_dedup_hits: expr.dedup_hits,
+            expr_pmf_memo_hits: expr.pmf_memo_hits,
+            expr_workspace_bytes: expr.workspace_bytes,
         };
         self.stages.push(StageRecord::new(
             StageKind::Report,
@@ -362,6 +409,7 @@ impl<S: SyncModelErrorSource> TuningSession<S> {
         ));
         let budget = self.config.hgrid_budget_side;
         let memo_hits = AtomicUsize::new(0);
+        let expr_base = ExprCounters::snapshot();
         let outcome = {
             let cache = self.cache.as_ref().ok_or_else(|| {
                 EngineError::Internal("α cache missing after the alpha stage".into())
@@ -372,9 +420,7 @@ impl<S: SyncModelErrorSource> TuningSession<S> {
                 let _span = obs::span!("probe", side = side);
                 obs::counter!("tune.probes").inc();
                 let part = Partition::for_budget(side, budget);
-                let expr = cache.with_alpha(part.hgrid_spec(), |alpha| {
-                    total_expression_error(alpha, &part)
-                });
+                let expr = cache.expression_error(&part)?;
                 // Bind the lookup first: a guard living in a `match`
                 // scrutinee would still be held in the miss arm.
                 let cached = lock_memo(memo).get(&side).copied();
@@ -402,7 +448,7 @@ impl<S: SyncModelErrorSource> TuningSession<S> {
             try_brute_force_parallel(&probe, lo, hi)?
         };
         let hits = memo_hits.load(Ordering::Relaxed);
-        self.report_sync(outcome, hits)
+        self.report_sync(outcome, hits, expr_base.delta_since())
     }
 
     // `report` is bounded on ModelErrorSource; duplicate the tail for the
@@ -411,6 +457,7 @@ impl<S: SyncModelErrorSource> TuningSession<S> {
         &mut self,
         outcome: SearchOutcome,
         memo_hits: usize,
+        expr: ExprCounters,
     ) -> Result<TuneReport, EngineError> {
         obs::gauge!("tune.selected_side").set(f64::from(outcome.side));
         self.stages.push(StageRecord::new(
@@ -427,6 +474,10 @@ impl<S: SyncModelErrorSource> TuningSession<S> {
             alpha_full_scans: cache.full_scans(),
             alpha_delta_scans: cache.delta_scans(),
             model_memo_hits: memo_hits,
+            expr_cell_evals: expr.cell_evals,
+            expr_dedup_hits: expr.dedup_hits,
+            expr_pmf_memo_hits: expr.pmf_memo_hits,
+            expr_workspace_bytes: expr.workspace_bytes,
         };
         self.stages.push(StageRecord::new(
             StageKind::Report,
@@ -568,6 +619,27 @@ mod tests {
         assert_eq!(p.outcome.error.to_bits(), s.outcome.error.to_bits());
         assert_eq!(p.outcome.probes, s.outcome.probes);
         assert_eq!(p.alpha_full_scans, 1);
+    }
+
+    #[test]
+    fn tune_report_exposes_expression_kernel_counters() {
+        let events = skewed_events(400, 7);
+        let mut session =
+            TuningSession::new(cfg(SearchStrategy::BruteForce), InfallibleSource(model)).unwrap();
+        session.ingest(&events).unwrap();
+        let first = session.tune().unwrap();
+        // Every probe sweeps the full HGrid lattice through the kernel.
+        assert!(first.expr_cell_evals > 0, "{first:?}");
+        // Quantised α rates recur across probes, so the session's pmf memo
+        // serves hits within the very first tune...
+        assert!(first.expr_pmf_memo_hits > 0, "{first:?}");
+        // ...and a warm re-tune still answers bit-identically.
+        let second = session.tune().unwrap();
+        assert!(second.expr_pmf_memo_hits > 0, "{second:?}");
+        assert_eq!(
+            second.outcome.error.to_bits(),
+            first.outcome.error.to_bits()
+        );
     }
 
     #[test]

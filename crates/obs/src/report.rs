@@ -200,6 +200,29 @@ impl fmt::Display for RunReport {
                 writeln!(f, "{name:<40} {v:>12}")?;
             }
         }
+        // Expression-kernel efficiency, when the batched sweep ran: how
+        // much of the per-cell work dedup collapsed, and how many table
+        // builds the cross-probe pmf memo absorbed.
+        let counter = |name: &str| {
+            self.metrics
+                .counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, v)| v)
+        };
+        if let (Some(cells), Some(dedup)) = (counter("expr.cell_evals"), counter("expr.dedup_hits"))
+        {
+            if cells > 0 {
+                let evals = counter("expr.evals").unwrap_or(cells - dedup);
+                let memo_hits = counter("expr.pmf_memo_hits").unwrap_or(0);
+                writeln!(f, "-- expression kernel --")?;
+                writeln!(
+                    f,
+                    "cell evals {cells} -> group evals {evals} (dedup saved {:.1}%), pmf memo hits {memo_hits}",
+                    dedup as f64 / cells as f64 * 100.0
+                )?;
+            }
+        }
         if !self.metrics.gauges.is_empty() {
             writeln!(f, "-- gauges --")?;
             for (name, v) in &self.metrics.gauges {
@@ -290,6 +313,22 @@ mod tests {
         assert_eq!(report.decomposition[1].total, 4.0);
         assert!(report.warnings.iter().any(|w| w.name == "report_test_warn"));
         trace::reset_events();
+    }
+
+    #[test]
+    fn kernel_efficiency_line_renders_when_counters_present() {
+        let _guard = crate::test_guard();
+        crate::enable();
+        crate::counter!("expr.cell_evals").add(100);
+        crate::counter!("expr.dedup_hits").add(60);
+        crate::counter!("expr.evals").add(40);
+        crate::counter!("expr.pmf_memo_hits").add(30);
+        let text = RunReport::capture().to_string();
+        assert!(
+            text.contains("-- expression kernel --"),
+            "missing kernel section:\n{text}"
+        );
+        assert!(text.contains("dedup saved"), "{text}");
     }
 
     #[test]

@@ -27,11 +27,14 @@ use std::time::Instant;
 /// (~10 µs/thread) dwarfs the work.
 const MIN_ITEMS_PER_THREAD: usize = 2;
 
-/// Fixed reduction granularity for [`par_sum`]: items are folded into
-/// per-block partials of this size and the partials are added in block
-/// order. Because the block size is a constant, the association — and so
-/// the summed value, bit for bit — is the same for every worker count.
-const SUM_BLOCK: usize = 64;
+/// Fixed reduction granularity for [`par_sum`]/[`par_sum_with`]: items are
+/// folded into per-block partials of this size and the partials are added
+/// in block order. Because the block size is a constant, the association —
+/// and so the summed value, bit for bit — is the same for every worker
+/// count. Public so sequential reference implementations (e.g. the batched
+/// expression-error kernel's `total_expression_error_seq`) can replicate
+/// the exact association.
+pub const SUM_BLOCK: usize = 64;
 
 /// Fixed chunk count for [`par_accumulate`]: bounds partial-buffer memory
 /// at `ACC_CHUNKS × len` floats while keeping the chunk boundaries (and so
@@ -264,12 +267,33 @@ pub fn par_map_indexed<T: Sync, U: Send>(items: &[T], f: impl Fn(usize, &T) -> U
 /// and parallel runs agree **bit-for-bit for every worker count**. Workers
 /// each own a contiguous range of blocks.
 pub fn par_sum<T: Sync>(items: &[T], f: impl Fn(&T) -> f64 + Sync) -> f64 {
+    par_sum_with(items, || (), |_, t| f(t))
+}
+
+/// [`par_sum`] with worker-local state: `init` builds one state per worker
+/// (one total on the inline path), and `f` receives it mutably alongside
+/// each item. The blocking, the per-block left-to-right fold and the
+/// block-order reduction are exactly [`par_sum`]'s, so the sum is
+/// bit-identical for every worker count **provided `f`'s return value does
+/// not depend on the state's history** — the state is for scratch buffers
+/// and local counters (the batched expression-error workspace), not for
+/// carrying numeric results between items.
+pub fn par_sum_with<T: Sync, S>(
+    items: &[T],
+    init: impl Fn() -> S + Sync,
+    f: impl Fn(&mut S, &T) -> f64 + Sync,
+) -> f64 {
     let n_blocks = items.len().div_ceil(SUM_BLOCK).max(1);
     let mut partials = vec![0.0f64; n_blocks];
     let workers = workers_for(items.len()).min(n_blocks);
     if workers <= 1 {
+        let mut state = init();
         for (block, out) in items.chunks(SUM_BLOCK).zip(partials.iter_mut()) {
-            *out = block.iter().map(&f).sum();
+            let mut p = 0.0;
+            for t in block {
+                p += f(&mut state, t);
+            }
+            *out = p;
         }
     } else {
         let blocks_per = n_blocks.div_ceil(workers);
@@ -277,15 +301,20 @@ pub fn par_sum<T: Sync>(items: &[T], f: impl Fn(&T) -> f64 + Sync) -> f64 {
         let mut spawned = 0;
         std::thread::scope(|scope| {
             for (w, outs) in partials.chunks_mut(blocks_per).enumerate() {
-                let (f, job) = (&f, &job);
+                let (init, f, job) = (&init, &f, &job);
                 let start = w * blocks_per * SUM_BLOCK;
                 let end = (start + outs.len() * SUM_BLOCK).min(items.len());
                 let slice = &items[start..end];
                 spawned += 1;
                 scope.spawn(move || {
                     job.worker(slice.len(), || {
+                        let mut state = init();
                         for (block, out) in slice.chunks(SUM_BLOCK).zip(outs.iter_mut()) {
-                            *out = block.iter().map(f).sum();
+                            let mut p = 0.0;
+                            for t in block {
+                                p += f(&mut state, t);
+                            }
+                            *out = p;
                         }
                     })
                 });
@@ -410,6 +439,47 @@ mod tests {
         let seq: f64 = items.iter().map(|&x| x * 1.5).sum();
         let par = par_sum(&items, |&x| x * 1.5);
         assert!((seq - par).abs() < 1e-9, "seq {seq} vs par {par}");
+    }
+
+    #[test]
+    fn par_sum_with_matches_par_sum_bitwise() {
+        // The stateful form must keep the exact association of par_sum:
+        // same blocks, same fold order, same bits.
+        let items: Vec<f64> = (0..7_777).map(|i| ((i as f64) * 0.91).cos()).collect();
+        let plain = par_sum(&items, |&x| x * x + 0.25);
+        let stateful = par_sum_with(&items, Vec::<f64>::new, |scratch, &x| {
+            // Exercise the state without letting it affect the result.
+            scratch.clear();
+            scratch.push(x);
+            scratch[0] * scratch[0] + 0.25
+        });
+        assert_eq!(plain.to_bits(), stateful.to_bits());
+    }
+
+    #[test]
+    fn par_sum_with_state_is_worker_count_invariant() {
+        let items: Vec<f64> = (0..3_000).map(|i| ((i as f64) * 0.11).sin()).collect();
+        let saved = max_threads();
+        let mut sums = Vec::new();
+        for n in [1usize, 2, 8] {
+            set_max_threads(n);
+            sums.push(
+                par_sum_with(
+                    &items,
+                    || 0u64,
+                    |calls, &x| {
+                        *calls += 1;
+                        x * 2.5
+                    },
+                )
+                .to_bits(),
+            );
+        }
+        set_max_threads(saved);
+        assert!(
+            sums.windows(2).all(|w| w[0] == w[1]),
+            "par_sum_with drifted"
+        );
     }
 
     #[test]

@@ -190,16 +190,20 @@ impl Partition {
     /// All HGrid-lattice cells inside a given MGrid, row-major by local
     /// index (so `hgrids_of(r)[j]` is the paper's `r_{ij}` with `j` 0-based).
     pub fn hgrids_of(&self, mcell: CellId) -> Vec<CellId> {
+        let mut out = Vec::with_capacity(self.m());
+        out.extend(self.hgrid_iter(mcell));
+        out
+    }
+
+    /// Iterator form of [`hgrids_of`](Self::hgrids_of): the same cells in
+    /// the same row-major local order, without the `Vec` — the batched
+    /// expression-error sweep walks one MGrid per kernel call and must not
+    /// allocate per cell.
+    pub fn hgrid_iter(&self, mcell: CellId) -> impl Iterator<Item = CellId> {
         let (mr, mc) = self.mgrid_spec().row_col(mcell);
         let q = self.sub_side as usize;
         let h = self.hgrid_spec();
-        let mut out = Vec::with_capacity(self.m());
-        for dr in 0..q {
-            for dc in 0..q {
-                out.push(h.cell_at(mr * q + dr, mc * q + dc));
-            }
-        }
-        out
+        (0..q).flat_map(move |dr| (0..q).map(move |dc| h.cell_at(mr * q + dr, mc * q + dc)))
     }
 }
 
@@ -276,6 +280,16 @@ mod tests {
             assert!(j < p.m());
             let members = p.hgrids_of(m);
             assert_eq!(members[j], hcell, "hgrids_of must invert local_index");
+        }
+    }
+
+    #[test]
+    fn hgrid_iter_matches_hgrids_of() {
+        let p = Partition::new(3, 5);
+        for mcell in p.mgrid_spec().cells() {
+            let from_iter: Vec<CellId> = p.hgrid_iter(mcell).collect();
+            assert_eq!(from_iter, p.hgrids_of(mcell));
+            assert_eq!(from_iter.len(), p.m());
         }
     }
 

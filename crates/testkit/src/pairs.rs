@@ -19,7 +19,9 @@
 //! | `search-iterative-unimodal` | the iterative method does too, from any start with any bound ≥ 1 |
 //! | `par-sum-determinism` | `par_sum` matches its documented fixed-block association |
 //! | `par-accumulate-determinism` | `par_accumulate` matches its documented chunked association |
-//! | `total-expr-par-vs-seq` | the parallel field sweep matches the sequential one |
+//! | `total-expr-par-vs-seq` | the parallel field sweep matches the sequential one, bit for bit |
+//! | `batched-vs-seq-expression-error` | the batched kernel (cold or warm pmf memo) = the sequential sweep, bit for bit |
+//! | `expr-dedup-weight-conservation` | per-MGrid dedup multiplicities sum back to `m` |
 //! | `nn-dense-vs-naive` | the blocked dense kernel matches the naive mat-vec |
 //! | `nn-conv-vs-naive` | the tap-hoisted conv kernel matches the naive convolution |
 //! | `theorem-ii1-empirical` | real ≤ model + expression on arbitrary samples (and the slack bound) |
@@ -29,10 +31,11 @@ use crate::scenario::Scenario;
 use gridtuner_core::alpha_cache::AlphaFieldCache;
 use gridtuner_core::errors::{evaluate_errors, ErrorSample};
 use gridtuner_core::estimate_alpha;
+use gridtuner_core::expr_kernel::{dedup_groups, PmfMemo};
 use gridtuner_core::expression::{
     expression_error_alg1, expression_error_alg2, expression_error_naive,
     expression_error_windowed, lemma_upper_bound, total_expression_error,
-    total_expression_error_seq,
+    total_expression_error_memo, total_expression_error_percell, total_expression_error_seq,
 };
 use gridtuner_core::search::{brute_force, iterative_method, ternary_search};
 use gridtuner_core::tuner::{GridTuner, SearchStrategy, TunerConfig};
@@ -479,14 +482,64 @@ pub fn standard_checks() -> Vec<Check> {
         let cache = AlphaFieldCache::new(&s.events, &s.clock, &s.window);
         let part = Partition::for_budget(s.params.max_side, s.params.budget_side);
         cache.with_alpha(part.hgrid_spec(), |alpha| {
-            close(
+            // Both sweeps fold SUM_BLOCK-sized blocks of MGrids in order,
+            // so they agree bit for bit, not just to tolerance.
+            bit_eq(
                 "total expression error, parallel vs sequential",
                 total_expression_error(alpha, &part),
                 total_expression_error_seq(alpha, &part),
-                1e-9,
-                1e-12,
             )
         })
+    }));
+
+    checks.push(Check::new("batched-vs-seq-expression-error", |s| {
+        let mut rng = s.rng(0x0f);
+        let side = rng.gen_range(1..=s.params.max_side.max(1));
+        let part = Partition::for_budget(side, s.params.budget_side);
+        let spec = part.hgrid_spec();
+        // Quantised rates, as count/days estimation produces them:
+        // duplicates inside an MGrid are common, exercising the dedup path.
+        let vals: Vec<f64> = (0..spec.n_cells())
+            .map(|_| rng.gen_range(0..40u32) as f64 / 8.0)
+            .collect();
+        let alpha = CountMatrix::from_vec(spec.side(), vals).map_err(|e| format!("{e}"))?;
+        let seq = total_expression_error_seq(&alpha, &part);
+        let memo = PmfMemo::default();
+        let cold = total_expression_error_memo(&alpha, &part, &memo);
+        bit_eq("batched (cold pmf memo) vs sequential", cold, seq)?;
+        let warm = total_expression_error_memo(&alpha, &part, &memo);
+        bit_eq("batched (warm pmf memo) vs sequential", warm, seq)?;
+        if part.m() > 1 && memo.hits() == 0 {
+            return Err("warm pass served no pmf-memo hits".into());
+        }
+        // The pre-batching per-cell sweep is an independent reference:
+        // different association, so tolerance instead of bits.
+        close(
+            "batched vs per-cell reference sweep",
+            cold,
+            total_expression_error_percell(&alpha, &part),
+            1e-9,
+            1e-12,
+        )
+    }));
+
+    checks.push(Check::new("expr-dedup-weight-conservation", |s| {
+        let cache = AlphaFieldCache::new(&s.events, &s.clock, &s.window);
+        let part = Partition::for_budget(s.params.max_side, s.params.budget_side);
+        let alpha = cache.alpha(part.hgrid_spec());
+        for mcell in part.mgrid_spec().cells() {
+            let rates: Vec<f64> = part.hgrid_iter(mcell).map(|h| alpha.get(h)).collect();
+            let groups = dedup_groups(&rates);
+            let total: u64 = groups.iter().map(|&(_, mult)| u64::from(mult)).sum();
+            if total != part.m() as u64 {
+                return Err(format!(
+                    "MGrid {}: dedup multiplicities sum to {total}, expected m = {}",
+                    mcell.index(),
+                    part.m()
+                ));
+            }
+        }
+        Ok(())
     }));
 
     checks.push(Check::new("nn-dense-vs-naive", |s| {

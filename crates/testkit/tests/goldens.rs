@@ -66,7 +66,9 @@ fn golden_for_city(city: City, seed: u64) -> Json {
 
     // Error decomposition at the optimum, served from the session's own
     // α cache (same inputs → same digest as a fresh oracle).
-    let expression = session.expression_error(side);
+    let expression = session
+        .expression_error(side)
+        .expect("α field from finite events");
     let model_err = MODEL_COEF * (side * side) as f64;
 
     // Dispatch case study: one day of trips, Polar dispatcher, demand
