@@ -16,16 +16,24 @@
 //! (`kernel`: the pre-batching per-cell sweep vs the batched workspace +
 //! pmf-memo path, single-threaded over the probed sides) and re-runs the
 //! cached tune under `GRIDTUNER_THREADS` ∈ {1, 2, 8} (`thread_rows`),
-//! asserting the selected side and error are bit-identical across counts.
+//! asserting the selected side, error and full probe decomposition are
+//! bit-identical across counts. Each thread row runs a warmup tune first
+//! (so the persistent pool is spawned) and then asserts `par.pool_spawns`
+//! stays flat across the measured 73-probe tune; the row records the
+//! pool/lock counters alongside the wall time and the speedup vs the
+//! 1-thread row.
 //!
 //! ```text
 //! cargo run --release -p gridtuner-bench --bin tune_bench \
-//!     [-- --scale X] [--min-kernel-speedup S]
+//!     [-- --scale X] [--min-kernel-speedup S] [--min-thread-speedup S]
 //! ```
 //!
 //! `--min-kernel-speedup S` makes the run exit non-zero when the batched
 //! kernel is less than `S`× faster than the per-cell sweep — the CI
-//! perf-smoke gate.
+//! perf-smoke gate. `--min-thread-speedup S` does the same when the tune
+//! at the largest thread count is less than `S`× faster than the 1-thread
+//! tune — the CI thread-scaling gate (skipped with a warning when the
+//! machine itself has fewer than 2 CPUs, where no thread count can help).
 
 use gridtuner_core::alpha::AlphaWindow;
 use gridtuner_core::estimate_alpha;
@@ -40,8 +48,10 @@ use rand::{rngs::StdRng, SeedableRng};
 use std::time::Instant;
 
 /// Schema tag of `BENCH_tune.json` — bump when fields change meaning.
-/// v3 adds `kernel`, `thread_rows` and the `expr_*` counters.
-const BENCH_SCHEMA: &str = "gridtuner.bench_tune/3";
+/// v3 adds `kernel`, `thread_rows` and the `expr_*` counters. v4 extends
+/// `thread_rows` with `speedup_vs_1t` and the pool/lock counters, and
+/// adds the top-level `pool` object.
+const BENCH_SCHEMA: &str = "gridtuner.bench_tune/4";
 
 /// Thread counts the determinism sweep re-tunes under.
 const THREAD_SWEEP: [usize; 3] = [1, 2, 8];
@@ -117,12 +127,17 @@ struct BenchArgs {
     /// When set, exit non-zero if the batched kernel's speedup over the
     /// per-cell sweep falls below this factor.
     min_kernel_speedup: Option<f64>,
+    /// When set, exit non-zero if the largest thread count's tune is less
+    /// than this factor faster than the 1-thread tune (skipped on
+    /// single-CPU machines).
+    min_thread_speedup: Option<f64>,
 }
 
 fn parse_args(args: &[String]) -> BenchArgs {
     let mut out = BenchArgs {
         scale: 1.0,
         min_kernel_speedup: None,
+        min_thread_speedup: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -134,6 +149,10 @@ fn parse_args(args: &[String]) -> BenchArgs {
             "--min-kernel-speedup" => {
                 i += 1;
                 out.min_kernel_speedup = args.get(i).and_then(|s| s.parse().ok());
+            }
+            "--min-thread-speedup" => {
+                i += 1;
+                out.min_thread_speedup = args.get(i).and_then(|s| s.parse().ok());
             }
             _ => {}
         }
@@ -256,38 +275,78 @@ fn main() {
         probed.len()
     );
 
-    // Determinism sweep: the same tune under 1/2/8 workers must select the
-    // same side with a bit-identical error.
+    // Determinism + scaling sweep: the same tune under 1/2/8 workers must
+    // select the same side with a bit-identical error and probe
+    // decomposition. Each count tunes twice — an unmeasured warmup that
+    // spawns any missing pool workers, then the measured tune, across
+    // which `par.pool_spawns` must stay flat.
+    // Selected side, error bits and the per-probe (side, error-bits)
+    // decomposition — the full bit-compared signature of one tune.
+    type SweepKey = (u32, u64, Vec<(u32, u64)>);
     let mut thread_rows = Vec::new();
-    let mut sweep_ref: Option<(u32, u64)> = None;
+    let mut sweep_ref: Option<SweepKey> = None;
+    let mut wall_1t = f64::NAN;
+    let mut sweep_last = f64::NAN;
     for threads in THREAD_SWEEP {
         gridtuner_par::set_max_threads(threads);
+        let mut warm = TuningSession::new(engine_cfg, model).expect("valid bench config");
+        warm.ingest(&events).expect("finite synthetic events");
+        warm.tune_parallel().expect("infallible model leg");
         let ts = Instant::now();
         let mut sweep = TuningSession::new(engine_cfg, model).expect("valid bench config");
         sweep.ingest(&events).expect("finite synthetic events");
         let r = sweep.tune_parallel().expect("infallible model leg");
         let ms = ts.elapsed().as_secs_f64() * 1e3;
-        match sweep_ref {
-            None => sweep_ref = Some((r.outcome.side, r.outcome.error.to_bits())),
-            Some((side, bits)) => {
-                assert_eq!(r.outcome.side, side, "side drifted at {threads} threads");
+        assert_eq!(
+            r.par_pool_spawns, 0,
+            "pool spawned workers mid-tune at {threads} threads — not flat"
+        );
+        let probes: Vec<(u32, u64)> = r
+            .outcome
+            .probes
+            .iter()
+            .map(|&(s, e)| (s, e.to_bits()))
+            .collect();
+        match &sweep_ref {
+            None => {
+                wall_1t = ms;
+                sweep_ref = Some((r.outcome.side, r.outcome.error.to_bits(), probes));
+            }
+            Some((side, bits, ref_probes)) => {
+                assert_eq!(r.outcome.side, *side, "side drifted at {threads} threads");
                 assert_eq!(
                     r.outcome.error.to_bits(),
-                    bits,
+                    *bits,
                     "error bits drifted at {threads} threads"
+                );
+                assert_eq!(
+                    &probes, ref_probes,
+                    "probe decomposition drifted at {threads} threads"
                 );
             }
         }
+        sweep_last = ms;
+        let speedup_vs_1t = wall_1t / ms.max(1e-9);
         thread_rows.push(Val::obj(vec![
             ("threads", Val::from(threads as u64)),
             ("wall_ms", Val::from(ms)),
+            ("speedup_vs_1t", Val::from(speedup_vs_1t)),
             ("selected_side", Val::from(r.outcome.side)),
+            (
+                "pool_workers",
+                Val::from(gridtuner_par::pool_workers() as u64),
+            ),
+            ("par_dispatches", Val::from(r.par_dispatches)),
+            ("par_worker_idle_ms", Val::from(r.par_worker_idle_ms)),
+            ("pmf_lock_waits", Val::from(r.pmf_lock_waits)),
         ]));
         eprintln!(
-            "[tune_bench] threads {threads}: {ms:.1} ms, side {}",
-            r.outcome.side
+            "[tune_bench] threads {threads}: {ms:.1} ms ({speedup_vs_1t:.2}x vs 1t), side {}, \
+             {} dispatches, {} lock waits",
+            r.outcome.side, r.par_dispatches, r.pmf_lock_waits
         );
     }
+    let thread_speedup = wall_1t / sweep_last.max(1e-9);
     gridtuner_par::set_max_threads(prev_threads);
 
     let speedup = naive_ms / wall_ms.max(1e-9);
@@ -318,6 +377,27 @@ fn main() {
             ]),
         ),
         ("thread_rows", Val::Arr(thread_rows)),
+        (
+            "pool",
+            Val::obj(vec![
+                (
+                    "workers_live",
+                    Val::from(gridtuner_par::pool_workers() as u64),
+                ),
+                (
+                    "spawns_total",
+                    Val::from(obs::counter!("par.pool_spawns").get()),
+                ),
+                (
+                    "dispatches_total",
+                    Val::from(obs::counter!("par.dispatches").get()),
+                ),
+                (
+                    "pmf_lock_waits_total",
+                    Val::from(obs::counter!("pmf_memo.lock_waits").get()),
+                ),
+            ]),
+        ),
         ("phases", phase_timings()),
     ])
     .render();
@@ -335,6 +415,26 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("[tune_bench] kernel speedup gate passed ({kernel_speedup:.2}x >= {min}x)");
+    }
+
+    if let Some(min) = args.min_thread_speedup {
+        let cpus = std::thread::available_parallelism().map_or(1, usize::from);
+        if cpus < 2 {
+            eprintln!(
+                "[tune_bench] WARN: thread speedup gate skipped — machine has {cpus} CPU; \
+                 measured {thread_speedup:.2}x at {} threads",
+                THREAD_SWEEP[THREAD_SWEEP.len() - 1]
+            );
+        } else if thread_speedup < min {
+            eprintln!(
+                "[tune_bench] FAIL: {}-thread tune speedup {thread_speedup:.2}x \
+                 below the required {min}x",
+                THREAD_SWEEP[THREAD_SWEEP.len() - 1]
+            );
+            std::process::exit(1);
+        } else {
+            eprintln!("[tune_bench] thread speedup gate passed ({thread_speedup:.2}x >= {min}x)");
+        }
     }
 }
 
@@ -365,11 +465,33 @@ mod tests {
             parse_args(&argv("--scale 0.5 --min-kernel-speedup 1.5")),
             BenchArgs {
                 scale: 0.5,
-                min_kernel_speedup: Some(1.5)
+                min_kernel_speedup: Some(1.5),
+                min_thread_speedup: None
             }
         );
         assert_eq!(
             parse_args(&argv("--min-kernel-speedup nope")).min_kernel_speedup,
+            None
+        );
+    }
+
+    #[test]
+    fn thread_speedup_gate_parsing() {
+        assert_eq!(parse_args(&argv("")).min_thread_speedup, None);
+        assert_eq!(
+            parse_args(&argv("--min-thread-speedup 2.5")).min_thread_speedup,
+            Some(2.5)
+        );
+        assert_eq!(
+            parse_args(&argv("--min-kernel-speedup 2 --min-thread-speedup 2.5")),
+            BenchArgs {
+                scale: 1.0,
+                min_kernel_speedup: Some(2.0),
+                min_thread_speedup: Some(2.5)
+            }
+        );
+        assert_eq!(
+            parse_args(&argv("--min-thread-speedup nope")).min_thread_speedup,
             None
         );
     }

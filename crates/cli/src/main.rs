@@ -148,6 +148,12 @@ fn cmd_tune(a: &Args) -> Result<(), CliError> {
     let mut session = TuningSession::new(config, model)?;
     session.ingest(&events)?;
     let result = session.tune()?;
+    // Thread diagnostics read back the pool, not `available_parallelism`:
+    // `threads` is the effective ceiling, `pool_workers` the count of
+    // persistent workers actually spawned by this run (0 means the whole
+    // tune stayed inline).
+    let (ceiling, live) = gridtuner::engine::thread_diagnostics();
+    eprintln!("threads: ceiling {ceiling}, pool workers live {live}");
     println!("optimal_side\t{}", result.outcome.side);
     println!("optimal_n\t{0}x{0}", result.outcome.side);
     println!("upper_bound_error\t{:.2}", result.outcome.error);

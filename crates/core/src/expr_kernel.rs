@@ -36,7 +36,8 @@ use gridtuner_obs as obs;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard, TryLockError};
 
 /// Multiply-shift hasher for the f64-bit rate keys the kernel hashes
 /// millions of times per tune. The keys are already high-entropy u64s
@@ -234,12 +235,11 @@ pub const MEMO_MAX_ENTRIES: usize = 65_536;
 /// can tighten it through [`PmfMemo::with_limits`].
 pub const MEMO_MAX_F64S: usize = 16 << 20;
 
-struct MemoInner {
-    map: RateMap<Arc<PmfTable>>,
-    /// f64 slots retained across every cached table (window length plus
-    /// checkpoint pairs each) — the memory the budget bounds.
-    retained: usize,
-}
+/// Shard count for [`PmfMemo`]: independent read-mostly segments keyed by
+/// the high bits of the mixed rate hash, so concurrent workers only
+/// contend when they touch the same shard at the same time *and* one of
+/// them is inserting. Power of two for a mask-only selection.
+const MEMO_SHARDS: usize = 16;
 
 /// A bounded, thread-safe cross-probe cache of [`PmfTable`]s, keyed by the
 /// f64 **bits** of the rate (α values are exact `count / days` quotients,
@@ -251,12 +251,24 @@ struct MemoInner {
 /// and incremental re-tunes start warm. Admission is bounded two ways —
 /// an entry cap and a retained-f64 budget — and a rejected rate simply
 /// falls back to the caller's scratch table (same bits either way).
+///
+/// Storage is split across [`MEMO_SHARDS`] `RwLock`ed segments and the
+/// caps live in shared atomics, so the warm path is a single uncontended
+/// shard read-lock (and most lookups never even get here: the
+/// per-workspace L1 serves repeats lock-free). `pmf_memo.lock_waits`
+/// counts the times any shard lock actually had to block.
 pub struct PmfMemo {
-    inner: Mutex<MemoInner>,
+    shards: Vec<RwLock<RateMap<Arc<PmfTable>>>>,
+    /// Cached tables across all shards (reserved before building).
+    entries: AtomicUsize,
+    /// f64 slots retained across every cached table (window length plus
+    /// checkpoint pairs each) — the memory the budget bounds.
+    retained: AtomicUsize,
     max_entries: usize,
     max_f64s: usize,
     hits: obs::metrics::Counter,
     misses: obs::metrics::Counter,
+    lock_waits: obs::metrics::Counter,
 }
 
 impl Default for PmfMemo {
@@ -265,25 +277,97 @@ impl Default for PmfMemo {
     }
 }
 
+/// Poison-immune read lock that counts the times it had to block: an
+/// uncontended acquisition is the expected case, so a failed `try_read`
+/// is the contention signal `pmf_memo.lock_waits` records.
+fn read_counted<'a, T>(
+    lock: &'a RwLock<T>,
+    waits: &obs::metrics::Counter,
+) -> RwLockReadGuard<'a, T> {
+    match lock.try_read() {
+        Ok(g) => g,
+        Err(TryLockError::Poisoned(p)) => p.into_inner(),
+        Err(TryLockError::WouldBlock) => {
+            waits.inc();
+            obs::counter!("pmf_memo.lock_waits").inc();
+            lock.read().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+}
+
+/// Write-side counterpart of [`read_counted`].
+fn write_counted<'a, T>(
+    lock: &'a RwLock<T>,
+    waits: &obs::metrics::Counter,
+) -> RwLockWriteGuard<'a, T> {
+    match lock.try_write() {
+        Ok(g) => g,
+        Err(TryLockError::Poisoned(p)) => p.into_inner(),
+        Err(TryLockError::WouldBlock) => {
+            waits.inc();
+            obs::counter!("pmf_memo.lock_waits").inc();
+            lock.write().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+}
+
 impl PmfMemo {
     /// A memo bounded to `max_entries` tables and `max_f64s` retained f64
     /// slots (whichever bites first).
     pub fn with_limits(max_entries: usize, max_f64s: usize) -> PmfMemo {
         PmfMemo {
-            inner: Mutex::new(MemoInner {
-                map: RateMap::default(),
-                retained: 0,
-            }),
+            shards: (0..MEMO_SHARDS)
+                .map(|_| RwLock::new(RateMap::default()))
+                .collect(),
+            entries: AtomicUsize::new(0),
+            retained: AtomicUsize::new(0),
             max_entries,
             max_f64s,
             hits: obs::metrics::Counter::new(),
             misses: obs::metrics::Counter::new(),
+            lock_waits: obs::metrics::Counter::new(),
         }
     }
 
-    /// Poison-immune lock: the map only ever holds finished tables.
-    fn lock(&self) -> MutexGuard<'_, MemoInner> {
-        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    /// The shard holding `key`, selected from the *mixed* hash's high bits
+    /// so shard choice and in-shard bucket choice stay independent.
+    fn shard(&self, key: u64) -> &RwLock<RateMap<Arc<PmfTable>>> {
+        let mut h = RateHash::default();
+        h.write_u64(key);
+        &self.shards[(h.finish() >> (64 - 4)) as usize & (MEMO_SHARDS - 1)]
+    }
+
+    /// Reserves one entry plus `slots` f64s against the caps, atomically.
+    /// Sequential callers see exactly the pre-shard semantics: the cap
+    /// check happens before any build work is paid for.
+    fn reserve(&self, slots: usize) -> bool {
+        if self
+            .entries
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |e| {
+                (e < self.max_entries).then_some(e + 1)
+            })
+            .is_err()
+        {
+            return false;
+        }
+        if self
+            .retained
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |r| {
+                (r + slots <= self.max_f64s).then_some(r + slots)
+            })
+            .is_err()
+        {
+            self.entries.fetch_sub(1, Ordering::SeqCst);
+            return false;
+        }
+        true
+    }
+
+    /// Returns a reservation taken by [`reserve`](Self::reserve) — used
+    /// when an insert race means the reserved table is not retained.
+    fn release(&self, slots: usize) {
+        self.entries.fetch_sub(1, Ordering::SeqCst);
+        self.retained.fetch_sub(slots, Ordering::SeqCst);
     }
 
     /// The cached table for `rate`, building and admitting it on a miss.
@@ -292,7 +376,8 @@ impl PmfMemo {
     /// bit-identical values.
     pub fn get_or_build(&self, rate: f64) -> Option<Arc<PmfTable>> {
         let key = rate.to_bits();
-        if let Some(t) = self.lock().map.get(&key) {
+        let shard = self.shard(key);
+        if let Some(t) = read_counted(shard, &self.lock_waits).get(&key) {
             self.hits.inc();
             obs::counter!("expr.pmf_memo_hits").inc();
             return Some(Arc::clone(t));
@@ -303,26 +388,26 @@ impl PmfMemo {
         // Exactly what `fill` will retain: the pmf plus one checkpoint
         // pair per stride (and the leading zero state).
         let slots = len + 2 * (len / CKPT_STRIDE + 1);
-        {
-            // Cheap pre-build admission check: an oversized window (or a
-            // full memo) never pays for the build.
-            let inner = self.lock();
-            if inner.map.len() >= self.max_entries || inner.retained + slots > self.max_f64s {
-                return None;
-            }
+        // Reserve before building: an oversized window (or a full memo)
+        // never pays for the build, and concurrent builders can never
+        // overshoot the caps.
+        if !self.reserve(slots) {
+            return None;
         }
         let built = Arc::new(PmfTable::build(rate));
         debug_assert_eq!(built.slots(), slots, "admission must match fill");
-        let mut guard = self.lock();
-        let inner = &mut *guard;
-        if inner.map.len() >= self.max_entries || inner.retained + slots > self.max_f64s {
-            // Lost an admission race; the fresh table is still correct.
-            return Some(built);
-        }
-        match inner.map.entry(key) {
-            Entry::Occupied(e) => Some(Arc::clone(e.get())),
+        let mut guard = write_counted(shard, &self.lock_waits);
+        match guard.entry(key) {
+            Entry::Occupied(e) => {
+                // Lost an insert race: another worker admitted this rate
+                // while we built. Hand back its table and return the
+                // reservation.
+                let existing = Arc::clone(e.get());
+                drop(guard);
+                self.release(slots);
+                Some(existing)
+            }
             Entry::Vacant(v) => {
-                inner.retained += slots;
                 v.insert(Arc::clone(&built));
                 Some(built)
             }
@@ -339,14 +424,19 @@ impl PmfMemo {
         self.misses.get()
     }
 
+    /// Times a shard lock had to block (contention signal).
+    pub fn lock_waits(&self) -> u64 {
+        self.lock_waits.get()
+    }
+
     /// Cached tables.
     pub fn entries(&self) -> usize {
-        self.lock().map.len()
+        self.entries.load(Ordering::SeqCst)
     }
 
     /// f64 slots retained across all cached tables.
     pub fn retained_f64s(&self) -> usize {
-        self.lock().retained
+        self.retained.load(Ordering::SeqCst)
     }
 }
 

@@ -29,6 +29,11 @@ pub struct EngineConfig {
     /// Dispatch-simulation parameters, when the session drives the
     /// downstream case study (fleet config included).
     pub sim: Option<SimConfig>,
+    /// Probe-level pipelining: overlap `alpha.derive` for probe `k+1`
+    /// with `expression_error` for probe `k` on brute-force sweeps. The
+    /// derived-field cache is a pure memo, so prefetching it is
+    /// bit-invisible; disable to prove it (the testkit does).
+    pub pipeline: bool,
 }
 
 impl Default for EngineConfig {
@@ -54,6 +59,7 @@ impl EngineConfig {
             alpha_window: t.alpha_window,
             clock: SlotClock::default(),
             sim: None,
+            pipeline: true,
         }
     }
 
@@ -174,6 +180,13 @@ impl EngineConfigBuilder {
     /// Dispatch-simulation parameters (fleet travels inside).
     pub fn sim(mut self, sim: SimConfig) -> Self {
         self.cfg.sim = Some(sim);
+        self
+    }
+
+    /// Enables or disables the probe-level α-prefetch pipeline
+    /// (default on; results are bit-identical either way).
+    pub fn pipeline(mut self, on: bool) -> Self {
+        self.cfg.pipeline = on;
         self
     }
 

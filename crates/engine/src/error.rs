@@ -116,6 +116,16 @@ pub fn thread_override() -> Result<Option<usize>, EngineError> {
     gridtuner_par::env_thread_override().map_err(EngineError::from)
 }
 
+/// Thread diagnostics for front doors: `(ceiling, live)` — the effective
+/// worker ceiling (`GRIDTUNER_THREADS` or detected parallelism) and the
+/// number of pool workers actually parked right now. The live count is
+/// what an operator should trust: the pool spawns lazily, so `live`
+/// stays 0 until the first parallel dispatch and never exceeds
+/// `ceiling - 1` (the dispatching thread participates itself).
+pub fn thread_diagnostics() -> (usize, usize) {
+    (gridtuner_par::max_threads(), gridtuner_par::pool_workers())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

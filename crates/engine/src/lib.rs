@@ -33,7 +33,7 @@ pub mod session;
 pub mod stage;
 
 pub use config::{EngineConfig, EngineConfigBuilder};
-pub use error::{thread_override, EngineError};
+pub use error::{thread_diagnostics, thread_override, EngineError};
 pub use session::{IngestReport, TuneReport, TuningSession};
 pub use stage::{StageKind, StageRecord};
 

@@ -79,6 +79,22 @@ pub struct TuneReport {
     /// zero-allocation claim made measurable (delta of
     /// `expr.workspace_bytes`; steady-state sweeps add nothing).
     pub expr_workspace_bytes: u64,
+    /// Worker threads the persistent pool spawned during this tune (delta
+    /// of `par.pool_spawns`). Zero once the pool is warm — the counter a
+    /// bench asserts stays flat across a 73-probe sweep.
+    pub par_pool_spawns: u64,
+    /// Jobs dispatched to the persistent pool during this tune (delta of
+    /// `par.dispatches`). Nested reductions run inline, so a parallel
+    /// probe sweep counts one dispatch, not one per probe.
+    pub par_dispatches: u64,
+    /// Milliseconds pool participants spent idle at dispatch barriers
+    /// during this tune (delta of `par.worker_idle_ms`; recorded only
+    /// while observability is enabled).
+    pub par_worker_idle_ms: u64,
+    /// Times a sharded pmf-memo lock actually blocked during this tune
+    /// (delta of `pmf_memo.lock_waits`). Warm-path lookups are lock-free
+    /// via the workspace L1, so this should stay near zero.
+    pub pmf_lock_waits: u64,
 }
 
 /// Start-of-tune snapshot of the global expression-kernel counters, so the
@@ -89,6 +105,10 @@ struct ExprCounters {
     dedup_hits: u64,
     pmf_memo_hits: u64,
     workspace_bytes: u64,
+    pool_spawns: u64,
+    dispatches: u64,
+    worker_idle_ms: u64,
+    lock_waits: u64,
 }
 
 impl ExprCounters {
@@ -98,6 +118,10 @@ impl ExprCounters {
             dedup_hits: obs::counter!("expr.dedup_hits").get(),
             pmf_memo_hits: obs::counter!("expr.pmf_memo_hits").get(),
             workspace_bytes: obs::counter!("expr.workspace_bytes").get(),
+            pool_spawns: obs::counter!("par.pool_spawns").get(),
+            dispatches: obs::counter!("par.dispatches").get(),
+            worker_idle_ms: obs::counter!("par.worker_idle_ms").get(),
+            lock_waits: obs::counter!("pmf_memo.lock_waits").get(),
         }
     }
 
@@ -108,7 +132,57 @@ impl ExprCounters {
             dedup_hits: now.dedup_hits.saturating_sub(self.dedup_hits),
             pmf_memo_hits: now.pmf_memo_hits.saturating_sub(self.pmf_memo_hits),
             workspace_bytes: now.workspace_bytes.saturating_sub(self.workspace_bytes),
+            pool_spawns: now.pool_spawns.saturating_sub(self.pool_spawns),
+            dispatches: now.dispatches.saturating_sub(self.dispatches),
+            worker_idle_ms: now.worker_idle_ms.saturating_sub(self.worker_idle_ms),
+            lock_waits: now.lock_waits.saturating_sub(self.lock_waits),
         }
+    }
+}
+
+/// Runs `search` with a pipeline thread warming the α-derivation memo one
+/// probe ahead: while the main path evaluates `expression_error` for probe
+/// `k`, the prefetcher drives `alpha.derive` for probes `k+1, k+2, …`.
+/// [`AlphaFieldCache::alpha`] is a pure, memoised derivation, so warming
+/// it cannot change any bit of any probe — the sequential fallback
+/// (`pipeline: false`) produces identical results, which the testkit pins.
+/// Only worthwhile when the probe schedule is known up front (brute
+/// force); adaptive searches skip it.
+fn with_alpha_prefetch<T>(
+    cache: &AlphaFieldCache,
+    budget: u32,
+    sides: std::ops::RangeInclusive<u32>,
+    enabled: bool,
+    search: impl FnOnce() -> T,
+) -> T {
+    if !enabled || gridtuner_par::max_threads() <= 1 {
+        return search();
+    }
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            for side in sides {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                obs::counter!("engine.prefetched_alphas").inc();
+                let _ = cache.alpha(Partition::for_budget(side, budget).hgrid_spec());
+            }
+        });
+        let out = search();
+        stop.store(true, Ordering::Relaxed);
+        out
+    })
+}
+
+/// Renders a worker panic payload for [`EngineError::Internal`].
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
     }
 }
 
@@ -316,13 +390,30 @@ impl<S: ModelErrorSource> TuningSession<S> {
                 );
                 Ok(total)
             };
-            match strategy {
+            // Only brute force has a schedule known up front to prefetch
+            // against; adaptive searches run unpipelined.
+            let prefetch = self.config.pipeline && matches!(strategy, SearchStrategy::BruteForce);
+            let search = move || match strategy {
                 SearchStrategy::BruteForce => try_brute_force(&mut probe, lo, hi),
                 SearchStrategy::Ternary => try_ternary_search(&mut probe, lo, hi),
                 SearchStrategy::Iterative { init, bound } => {
                     try_iterative_method(&mut probe, lo, hi, init, bound)
                 }
-            }?
+            };
+            // A panic below (a worker's, re-raised on this thread, or the
+            // probe's own) must surface as a typed Internal error, not
+            // tear down the caller.
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                with_alpha_prefetch(cache, budget, lo..=hi, prefetch, search)
+            })) {
+                Ok(result) => result?,
+                Err(payload) => {
+                    return Err(EngineError::Internal(format!(
+                        "tune worker panicked: {}",
+                        panic_message(payload.as_ref())
+                    )))
+                }
+            }
         };
         self.report(outcome, memo_hits, expr_base.delta_since())
     }
@@ -376,6 +467,10 @@ impl<S: ModelErrorSource> TuningSession<S> {
             expr_dedup_hits: expr.dedup_hits,
             expr_pmf_memo_hits: expr.pmf_memo_hits,
             expr_workspace_bytes: expr.workspace_bytes,
+            par_pool_spawns: expr.pool_spawns,
+            par_dispatches: expr.dispatches,
+            par_worker_idle_ms: expr.worker_idle_ms,
+            pmf_lock_waits: expr.lock_waits,
         };
         self.stages.push(StageRecord::new(
             StageKind::Report,
@@ -445,7 +540,23 @@ impl<S: SyncModelErrorSource> TuningSession<S> {
                 );
                 Ok(total)
             };
-            try_brute_force_parallel(&probe, lo, hi)?
+            // Same pipeline + containment as the sequential path: the
+            // prefetcher keeps the α memo one probe ahead of the sweep,
+            // and a worker panic (re-raised on this thread by the pool
+            // dispatcher) becomes a typed Internal error.
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                with_alpha_prefetch(cache, budget, lo..=hi, self.config.pipeline, || {
+                    try_brute_force_parallel(&probe, lo, hi)
+                })
+            })) {
+                Ok(result) => result?,
+                Err(payload) => {
+                    return Err(EngineError::Internal(format!(
+                        "tune worker panicked: {}",
+                        panic_message(payload.as_ref())
+                    )))
+                }
+            }
         };
         let hits = memo_hits.load(Ordering::Relaxed);
         self.report_sync(outcome, hits, expr_base.delta_since())
@@ -478,6 +589,10 @@ impl<S: SyncModelErrorSource> TuningSession<S> {
             expr_dedup_hits: expr.dedup_hits,
             expr_pmf_memo_hits: expr.pmf_memo_hits,
             expr_workspace_bytes: expr.workspace_bytes,
+            par_pool_spawns: expr.pool_spawns,
+            par_dispatches: expr.dispatches,
+            par_worker_idle_ms: expr.worker_idle_ms,
+            pmf_lock_waits: expr.lock_waits,
         };
         self.stages.push(StageRecord::new(
             StageKind::Report,

@@ -1,30 +1,47 @@
-//! Dependency-free data parallelism on `std::thread::scope`.
+//! Dependency-free data parallelism on a lazily-started **persistent
+//! worker pool** (see [`pool`] internals in `pool.rs`).
 //!
 //! Every helper here follows the same contract:
 //!
-//! * work is split into **contiguous chunks** whose boundaries depend only
-//!   on the input length — never on the worker count;
+//! * work is split into **contiguous tasks** whose boundaries depend only
+//!   on the input length — never on the worker count or on which thread
+//!   claims which task;
 //! * results are stitched back together **in input order**, so reductions
 //!   are deterministic — the same inputs give **bit-identical** outputs
 //!   regardless of the worker count (each output element is still computed
-//!   by exactly one `f` call, and partial sums are combined in chunk
+//!   by exactly one `f` call, and partial sums are combined in task/block
 //!   order, which fixes the floating-point association);
 //! * with one worker (or tiny inputs) everything runs inline on the
-//!   calling thread — no spawn, no overhead, and the exact same chunked
+//!   calling thread — no dispatch, no overhead, and the exact same chunked
 //!   association as the parallel path.
+//!
+//! Unlike the first-generation `std::thread::scope` implementation, the
+//! pool spawns its workers once and parks them between dispatches
+//! (`par.pool_spawns` stays flat across a whole tune; `par.dispatches`
+//! counts the jobs served). Tasks are claimed dynamically from a shared
+//! cursor, so uneven tasks load-balance without affecting any result, and
+//! nested calls (a parallel probe sweep whose probes each run a parallel
+//! sum) flatten to one coarse dispatch: the inner call runs inline on
+//! whichever thread claimed the outer task.
 //!
 //! The worker count comes from [`max_threads`]: the `GRIDTUNER_THREADS`
 //! environment variable when set (clamped to ≥ 1), otherwise
 //! [`std::thread::available_parallelism`]. Harnesses can override it
-//! in-process with [`set_max_threads`].
+//! in-process with [`set_max_threads`]; [`pool_workers`] reports how many
+//! worker threads the pool has actually spawned.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+mod pool;
+
+pub use pool::pool_workers;
 
 use gridtuner_obs as obs;
-use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::time::Instant;
 
-/// Inputs below this size are always processed inline: spawn overhead
-/// (~10 µs/thread) dwarfs the work.
+/// Inputs below this size are always processed inline: dispatch overhead
+/// dwarfs the work.
 const MIN_ITEMS_PER_THREAD: usize = 2;
 
 /// Fixed reduction granularity for [`par_sum`]/[`par_sum_with`]: items are
@@ -40,6 +57,12 @@ pub const SUM_BLOCK: usize = 64;
 /// at `ACC_CHUNKS × len` floats while keeping the chunk boundaries (and so
 /// the combine association) a function of the input length only.
 const ACC_CHUNKS: usize = 8;
+
+/// Target tasks per worker on a dispatch. Oversubscribing the task queue
+/// lets the dynamic claim cursor load-balance uneven tasks (probe cost
+/// grows steeply with lattice side) — task boundaries still depend only on
+/// the input length, so results cannot move.
+const TASKS_PER_WORKER: usize = 4;
 
 /// Cached worker-pool size (0 = not resolved yet).
 static CACHED_THREADS: AtomicUsize = AtomicUsize::new(0);
@@ -100,8 +123,10 @@ fn env_threads() -> Option<usize> {
     }
 }
 
-/// The worker-pool size: `GRIDTUNER_THREADS` if set, else the machine's
-/// available parallelism (1 if that cannot be determined).
+/// The worker-budget per dispatch: `GRIDTUNER_THREADS` if set, else the
+/// machine's available parallelism (1 if that cannot be determined). Note
+/// this is the *configured* budget; [`pool_workers`] reports how many
+/// worker threads actually exist.
 pub fn max_threads() -> usize {
     // Cache the lookup: env + syscall once per process.
     let cached = CACHED_THREADS.load(Ordering::Relaxed);
@@ -117,12 +142,14 @@ pub fn max_threads() -> usize {
     n
 }
 
-/// Overrides the worker-pool size for the rest of the process (clamped to
+/// Overrides the worker budget for the rest of the process (clamped to
 /// ≥ 1), taking precedence over `GRIDTUNER_THREADS` and the detected
-/// parallelism. Chunk boundaries never depend on the worker count, so
+/// parallelism. Task boundaries never depend on the worker count, so
 /// changing it mid-flight cannot change any result — this hook exists so
 /// determinism harnesses can prove exactly that, and so benchmarks can
-/// sweep thread counts without re-spawning the process.
+/// sweep thread counts without re-spawning the process. Already-spawned
+/// pool workers are kept parked (never killed); lowering the budget just
+/// leaves them idle.
 pub fn set_max_threads(n: usize) {
     CACHED_THREADS.store(n.max(1), Ordering::Relaxed);
 }
@@ -134,54 +161,17 @@ pub fn workers_for(len: usize) -> usize {
     max_threads().min(len / MIN_ITEMS_PER_THREAD).max(1)
 }
 
-/// Pool-utilization observability for one fan-out job. Counters
-/// (`par.jobs`, `par.items`) are always live; the timing legs
-/// (`par.wall_ns`, `par.busy_ns`, `par.idle_ns`, the `par.worker_items`
-/// histogram) only run while recording is enabled, so the disabled hot
-/// path pays two relaxed increments and one atomic load per job.
-struct JobObs {
-    timed: bool,
-    started: Instant,
-    busy_ns: AtomicU64,
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-impl JobObs {
-    fn start(items: usize) -> JobObs {
-        obs::counter!("par.jobs").inc();
-        obs::counter!("par.items").add(items as u64);
-        JobObs {
-            timed: obs::enabled(),
-            started: Instant::now(),
-            busy_ns: AtomicU64::new(0),
-        }
-    }
-
-    /// Runs one worker's chunk, accounting its busy time and chunk size.
-    fn worker<T>(&self, items: usize, f: impl FnOnce() -> T) -> T {
-        if !self.timed {
-            return f();
-        }
-        obs::histogram!("par.worker_items", obs::metrics::COUNT_BOUNDS).observe(items as f64);
-        let t = Instant::now();
-        let out = f();
-        self.busy_ns
-            .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        out
-    }
-
-    /// Closes the job: wall time, total busy time, and the idle remainder
-    /// (`workers × wall − busy` — time workers spent waiting at the
-    /// scope's implicit join while siblings finished).
-    fn finish(self, workers: usize) {
-        if !self.timed {
-            return;
-        }
-        let wall = self.started.elapsed().as_nanos() as u64;
-        let busy = self.busy_ns.load(Ordering::Relaxed);
-        obs::counter!("par.wall_ns").add(wall);
-        obs::counter!("par.busy_ns").add(busy);
-        obs::counter!("par.idle_ns").add((wall * workers as u64).saturating_sub(busy));
-    }
+/// Task layout for a dispatch: (`chunk` items per task, task count).
+/// Depends only on the input length and the worker budget's *target* —
+/// and because every task's output is recombined in task order, even the
+/// budget only affects granularity, never values.
+fn task_layout(len: usize, workers: usize) -> (usize, usize) {
+    let chunk = len.div_ceil(workers * TASKS_PER_WORKER).max(1);
+    (chunk, len.div_ceil(chunk))
 }
 
 /// Parallel ordered map: `out[i] == f(&items[i])` for every `i`, exactly as
@@ -191,29 +181,18 @@ pub fn par_map<T: Sync, U: Send>(items: &[T], f: impl Fn(&T) -> U + Sync) -> Vec
     if workers <= 1 {
         return items.iter().map(f).collect();
     }
-    let chunk = items.len().div_ceil(workers);
-    let job = JobObs::start(items.len());
-    let mut parts: Vec<Vec<U>> = Vec::with_capacity(workers);
-    let mut spawned = 0;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = items
-            .chunks(chunk)
-            .map(|slice| {
-                let (f, job) = (&f, &job);
-                scope.spawn(move || {
-                    job.worker(slice.len(), || slice.iter().map(f).collect::<Vec<U>>())
-                })
-            })
-            .collect();
-        spawned = handles.len();
-        for h in handles {
-            parts.push(h.join().expect("par_map worker panicked"));
+    let (chunk, n_tasks) = task_layout(items.len(), workers);
+    let parts: Vec<Mutex<Vec<U>>> = (0..n_tasks).map(|_| Mutex::new(Vec::new())).collect();
+    pool::run(n_tasks, workers, items.len(), &|pop| {
+        while let Some(t) = pop() {
+            let slice = &items[t * chunk..((t + 1) * chunk).min(items.len())];
+            let mapped: Vec<U> = slice.iter().map(&f).collect();
+            *lock_unpoisoned(&parts[t]) = mapped;
         }
     });
-    job.finish(spawned);
     let mut out = Vec::with_capacity(items.len());
     for p in parts {
-        out.extend(p);
+        out.append(&mut p.into_inner().unwrap_or_else(PoisonError::into_inner));
     }
     out
 }
@@ -225,37 +204,23 @@ pub fn par_map_indexed<T: Sync, U: Send>(items: &[T], f: impl Fn(usize, &T) -> U
     if workers <= 1 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
-    let chunk = items.len().div_ceil(workers);
-    let job = JobObs::start(items.len());
-    let mut parts: Vec<Vec<U>> = Vec::with_capacity(workers);
-    let mut spawned = 0;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = items
-            .chunks(chunk)
-            .enumerate()
-            .map(|(c, slice)| {
-                let base = c * chunk;
-                let (f, job) = (&f, &job);
-                scope.spawn(move || {
-                    job.worker(slice.len(), || {
-                        slice
-                            .iter()
-                            .enumerate()
-                            .map(|(i, t)| f(base + i, t))
-                            .collect::<Vec<U>>()
-                    })
-                })
-            })
-            .collect();
-        spawned = handles.len();
-        for h in handles {
-            parts.push(h.join().expect("par_map_indexed worker panicked"));
+    let (chunk, n_tasks) = task_layout(items.len(), workers);
+    let parts: Vec<Mutex<Vec<U>>> = (0..n_tasks).map(|_| Mutex::new(Vec::new())).collect();
+    pool::run(n_tasks, workers, items.len(), &|pop| {
+        while let Some(t) = pop() {
+            let base = t * chunk;
+            let slice = &items[base..(base + chunk).min(items.len())];
+            let mapped: Vec<U> = slice
+                .iter()
+                .enumerate()
+                .map(|(i, item)| f(base + i, item))
+                .collect();
+            *lock_unpoisoned(&parts[t]) = mapped;
         }
     });
-    job.finish(spawned);
     let mut out = Vec::with_capacity(items.len());
     for p in parts {
-        out.extend(p);
+        out.append(&mut p.into_inner().unwrap_or_else(PoisonError::into_inner));
     }
     out
 }
@@ -264,65 +229,69 @@ pub fn par_map_indexed<T: Sync, U: Send>(items: &[T], f: impl Fn(usize, &T) -> U
 /// [`SUM_BLOCK`] elements (each block summed left to right), and the
 /// partials are added in block order. The blocking depends only on
 /// `items.len()`, so the floating-point association is fixed: sequential
-/// and parallel runs agree **bit-for-bit for every worker count**. Workers
-/// each own a contiguous range of blocks.
+/// and parallel runs agree **bit-for-bit for every worker count**.
 pub fn par_sum<T: Sync>(items: &[T], f: impl Fn(&T) -> f64 + Sync) -> f64 {
     par_sum_with(items, || (), |_, t| f(t))
 }
 
-/// [`par_sum`] with worker-local state: `init` builds one state per worker
-/// (one total on the inline path), and `f` receives it mutably alongside
-/// each item. The blocking, the per-block left-to-right fold and the
-/// block-order reduction are exactly [`par_sum`]'s, so the sum is
-/// bit-identical for every worker count **provided `f`'s return value does
-/// not depend on the state's history** — the state is for scratch buffers
-/// and local counters (the batched expression-error workspace), not for
-/// carrying numeric results between items.
+/// [`par_sum`] with worker-local state: `init` builds one state per
+/// participating thread (one total on the inline path), and `f` receives
+/// it mutably alongside each item. The blocking, the per-block
+/// left-to-right fold and the block-order reduction are exactly
+/// [`par_sum`]'s, so the sum is bit-identical for every worker count
+/// **provided `f`'s return value does not depend on the state's history**
+/// — the state is for scratch buffers and local counters (the batched
+/// expression-error workspace), not for carrying numeric results between
+/// items.
 pub fn par_sum_with<T: Sync, S>(
     items: &[T],
     init: impl Fn() -> S + Sync,
     f: impl Fn(&mut S, &T) -> f64 + Sync,
 ) -> f64 {
     let n_blocks = items.len().div_ceil(SUM_BLOCK).max(1);
-    let mut partials = vec![0.0f64; n_blocks];
     let workers = workers_for(items.len()).min(n_blocks);
     if workers <= 1 {
         let mut state = init();
-        for (block, out) in items.chunks(SUM_BLOCK).zip(partials.iter_mut()) {
+        let mut total = 0.0f64;
+        for block in items.chunks(SUM_BLOCK.max(1)) {
             let mut p = 0.0;
             for t in block {
                 p += f(&mut state, t);
             }
-            *out = p;
+            total += p;
         }
-    } else {
-        let blocks_per = n_blocks.div_ceil(workers);
-        let job = JobObs::start(items.len());
-        let mut spawned = 0;
-        std::thread::scope(|scope| {
-            for (w, outs) in partials.chunks_mut(blocks_per).enumerate() {
-                let (init, f, job) = (&init, &f, &job);
-                let start = w * blocks_per * SUM_BLOCK;
-                let end = (start + outs.len() * SUM_BLOCK).min(items.len());
-                let slice = &items[start..end];
-                spawned += 1;
-                scope.spawn(move || {
-                    job.worker(slice.len(), || {
-                        let mut state = init();
-                        for (block, out) in slice.chunks(SUM_BLOCK).zip(outs.iter_mut()) {
-                            let mut p = 0.0;
-                            for t in block {
-                                p += f(&mut state, t);
-                            }
-                            *out = p;
-                        }
-                    })
-                });
-            }
-        });
-        job.finish(spawned);
+        return total;
     }
-    partials.iter().sum()
+    // A task is a contiguous run of blocks; block partials are collected
+    // per task and added back in global block order.
+    let blocks_per_task = n_blocks.div_ceil(workers * TASKS_PER_WORKER).max(1);
+    let n_tasks = n_blocks.div_ceil(blocks_per_task);
+    let parts: Vec<Mutex<Vec<f64>>> = (0..n_tasks).map(|_| Mutex::new(Vec::new())).collect();
+    pool::run(n_tasks, workers, items.len(), &|pop| {
+        let mut state = init();
+        while let Some(t) = pop() {
+            let b0 = t * blocks_per_task;
+            let b1 = (b0 + blocks_per_task).min(n_blocks);
+            let start = b0 * SUM_BLOCK;
+            let end = (b1 * SUM_BLOCK).min(items.len());
+            let mut partials = Vec::with_capacity(b1 - b0);
+            for block in items[start..end].chunks(SUM_BLOCK) {
+                let mut p = 0.0;
+                for item in block {
+                    p += f(&mut state, item);
+                }
+                partials.push(p);
+            }
+            *lock_unpoisoned(&parts[t]) = partials;
+        }
+    });
+    let mut total = 0.0f64;
+    for p in parts {
+        for v in p.into_inner().unwrap_or_else(PoisonError::into_inner) {
+            total += v;
+        }
+    }
+    total
 }
 
 /// Parallel accumulation into an `f32` buffer of length `len`: `items` are
@@ -340,45 +309,33 @@ pub fn par_accumulate<T: Sync>(
 ) -> Vec<f32> {
     let chunk = items.len().div_ceil(ACC_CHUNKS).max(1);
     let n_chunks = items.len().div_ceil(chunk).max(1);
-    let mut partials: Vec<Vec<f32>> = vec![Vec::new(); n_chunks];
-    let fold = |c: usize, out: &mut Vec<f32>| {
+    let partials: Vec<Mutex<Vec<f32>>> = (0..n_chunks).map(|_| Mutex::new(Vec::new())).collect();
+    let fold = |c: usize| {
         let slice = &items[c * chunk..((c + 1) * chunk).min(items.len())];
         let mut buf = vec![0.0f32; len];
         for (i, t) in slice.iter().enumerate() {
             f(c * chunk + i, t, &mut buf);
         }
-        *out = buf;
+        *lock_unpoisoned(&partials[c]) = buf;
     };
     let workers = workers_for(items.len()).min(n_chunks);
     if workers <= 1 {
-        for (c, out) in partials.iter_mut().enumerate() {
-            fold(c, out);
+        for c in 0..n_chunks {
+            fold(c);
         }
     } else {
-        let chunks_per = n_chunks.div_ceil(workers);
-        let job = JobObs::start(items.len());
-        let mut spawned = 0;
-        std::thread::scope(|scope| {
-            for (w, outs) in partials.chunks_mut(chunks_per).enumerate() {
-                let (fold, job) = (&fold, &job);
-                spawned += 1;
-                let first_item = w * chunks_per * chunk;
-                let owned =
-                    ((first_item + outs.len() * chunk).min(items.len())).saturating_sub(first_item);
-                scope.spawn(move || {
-                    job.worker(owned, || {
-                        for (j, out) in outs.iter_mut().enumerate() {
-                            fold(w * chunks_per + j, out);
-                        }
-                    })
-                });
+        pool::run(n_chunks, workers, items.len(), &|pop| {
+            while let Some(c) = pop() {
+                fold(c);
             }
         });
-        job.finish(spawned);
     }
     let mut acc = vec![0.0f32; len];
-    for p in &partials {
-        for (a, v) in acc.iter_mut().zip(p) {
+    for p in partials {
+        for (a, v) in acc
+            .iter_mut()
+            .zip(p.into_inner().unwrap_or_else(PoisonError::into_inner))
+        {
             *a += v;
         }
     }
@@ -391,27 +348,47 @@ pub fn par_accumulate<T: Sync>(
 /// depends only on its own index.
 pub fn par_chunks_mut<T: Send>(out: &mut [T], chunk: usize, f: impl Fn(usize, &mut [T]) + Sync) {
     assert!(chunk > 0, "chunk size must be positive");
-    let n_chunks = out.len().div_ceil(chunk.max(1)).max(1);
+    let n_chunks = out.len().div_ceil(chunk).max(1);
     if max_threads() <= 1 || n_chunks <= 1 {
         for (c, slice) in out.chunks_mut(chunk).enumerate() {
             f(c * chunk, slice);
         }
         return;
     }
-    let job = JobObs::start(out.len());
-    let mut spawned = 0;
-    std::thread::scope(|scope| {
-        for (c, slice) in out.chunks_mut(chunk).enumerate() {
-            let (f, job) = (&f, &job);
-            spawned += 1;
-            scope.spawn(move || {
-                let len = slice.len();
-                job.worker(len, || f(c * chunk, slice))
-            });
+    let len = out.len();
+    let base = SendPtr(out.as_mut_ptr());
+    pool::run(n_chunks, max_threads().min(n_chunks), len, &|pop| {
+        // Borrow the whole wrapper (not just the raw-pointer field) so
+        // the closure stays `Sync` via `SendPtr`'s impl.
+        let base = &base;
+        while let Some(c) = pop() {
+            let start = c * chunk;
+            let end = (start + chunk).min(len);
+            // SAFETY: the pool hands out each task index exactly once and
+            // task ranges are disjoint, so no two threads alias a chunk;
+            // `out` is borrowed mutably for the whole dispatch.
+            let slice = unsafe { std::slice::from_raw_parts_mut(base.0.add(start), end - start) };
+            f(start, slice);
         }
     });
-    job.finish(spawned);
 }
+
+/// A raw pointer that may cross threads; soundness is argued at each use.
+struct SendPtr<T>(*mut T);
+
+// Manual impls: the derive would demand `T: Copy`, but copying the
+// pointer never copies the pointee.
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+// SAFETY: only used to reconstruct disjoint sub-slices of a single
+// mutably-borrowed slice, one per claimed task.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 #[cfg(test)]
 mod tests {
@@ -524,7 +501,7 @@ mod tests {
 
     #[test]
     fn reductions_are_worker_count_invariant() {
-        // The determinism contract: chunk boundaries depend only on input
+        // The determinism contract: task boundaries depend only on input
         // length, so sweeping the pool size may not move a single bit.
         // (Other tests in this binary run concurrently and may observe the
         // overridden pool size — harmless, for exactly this reason.)
@@ -556,5 +533,69 @@ mod tests {
         assert_eq!(workers_for(1), 1);
         assert!(workers_for(1_000_000) >= 1);
         assert!(workers_for(1_000_000) <= max_threads());
+    }
+
+    #[test]
+    fn pool_spawns_stay_flat_once_warm() {
+        // Warm the pool at the largest budget this binary uses, then
+        // hammer it: no dispatch after warmup may spawn another worker.
+        let saved = max_threads();
+        set_max_threads(8);
+        let items: Vec<f64> = (0..4_096).map(|i| i as f64 * 0.5).collect();
+        let _ = par_sum(&items, |&x| x.sqrt());
+        let warm_workers = pool_workers();
+        assert!(warm_workers >= 1, "pool never spawned");
+        for _ in 0..16 {
+            let _ = par_sum(&items, |&x| x.sqrt());
+            let _ = par_map(&items, |&x| x + 1.0);
+        }
+        assert_eq!(
+            pool_workers(),
+            warm_workers,
+            "pool spawned extra workers after warmup"
+        );
+        set_max_threads(saved);
+    }
+
+    #[test]
+    fn nested_dispatch_runs_inline_and_matches() {
+        // A par_map whose bodies call par_sum themselves: the inner call
+        // must flatten (inline on the claiming thread) and the combined
+        // result must match the fully-sequential computation bit for bit.
+        let saved = max_threads();
+        let rows: Vec<Vec<f64>> = (0..64)
+            .map(|r| {
+                (0..300)
+                    .map(|c| ((r * 300 + c) as f64 * 0.013).sin())
+                    .collect()
+            })
+            .collect();
+        set_max_threads(1);
+        let seq: Vec<u64> = rows
+            .iter()
+            .map(|row| par_sum(row, |&x| x * 1.25).to_bits())
+            .collect();
+        set_max_threads(8);
+        let nested: Vec<u64> = par_map(&rows, |row| par_sum(row, |&x| x * 1.25).to_bits());
+        set_max_threads(saved);
+        assert_eq!(seq, nested, "nested dispatch changed bits");
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let saved = max_threads();
+        set_max_threads(8);
+        let items: Vec<u64> = (0..10_000).collect();
+        let caught = std::panic::catch_unwind(|| {
+            par_map(&items, |&x| {
+                assert!(x != 4_321, "boom at {x}");
+                x
+            })
+        });
+        assert!(caught.is_err(), "worker panic was swallowed");
+        // The pool must still serve jobs afterwards.
+        let sum = par_sum(&items, |&x| x as f64);
+        assert_eq!(sum, (10_000.0f64 * 9_999.0) / 2.0);
+        set_max_threads(saved);
     }
 }

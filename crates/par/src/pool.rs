@@ -1,0 +1,356 @@
+//! The lazily-started persistent worker pool behind every `par_*`
+//! primitive.
+//!
+//! ## Why a pool
+//!
+//! The first generation of this crate spawned fresh `std::thread::scope`
+//! threads for every call. That is correct but scales backwards: a full
+//! tune issues hundreds of reductions, each paying ~10 µs per spawned
+//! thread plus a join barrier, and nested calls (a parallel probe sweep
+//! whose probes each run a parallel sum) multiplied the overhead. The pool
+//! spawns workers **once**, parks them on a condvar, and reuses them for
+//! every dispatch in the process — `par.pool_spawns` stays flat across an
+//! entire 73-probe tune while `par.dispatches` counts the jobs they serve.
+//!
+//! ## Execution model
+//!
+//! A dispatch posts one **job** — a type-erased participant closure plus
+//! an atomic task cursor — under the pool's state lock, bumps the
+//! generation and wakes the parked workers. Every participating thread
+//! (the dispatcher itself plus up to `max_workers − 1` pool workers, gated
+//! by a ticket counter) claims task indices from the shared cursor and
+//! invokes the participant once; the participant drains indices until the
+//! cursor passes the end. Task *boundaries* are fixed by the caller from
+//! the input length alone; only the *assignment* of tasks to threads is
+//! dynamic. Because callers recombine per-task results in task order, the
+//! dynamic assignment load-balances uneven tasks without moving a single
+//! output bit.
+//!
+//! ## Fallbacks (all deterministic)
+//!
+//! A dispatch runs inline on the caller — same task boundaries, ascending
+//! task order — when the worker budget is 1, when the caller *is* a pool
+//! worker (nested dispatch from inside a job), or when another thread's
+//! dispatch currently owns the pool. Nested parallelism therefore
+//! flattens: a probe sweep dispatched across the pool runs its inner
+//! per-probe sums inline on whichever thread claimed the probe, which is
+//! exactly the coarse partitioning that amortizes synchronization.
+//!
+//! ## Panics
+//!
+//! A participant panic is caught on the thread that hit it, the first
+//! payload is stashed on the job, and the task cursor is jammed to the end
+//! so every other participant drains and retires. The dispatcher re-raises
+//! the payload after the last runner has left — a worker panic surfaces on
+//! the calling thread (and from there as `EngineError::Internal`) instead
+//! of hanging the pool or aborting the process. Workers themselves survive
+//! and return to the parked state.
+
+use gridtuner_obs as obs;
+use std::any::Any;
+use std::cell::Cell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError, TryLockError};
+use std::time::Instant;
+
+/// A participant drains task indices from `pop` until it returns `None`,
+/// running each claimed task exactly once. Invoked at most once per
+/// participating thread, so worker-local scratch state lives across all
+/// the tasks that thread claims.
+pub(crate) type Participant<'a> = dyn Fn(&mut dyn FnMut() -> Option<usize>) + Sync + 'a;
+
+/// One posted dispatch: the erased participant plus claim/retire
+/// accounting shared by every thread that serves it.
+struct Job {
+    /// Erased pointer to the dispatcher's participant closure.
+    ///
+    /// Only dereferenced after a successful task claim, and claims can
+    /// only succeed while the dispatcher is still blocked in
+    /// [`Pool::dispatch`] — see the safety comment there.
+    f: *const Participant<'static>,
+    tasks: usize,
+    /// Claim cursor: `fetch_add` hands out `0..tasks` exactly once each.
+    next: AtomicUsize,
+    /// Pool workers allowed to join (dispatcher participates for free).
+    tickets: AtomicUsize,
+    /// Threads currently inside [`Job::run_tasks`] (or about to claim).
+    runners: AtomicUsize,
+    /// Threads that claimed at least one task (for idle accounting).
+    participants: AtomicUsize,
+    busy_ns: AtomicU64,
+    /// First panic payload from any participant.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+// SAFETY: the raw participant pointer is only dereferenced while the
+// dispatcher keeps the referent alive (it blocks until all runners retire
+// and no further claim can succeed); all other fields are Sync.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    /// Claims the next task index, or `None` when the queue is drained
+    /// (including after a panic jammed the cursor).
+    fn claim(&self) -> Option<usize> {
+        let i = self.next.fetch_add(1, Ordering::SeqCst);
+        (i < self.tasks).then_some(i)
+    }
+
+    /// Runs tasks on the calling thread until the queue drains. The
+    /// participant closure is only touched after a successful first
+    /// claim, so a thread that arrives late does no work and never
+    /// dereferences a potentially-retired closure.
+    fn run_tasks(&self) {
+        let Some(first) = self.claim() else {
+            return;
+        };
+        self.participants.fetch_add(1, Ordering::Relaxed);
+        let timed = obs::enabled();
+        let started = Instant::now();
+        let mut pending = Some(first);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            let mut pop = || {
+                if let Some(i) = pending.take() {
+                    return Some(i);
+                }
+                self.claim()
+            };
+            // SAFETY: `first` was claimed, so the dispatcher is still
+            // blocked in `dispatch` and the closure is alive.
+            let f = unsafe { &*self.f };
+            f(&mut pop);
+        }));
+        if timed {
+            self.busy_ns
+                .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+        if let Err(payload) = result {
+            // Jam the cursor so every participant drains, then keep only
+            // the first payload for the dispatcher to re-raise.
+            self.next.fetch_max(self.tasks, Ordering::SeqCst);
+            let mut slot = lock_unpoisoned(&self.panic);
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+    }
+}
+
+struct PoolState {
+    /// The job currently being dispatched, if any.
+    job: Option<Arc<Job>>,
+    /// Bumped on every post; parked workers wake on a change.
+    generation: u64,
+    /// Workers spawned so far (they never exit).
+    spawned: usize,
+}
+
+struct Pool {
+    state: Mutex<PoolState>,
+    /// Workers park here waiting for a generation bump.
+    work_cv: Condvar,
+    /// The dispatcher parks here waiting for runners to retire.
+    done_cv: Condvar,
+    /// Serializes dispatches; a busy pool makes later callers run inline.
+    dispatch: Mutex<()>,
+}
+
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+thread_local! {
+    /// True on pool worker threads: nested dispatches run inline.
+    static IS_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        state: Mutex::new(PoolState {
+            job: None,
+            generation: 0,
+            spawned: 0,
+        }),
+        work_cv: Condvar::new(),
+        done_cv: Condvar::new(),
+        dispatch: Mutex::new(()),
+    })
+}
+
+impl Pool {
+    fn lock_state(&self) -> MutexGuard<'_, PoolState> {
+        lock_unpoisoned(&self.state)
+    }
+
+    /// Grows the pool to at least `n` parked workers. Spawn failure
+    /// degrades to fewer workers — the dispatcher always drains the queue
+    /// itself, so correctness never depends on the pool size.
+    fn ensure_spawned(&'static self, n: usize) {
+        let mut st = self.lock_state();
+        while st.spawned < n {
+            let name = format!("gridtuner-par-{}", st.spawned);
+            let spawned = std::thread::Builder::new()
+                .name(name)
+                .spawn(move || self.worker_loop());
+            if spawned.is_err() {
+                break;
+            }
+            st.spawned += 1;
+            obs::counter!("par.pool_spawns").inc();
+        }
+    }
+
+    fn worker_loop(&self) {
+        IS_WORKER.set(true);
+        // Force a first look at whatever job is already posted: workers
+        // are usually spawned mid-dispatch.
+        let mut seen = u64::MAX;
+        loop {
+            let job = {
+                let mut st = self.lock_state();
+                loop {
+                    if st.generation != seen {
+                        seen = st.generation;
+                        break st.job.clone();
+                    }
+                    st = self
+                        .work_cv
+                        .wait(st)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            };
+            let Some(job) = job else { continue };
+            if job
+                .tickets
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |t| t.checked_sub(1))
+                .is_ok()
+            {
+                self.participate(&job);
+            }
+        }
+    }
+
+    /// Registers as a runner, drains tasks, retires, and wakes the
+    /// dispatcher when it was the last runner out.
+    fn participate(&self, job: &Job) {
+        job.runners.fetch_add(1, Ordering::SeqCst);
+        job.run_tasks();
+        if job.runners.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Notify under the state lock so the dispatcher cannot miss
+            // the wakeup between its condition check and its wait.
+            let _st = self.lock_state();
+            self.done_cv.notify_all();
+        }
+    }
+}
+
+/// Sequential fallback: identical task boundaries, ascending task order.
+fn run_inline(tasks: usize, f: &Participant<'_>) {
+    let mut i = 0usize;
+    let mut pop = move || {
+        if i < tasks {
+            i += 1;
+            Some(i - 1)
+        } else {
+            None
+        }
+    };
+    f(&mut pop);
+}
+
+/// Executes `tasks` task indices via `f`, each exactly once, using up to
+/// `max_workers` threads (the caller included). `items` is the logical
+/// item count behind the tasks, recorded for utilization accounting.
+///
+/// Values must not depend on which thread ran which task — all `par_*`
+/// primitives guarantee this by fixing task boundaries from the input
+/// length and recombining per-task results in task order.
+pub(crate) fn run(tasks: usize, max_workers: usize, items: usize, f: &Participant<'_>) {
+    if tasks == 0 {
+        return;
+    }
+    obs::counter!("par.jobs").inc();
+    obs::counter!("par.items").add(items as u64);
+    if tasks <= 1 || max_workers <= 1 || IS_WORKER.get() {
+        return run_inline(tasks, f);
+    }
+    let pool = pool();
+    // One dispatch at a time: a caller that finds the pool busy (another
+    // thread's dispatch, or a nested call from the dispatcher itself)
+    // runs inline instead of queueing behind it.
+    let _dispatch = match pool.dispatch.try_lock() {
+        Ok(guard) => guard,
+        Err(TryLockError::Poisoned(p)) => p.into_inner(),
+        Err(TryLockError::WouldBlock) => return run_inline(tasks, f),
+    };
+    let budget = max_workers.min(tasks);
+    pool.ensure_spawned(budget - 1);
+    obs::counter!("par.dispatches").inc();
+    let timed = obs::enabled();
+    let started = Instant::now();
+    // SAFETY: lifetime erasure. The erased reference is only dereferenced
+    // by `Job::run_tasks` after a successful claim; claims can only
+    // succeed before this function returns (the wait below holds until
+    // the cursor has passed the end AND every runner has retired, and the
+    // job is unposted under the state lock before returning), so no
+    // thread touches `f` after it goes out of scope.
+    let erased: &Participant<'static> =
+        unsafe { std::mem::transmute::<&Participant<'_>, &Participant<'static>>(f) };
+    let job = Arc::new(Job {
+        f: erased as *const Participant<'static>,
+        tasks,
+        next: AtomicUsize::new(0),
+        tickets: AtomicUsize::new(budget - 1),
+        runners: AtomicUsize::new(0),
+        participants: AtomicUsize::new(0),
+        busy_ns: AtomicU64::new(0),
+        panic: Mutex::new(None),
+    });
+    {
+        let mut st = pool.lock_state();
+        st.job = Some(Arc::clone(&job));
+        st.generation = st.generation.wrapping_add(1);
+        pool.work_cv.notify_all();
+    }
+    // The dispatcher is a participant too — it drains alongside the pool.
+    pool.participate(&job);
+    {
+        let mut st = pool.lock_state();
+        while !(job.runners.load(Ordering::SeqCst) == 0 && job.next.load(Ordering::SeqCst) >= tasks)
+        {
+            st = pool
+                .done_cv
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        // Unpost so a late-waking worker finds nothing to claim and the
+        // erased reference cannot outlive this call.
+        if st.job.as_ref().is_some_and(|j| Arc::ptr_eq(j, &job)) {
+            st.job = None;
+        }
+    }
+    if timed {
+        let wall = started.elapsed().as_nanos() as u64;
+        let busy = job.busy_ns.load(Ordering::Relaxed);
+        let n = job.participants.load(Ordering::Relaxed).max(1) as u64;
+        let idle = (wall * n).saturating_sub(busy);
+        obs::counter!("par.wall_ns").add(wall);
+        obs::counter!("par.busy_ns").add(busy);
+        obs::counter!("par.idle_ns").add(idle);
+        obs::counter!("par.worker_idle_ms").add(idle / 1_000_000);
+    }
+    let payload = lock_unpoisoned(&job.panic).take();
+    if let Some(payload) = payload {
+        panic::resume_unwind(payload);
+    }
+}
+
+/// Number of live (parked or working) pool worker threads. Zero until the
+/// first real dispatch — the pool is lazy. This is the number env
+/// diagnostics should report: unlike `available_parallelism`, it reflects
+/// what `GRIDTUNER_THREADS` actually provisioned.
+pub fn pool_workers() -> usize {
+    pool().lock_state().spawned
+}
