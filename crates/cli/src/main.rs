@@ -42,6 +42,8 @@ commands:
   tune        find the optimal MGrid side for a city
               --city nyc|chengdu|xian  --scale F  --seed N
               --strategy brute|ternary|iterative  --budget SIDE  --range LO:HI
+              --bootstrap B  --bootstrap-seed S  (or GRIDTUNER_BOOTSTRAP[_SEED]):
+              B replicate tunes -> confidence set + stability verdict
   expression  expression error of one HGrid (alpha, rest-of-MGrid, m)
               --alpha F  --rest F  --m N  [--k N: fixed-K Algorithm 2]
   generate    stream one day of trip records as TSV
@@ -107,12 +109,31 @@ impl From<gridtuner::datagen::UnknownCity> for CliError {
 
 fn cmd_tune(a: &Args) -> Result<(), CliError> {
     a.expect_only(&[
-        "city", "scale", "seed", "strategy", "budget", "range", "trace", "report",
+        "city",
+        "scale",
+        "seed",
+        "strategy",
+        "budget",
+        "range",
+        "bootstrap",
+        "bootstrap-seed",
+        "trace",
+        "report",
     ])?;
     let city = City::by_name(&a.str_or("city", "xian"))?.scaled(a.get_or("scale", 0.05)?);
     let seed: u64 = a.get_or("seed", 2022u64)?;
     let budget: u32 = a.get_or("budget", 64u32)?;
     let range = a.range_or("range", (2, 24))?;
+    // Bootstrap knobs: flags first, validated env overrides second (a
+    // malformed GRIDTUNER_BOOTSTRAP[_SEED] is exit 5, not a default).
+    let bootstrap: u32 = match a.has("bootstrap") {
+        true => a.get_or("bootstrap", 0u32)?,
+        false => gridtuner::engine::env_bootstrap_replicates()?.unwrap_or(0),
+    };
+    let boot_seed: u64 = match a.has("bootstrap-seed") {
+        true => a.get_or("bootstrap-seed", seed)?,
+        false => gridtuner::engine::env_bootstrap_seed()?.unwrap_or(seed),
+    };
     let strategy = match a.str_or("strategy", "iterative").as_str() {
         "brute" => SearchStrategy::BruteForce,
         "ternary" => SearchStrategy::Ternary,
@@ -138,13 +159,16 @@ fn cmd_tune(a: &Args) -> Result<(), CliError> {
         Box::new(HistoricalAverage::new()) as Box<dyn Predictor>
     })
     .with_max_eval_slots(24);
-    let config = EngineConfig::builder()
+    let mut builder = EngineConfig::builder()
         .hgrid_budget_side(budget)
         .side_range(range.0, range.1)
         .strategy(strategy)
         .alpha_window(AlphaWindow::default())
-        .clock(*city.clock())
-        .build()?;
+        .clock(*city.clock());
+    if bootstrap > 0 {
+        builder = builder.bootstrap(bootstrap, boot_seed);
+    }
+    let config = builder.build()?;
     let mut session = TuningSession::new(config, model)?;
     session.ingest(&events)?;
     let result = session.tune()?;
@@ -163,6 +187,21 @@ fn cmd_tune(a: &Args) -> Result<(), CliError> {
         result.partition.m(),
         result.partition.hgrid_spec().side()
     );
+    if let Some(unc) = &result.uncertainty {
+        let set: Vec<String> = unc.confidence_set.iter().map(u32::to_string).collect();
+        println!(
+            "bootstrap\tB={} seed={} cache_hits={}",
+            unc.replicates, unc.seed, unc.cache_hits
+        );
+        println!("confidence_set\t{{{}}}", set.join(","));
+        println!("stability\t{}", unc.verdict);
+        if unc.verdict != gridtuner::engine::StabilityVerdict::Stable {
+            eprintln!(
+                "warning: side {} is {} under resampling ({} distinct argmins over {} replicates)",
+                unc.point_side, unc.verdict, unc.distinct_argmins, unc.replicates
+            );
+        }
+    }
     Ok(())
 }
 

@@ -55,10 +55,13 @@ pub struct AlphaFieldCache {
     /// Cross-probe Poisson-table cache for the batched expression-error
     /// kernel. A pure function of the rate, so it survives [`append`]
     /// (unlike the derived-field memo) and incremental re-tunes inherit a
-    /// warm cache.
+    /// warm cache. Held behind an `Arc` so sibling caches — e.g. the
+    /// bootstrap-replicate caches of the uncertainty stage — can share
+    /// one warm memo: sharing is bit-invisible because hit and miss
+    /// paths produce identical tables.
     ///
     /// [`append`]: AlphaFieldCache::append
-    pmf_memo: PmfMemo,
+    pmf_memo: Arc<PmfMemo>,
 }
 
 /// Marks which global slots a window matches, for O(1) membership checks
@@ -82,6 +85,20 @@ fn matching_slots(days: &[u32], clock: &SlotClock, window: &AlphaWindow) -> Vec<
 impl AlphaFieldCache {
     /// Builds the cache with a single pass over `events`.
     pub fn new(events: &[Event], clock: &SlotClock, window: &AlphaWindow) -> Self {
+        Self::with_shared_pmf(events, clock, window, Arc::new(PmfMemo::default()))
+    }
+
+    /// Builds the cache sharing an existing Poisson-table memo instead of
+    /// starting a cold one — the bootstrap-replicate path, where every
+    /// replicate's rates heavily overlap the point-estimate tune's.
+    /// Bit-invisible relative to [`new`](Self::new): memo entries are a
+    /// pure function of the rate.
+    pub fn with_shared_pmf(
+        events: &[Event],
+        clock: &SlotClock,
+        window: &AlphaWindow,
+        pmf_memo: Arc<PmfMemo>,
+    ) -> Self {
         let _scan = obs::span!("alpha.scan", events = events.len());
         obs::counter!("alpha.rescans").inc();
         let days = window.days(clock);
@@ -105,7 +122,7 @@ impl AlphaFieldCache {
             derived: Mutex::new(HashMap::new()),
             full_scans,
             delta_scans: obs::metrics::Counter::new(),
-            pmf_memo: PmfMemo::default(),
+            pmf_memo,
         }
     }
 
@@ -185,12 +202,18 @@ impl AlphaFieldCache {
     /// entries depend only on the rate).
     pub fn expression_error(&self, partition: &Partition) -> Result<f64, CoreError> {
         let alpha = self.alpha(partition.hgrid_spec());
-        try_total_expression_error(&alpha, partition, Some(&self.pmf_memo))
+        try_total_expression_error(&alpha, partition, Some(&*self.pmf_memo))
     }
 
     /// The cross-probe Poisson-table cache.
     pub fn pmf_memo(&self) -> &PmfMemo {
         &self.pmf_memo
+    }
+
+    /// A shareable handle to the Poisson-table cache, for building sibling
+    /// caches via [`with_shared_pmf`](Self::with_shared_pmf).
+    pub fn shared_pmf(&self) -> Arc<PmfMemo> {
+        Arc::clone(&self.pmf_memo)
     }
 
     fn derive(&self, spec: GridSpec) -> CountMatrix {
@@ -440,6 +463,23 @@ mod tests {
             cache.expression_error(&part).unwrap().to_bits(),
             rebuilt.expression_error(&part).unwrap().to_bits()
         );
+    }
+
+    #[test]
+    fn shared_pmf_is_bit_invisible() {
+        use gridtuner_spatial::Partition;
+        let events = scattered_events(300, 4);
+        let c = clock();
+        let w = window(4);
+        let cold = AlphaFieldCache::new(&events, &c, &w);
+        let part = Partition::for_budget(5, 16);
+        let cold_err = cold.expression_error(&part).unwrap();
+        // A sibling sharing the (now warm) memo must produce the same
+        // bits it would have produced with a cold memo of its own.
+        let sibling = AlphaFieldCache::with_shared_pmf(&events, &c, &w, cold.shared_pmf());
+        assert!(Arc::ptr_eq(&cold.shared_pmf(), &sibling.shared_pmf()));
+        let warm_err = sibling.expression_error(&part).unwrap();
+        assert_eq!(cold_err.to_bits(), warm_err.to_bits());
     }
 
     #[test]

@@ -26,6 +26,8 @@
 //!   picking the HGrid budget `N` (Theorem III.1);
 //! * [`errors`] — empirical estimators of real/model/expression error from
 //!   prediction–actual pairs (Definitions 3–5);
+//! * [`resample`] — seeded splitmix64 bootstrap resampling of the event
+//!   log, feeding the engine's uncertainty stage;
 //! * [`upper_bound`] — Algorithm 3 (`UpperBound(n, N, X, Model)`);
 //! * [`search`] — Brute-force, Ternary Search (Algorithm 4) and the
 //!   Iterative Method (Algorithm 5) over the upper bound;
@@ -44,6 +46,7 @@ pub mod expression;
 pub mod kselect;
 pub mod metrics;
 pub mod poisson;
+pub mod resample;
 pub mod search;
 pub mod tuner;
 pub mod upper_bound;
@@ -61,6 +64,7 @@ pub use expression::{
     try_total_expression_error,
 };
 pub use kselect::{recommended_k, truncation_error_bound};
+pub use resample::{replicate_seed, resample_events, splitmix64, ReplicateRng};
 pub use search::{
     brute_force, brute_force_parallel, iterative_method, ternary_search, try_brute_force,
     try_brute_force_parallel, try_iterative_method, try_ternary_search, ErrorOracle, MemoOracle,

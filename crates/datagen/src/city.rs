@@ -19,7 +19,7 @@
 //! NYC*; Fig. 10 and Appendix B establish the unevenness ordering we use).
 
 use crate::intensity::IntensityField;
-use crate::sampling::sample_poisson;
+use crate::sampling::sample_negative_binomial;
 use crate::temporal::TemporalProfile;
 use gridtuner_spatial::{
     CountMatrix, CountSeries, Event, GeoBounds, GridSpec, Point, SlotClock, SlotId,
@@ -56,6 +56,16 @@ impl DataSplit {
 }
 
 /// A synthetic city: where and when events happen, and how many.
+///
+/// Two misspecification knobs (both off by default, and bit-identical to
+/// the plain Poisson/stationary path when off) let the robustness harness
+/// break the tuner's modeling assumptions on purpose:
+///
+/// * [`City::with_overdispersion`] — counts become negative binomial with
+///   `Var = μ + φ·μ²` instead of Poisson;
+/// * [`City::with_drift`] — hotspots translate by a fixed vector per day,
+///   so the sampled events diverge from the stationary
+///   [`City::mean_field`] as the horizon grows.
 #[derive(Debug, Clone, PartialEq)]
 pub struct City {
     name: String,
@@ -64,6 +74,10 @@ pub struct City {
     temporal: TemporalProfile,
     daily_volume: f64,
     clock: SlotClock,
+    /// Count overdispersion φ (0 = exact Poisson).
+    overdispersion: f64,
+    /// Per-day hotspot translation `(dx, dy)` (zero = stationary).
+    drift: (f64, f64),
 }
 
 impl City {
@@ -83,6 +97,8 @@ impl City {
             temporal,
             daily_volume,
             clock: SlotClock::default(),
+            overdispersion: 0.0,
+            drift: (0.0, 0.0),
         }
     }
 
@@ -191,6 +207,57 @@ impl City {
         self
     }
 
+    /// Returns a copy whose counts are overdispersed: negative binomial
+    /// with `Var = μ + φ·μ²`. `φ = 0` restores the exact Poisson path,
+    /// bit-for-bit on any fixed seed.
+    pub fn with_overdispersion(mut self, phi: f64) -> Self {
+        assert!(
+            phi >= 0.0 && phi.is_finite(),
+            "overdispersion must be finite and non-negative"
+        );
+        self.overdispersion = phi;
+        self
+    }
+
+    /// Returns a copy whose hotspots translate by `(dx, dy)` per day —
+    /// the train/test drift knob. Event locations on day `d` are drawn
+    /// from the intensity shifted by `(d·dx, d·dy)` while
+    /// [`City::mean_field`] keeps reporting the stationary day-0 field, so
+    /// the model's assumption is deliberately wrong. `(0, 0)` restores the
+    /// stationary path, bit-for-bit on any fixed seed.
+    pub fn with_drift(mut self, dx: f64, dy: f64) -> Self {
+        assert!(dx.is_finite() && dy.is_finite(), "drift must be finite");
+        self.drift = (dx, dy);
+        self
+    }
+
+    /// The overdispersion knob φ (0 = exact Poisson).
+    pub fn overdispersion(&self) -> f64 {
+        self.overdispersion
+    }
+
+    /// The per-day drift knob `(dx, dy)` (zero = stationary).
+    pub fn drift(&self) -> (f64, f64) {
+        self.drift
+    }
+
+    /// One count draw with the city's dispersion setting (`φ = 0` consumes
+    /// exactly the Poisson stream).
+    fn draw_count<R: Rng + ?Sized>(&self, rng: &mut R, mean: f64) -> u64 {
+        sample_negative_binomial(rng, mean, self.overdispersion)
+    }
+
+    /// The intensity field events on `day` are drawn from: the base field
+    /// when drift is off, a per-day translated copy otherwise.
+    fn drifted_intensity(&self, day: u32) -> std::borrow::Cow<'_, IntensityField> {
+        if self.drift == (0.0, 0.0) {
+            std::borrow::Cow::Borrowed(&self.intensity)
+        } else {
+            let d = day as f64;
+            std::borrow::Cow::Owned(self.intensity.shifted(self.drift.0 * d, self.drift.1 * d))
+        }
+    }
+
     /// Expected total events in a global slot.
     pub fn expected_slot_total(&self, slot: SlotId) -> f64 {
         self.daily_volume * self.temporal.slot_factor(&self.clock, slot)
@@ -216,38 +283,57 @@ impl City {
             .expect("weights length checked above")
     }
 
-    /// Samples a gridded count series for slots `0..n_slots`: one Poisson
-    /// draw per (slot, cell). This is the model-training view of the city.
+    /// Samples a gridded count series for slots `0..n_slots`: one count
+    /// draw per (slot, cell) — Poisson, or negative binomial under the
+    /// overdispersion knob; per-day shifted weights under the drift knob.
+    /// This is the model-training view of the city.
     pub fn sample_count_series<R: Rng + ?Sized>(
         &self,
         spec: GridSpec,
         n_slots: usize,
         rng: &mut R,
     ) -> CountSeries {
-        let weights = self.cell_weights(spec);
+        let base_weights = self.cell_weights(spec);
+        let mut day_weights: Option<(u32, Vec<f64>)> = None;
         let mut series = CountSeries::zeros(spec.side(), n_slots);
         for t in 0..n_slots {
             let slot = SlotId(t as u32);
             let total = self.expected_slot_total(slot);
+            let weights: &[f64] = if self.drift == (0.0, 0.0) {
+                &base_weights
+            } else {
+                let day = self.clock.day_of(slot);
+                if day_weights.as_ref().map(|(d, _)| *d) != Some(day) {
+                    let w = self.drifted_intensity(day).cell_weights(spec);
+                    day_weights = Some((day, w));
+                }
+                match &day_weights {
+                    Some((_, w)) => w,
+                    None => &base_weights, // not reachable: set just above
+                }
+            };
             let out = series.slot_mut(slot);
             for (cell, &w) in weights.iter().enumerate() {
-                out[cell] = sample_poisson(rng, w * total) as f64;
+                out[cell] = self.draw_count(rng, w * total) as f64;
             }
         }
         series
     }
 
-    /// Samples point events for one slot: draws `Pois(Λ_slot)` events with
-    /// i.i.d. locations from the intensity and uniform minutes in the slot.
+    /// Samples point events for one slot: draws the slot count (Poisson,
+    /// or negative binomial under the overdispersion knob) with i.i.d.
+    /// locations from the (possibly day-drifted) intensity and uniform
+    /// minutes in the slot.
     pub fn sample_slot_events<R: Rng + ?Sized>(&self, slot: SlotId, rng: &mut R) -> Vec<Event> {
         let total = self.expected_slot_total(slot);
-        let n = sample_poisson(rng, total);
+        let n = self.draw_count(rng, total);
+        let intensity = self.drifted_intensity(self.clock.day_of(slot));
         let start = self.clock.minute_of_slot(slot);
         let span = self.clock.slot_minutes();
         (0..n)
             .map(|_| {
                 Event::new(
-                    self.intensity.sample_point(rng),
+                    intensity.sample_point(rng),
                     start + rng.gen_range(0..span),
                 )
             })
@@ -415,6 +501,96 @@ mod tests {
         let slot = SlotId(16);
         let field = city.mean_field(spec, slot);
         assert!((field.total() - city.expected_slot_total(slot)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_knobs_are_bit_identical_to_the_poisson_path() {
+        // φ=0 and drift=(0,0) must reproduce the untouched city's streams
+        // exactly — same seed, same bits.
+        let base = City::nyc().scaled(0.01);
+        let knobbed = base.clone().with_overdispersion(0.0).with_drift(0.0, 0.0);
+        assert_eq!(base, knobbed);
+        let slot = base.clock().slot_at(3, 16);
+        let mut a = StdRng::seed_from_u64(21);
+        let mut b = StdRng::seed_from_u64(21);
+        let ea = base.sample_slot_events(slot, &mut a);
+        let eb = knobbed.sample_slot_events(slot, &mut b);
+        assert_eq!(ea.len(), eb.len());
+        for (x, y) in ea.iter().zip(&eb) {
+            assert_eq!(x.loc.x.to_bits(), y.loc.x.to_bits());
+            assert_eq!(x.loc.y.to_bits(), y.loc.y.to_bits());
+            assert_eq!(x.minute, y.minute);
+        }
+        let mut a = StdRng::seed_from_u64(22);
+        let mut b = StdRng::seed_from_u64(22);
+        let sa = base.sample_count_series(GridSpec::new(4), 48, &mut a);
+        let sb = knobbed.sample_count_series(GridSpec::new(4), 48, &mut b);
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn overdispersion_inflates_count_variance() {
+        let base = City::xian().scaled(0.002);
+        let phi = 1.0;
+        let over = base.clone().with_overdispersion(phi);
+        assert_eq!(over.overdispersion(), phi);
+        let slot = base.clock().slot_at(0, 16);
+        let mu = base.expected_slot_total(slot);
+        let draws = 3_000usize;
+        let var_of = |city: &City, seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let counts: Vec<f64> = (0..draws)
+                .map(|_| city.sample_slot_events(slot, &mut rng).len() as f64)
+                .collect();
+            let m = counts.iter().sum::<f64>() / draws as f64;
+            counts.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (draws - 1) as f64
+        };
+        let v_poisson = var_of(&base, 33);
+        let v_over = var_of(&over, 33);
+        // Poisson: Var ≈ μ. Overdispersed: Var ≈ μ + φμ², far larger here.
+        assert!((v_poisson - mu).abs() / mu < 0.25, "{v_poisson} vs μ={mu}");
+        assert!(
+            v_over > 0.5 * (mu + phi * mu * mu),
+            "v_over={v_over}, want ≳ {}",
+            mu + phi * mu * mu
+        );
+    }
+
+    #[test]
+    fn drift_moves_events_in_the_expected_direction() {
+        // A pure-hotspot city drifting +x: later days' mean x must grow.
+        let intensity = IntensityField::new().hotspot(Point::new(0.3, 0.5), 0.05, 1.0);
+        let city = City::custom(
+            "drifty",
+            GeoBounds::xian(),
+            intensity,
+            TemporalProfile::taxi_default(48),
+            2_000.0,
+        )
+        .with_drift(0.02, 0.0);
+        assert_eq!(city.drift(), (0.02, 0.0));
+        let mean_x = |day: u32, seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let events = city.sample_history_events(16, day..day + 1, &mut rng);
+            assert!(!events.is_empty());
+            events.iter().map(|e| e.loc.x).sum::<f64>() / events.len() as f64
+        };
+        let early = mean_x(0, 51);
+        let late = mean_x(10, 51);
+        // 10 days × 0.02/day = 0.2 expected shift; allow sampling slack.
+        assert!(
+            late - early > 0.15,
+            "mean x day0={early:.3} day10={late:.3}"
+        );
+        // Day 0 matches the undrifted field exactly (shift is d·dx = 0).
+        let still = city.clone().with_drift(0.0, 0.0);
+        let mut a = StdRng::seed_from_u64(60);
+        let mut b = StdRng::seed_from_u64(60);
+        let slot = city.clock().slot_at(0, 16);
+        assert_eq!(
+            city.sample_slot_events(slot, &mut a),
+            still.sample_slot_events(slot, &mut b)
+        );
     }
 
     #[test]

@@ -134,6 +134,34 @@ impl IntensityField {
         self.components.len()
     }
 
+    /// A copy of the field with every localized component translated by
+    /// `(dx, dy)`: Gaussian centers and road endpoints move, the uniform
+    /// background (by definition translation-invariant) is unchanged. Used
+    /// by the robustness harness's hotspot-drift knob; `(0, 0)` returns a
+    /// field equal to `self`.
+    pub fn shifted(&self, dx: f64, dy: f64) -> IntensityField {
+        let components = self
+            .components
+            .iter()
+            .map(|(w, c)| {
+                let moved = match c {
+                    Component::Gaussian { center, sigma } => Component::Gaussian {
+                        center: Point::new(center.x + dx, center.y + dy),
+                        sigma: *sigma,
+                    },
+                    Component::Road { a, b, width } => Component::Road {
+                        a: Point::new(a.x + dx, a.y + dy),
+                        b: Point::new(b.x + dx, b.y + dy),
+                        width: *width,
+                    },
+                    Component::Uniform => Component::Uniform,
+                };
+                (*w, moved)
+            })
+            .collect();
+        IntensityField { components }
+    }
+
     /// Mixture density at a point (unnormalized across truncation: the
     /// small mass of hotspots leaking outside the unit square is handled by
     /// rejection in sampling and by renormalization in `cell_weights`).
@@ -293,6 +321,19 @@ mod tests {
             assert!((x - 1.0 / 64.0).abs() < 1e-9);
         }
         assert!((f.density(&Point::new(0.1, 0.1)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shifted_moves_hotspot_and_preserves_background() {
+        let f = test_field();
+        let g = f.shifted(0.2, -0.1);
+        // The density peak follows the translation.
+        let moved_peak = g.density(&Point::new(0.5, 0.2));
+        let old_peak = g.density(&Point::new(0.3, 0.3));
+        assert!(moved_peak > 5.0 * old_peak, "{moved_peak} vs {old_peak}");
+        // Zero shift is exactly the original field.
+        assert_eq!(f.shifted(0.0, 0.0), f);
+        assert_eq!(g.n_components(), f.n_components());
     }
 
     #[test]

@@ -13,10 +13,18 @@
 //! to the paper's appendix: daily order volumes of ≈282k/239k/110k and the
 //! spatial-unevenness ordering NYC > Chengdu > Xi'an.
 //!
+//! For robustness experiments the Poisson/stationary assumptions can be
+//! broken on purpose: [`City::with_overdispersion`] swaps counts to a
+//! negative binomial (`Var = μ + φ·μ²`) and [`City::with_drift`]
+//! translates the hotspots a little further each day while the analytic
+//! mean field stays stationary. Both knobs default to 0 and are
+//! bit-identical to the plain path when off.
+//!
 //! Modules:
 //!
 //! * [`sampling`] — exact Poisson sampling (Knuth inversion for small
-//!   means, Hörmann's PTRS transformed rejection for large);
+//!   means, Hörmann's PTRS transformed rejection for large) plus the
+//!   Gamma–Poisson negative binomial for the overdispersion knob;
 //! * [`intensity`] — spatial intensity fields: density evaluation, exact
 //!   point sampling, and per-cell integration;
 //! * [`temporal`] — diurnal/weekly demand profiles;
@@ -34,6 +42,6 @@ pub mod trips;
 
 pub use city::{City, DataSplit, UnknownCity};
 pub use intensity::IntensityField;
-pub use sampling::sample_poisson;
+pub use sampling::{sample_negative_binomial, sample_poisson};
 pub use temporal::TemporalProfile;
 pub use trips::TripGenerator;

@@ -1,9 +1,15 @@
-//! Exact Poisson sampling.
+//! Exact Poisson (and overdispersed negative-binomial) sampling.
 //!
-//! Two regimes: Knuth's sequential inversion for small means (expected
-//! `O(λ)` uniforms, exact) and Hörmann's PTRS transformed rejection for
-//! `λ ≥ 10` (expected `O(1)` uniforms, exact). Implemented here rather than
-//! pulled from `rand_distr` to keep the dependency set to the allowed list.
+//! Two Poisson regimes: Knuth's sequential inversion for small means
+//! (expected `O(λ)` uniforms, exact) and Hörmann's PTRS transformed
+//! rejection for `λ ≥ 10` (expected `O(1)` uniforms, exact). Implemented
+//! here rather than pulled from `rand_distr` to keep the dependency set to
+//! the allowed list.
+//!
+//! [`sample_negative_binomial`] layers a Gamma–Poisson mixture on top for
+//! the robustness harness's overdispersion knob: `Var = μ + φ·μ²`, with
+//! `φ = 0` dispatching straight to [`sample_poisson`] so the knob's off
+//! position is bit-identical to the Poisson seed path.
 
 use gridtuner_core::poisson::ln_gamma;
 use rand::Rng;
@@ -24,6 +30,60 @@ pub fn sample_poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
     } else {
         sample_ptrs(rng, lambda)
     }
+}
+
+/// Draws one overdispersed count with mean `mean` and variance
+/// `mean + phi·mean²` — a negative binomial realised as the Gamma–Poisson
+/// mixture `Pois(G)`, `G ~ Gamma(shape = 1/φ, scale = φ·mean)`.
+///
+/// `phi = 0` is the Poisson limit and is dispatched to [`sample_poisson`]
+/// directly, consuming exactly the same uniforms — the knob's off
+/// position changes no bit of any seeded stream.
+pub fn sample_negative_binomial<R: Rng + ?Sized>(rng: &mut R, mean: f64, phi: f64) -> u64 {
+    assert!(
+        phi >= 0.0 && phi.is_finite(),
+        "overdispersion must be finite and non-negative, got {phi}"
+    );
+    if phi == 0.0 || mean == 0.0 {
+        return sample_poisson(rng, mean);
+    }
+    let shape = 1.0 / phi;
+    let rate = sample_gamma(rng, shape) * phi * mean;
+    sample_poisson(rng, rate)
+}
+
+/// Marsaglia–Tsang squeeze sampler for `Gamma(shape, 1)`; shapes below 1
+/// are boosted via `G(a) = G(a + 1) · U^{1/a}`.
+fn sample_gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64) -> f64 {
+    debug_assert!(shape > 0.0 && shape.is_finite());
+    if shape < 1.0 {
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        return sample_gamma(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = sample_standard_normal(rng);
+        let v = 1.0 + c * x;
+        if v <= 0.0 {
+            continue;
+        }
+        let v = v * v * v;
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        if u < 1.0 - 0.0331 * x * x * x * x {
+            return d * v;
+        }
+        if u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+/// One standard normal via Box–Muller (the cosine branch).
+fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
 }
 
 /// Knuth's multiplication method: count uniforms until their product drops
@@ -153,5 +213,65 @@ mod tests {
     fn negative_mean_rejected() {
         let mut rng = StdRng::seed_from_u64(1);
         sample_poisson(&mut rng, -1.0);
+    }
+
+    #[test]
+    fn negative_binomial_zero_phi_is_bit_identical_to_poisson() {
+        // The knob's off position must consume exactly the Poisson stream.
+        for &mean in &[0.0, 0.7, 4.2, 25.0] {
+            let mut nb = StdRng::seed_from_u64(314);
+            let mut po = StdRng::seed_from_u64(314);
+            for _ in 0..200 {
+                assert_eq!(
+                    sample_negative_binomial(&mut nb, mean, 0.0),
+                    sample_poisson(&mut po, mean),
+                    "φ=0 diverged from the Poisson path at μ={mean}"
+                );
+            }
+            // The underlying generators must also be in lockstep afterwards.
+            assert_eq!(nb.gen::<u64>(), po.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn negative_binomial_mean_and_variance() {
+        let n = 60_000;
+        for &(mean, phi) in &[(4.0, 0.5), (20.0, 0.25), (50.0, 0.1)] {
+            let mut rng = StdRng::seed_from_u64(77);
+            let samples: Vec<f64> = (0..n)
+                .map(|_| sample_negative_binomial(&mut rng, mean, phi) as f64)
+                .collect();
+            let m = samples.iter().sum::<f64>() / n as f64;
+            let var =
+                samples.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (n - 1) as f64;
+            let expected_var = mean + phi * mean * mean;
+            assert!(
+                (m - mean).abs() / mean < 0.02,
+                "μ={mean} φ={phi}: mean={m}"
+            );
+            assert!(
+                (var - expected_var).abs() / expected_var < 0.08,
+                "μ={mean} φ={phi}: var={var} want≈{expected_var}"
+            );
+        }
+    }
+
+    #[test]
+    fn negative_binomial_determinism_per_seed() {
+        let mut a = StdRng::seed_from_u64(404);
+        let mut b = StdRng::seed_from_u64(404);
+        for _ in 0..100 {
+            assert_eq!(
+                sample_negative_binomial(&mut a, 12.0, 0.3),
+                sample_negative_binomial(&mut b, 12.0, 0.3)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "overdispersion")]
+    fn negative_phi_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        sample_negative_binomial(&mut rng, 1.0, -0.1);
     }
 }

@@ -8,6 +8,7 @@
 //! typed [`EngineError::Config`] instead of panicking mid-pipeline.
 
 use crate::error::EngineError;
+use crate::uncertainty::BootstrapConfig;
 use gridtuner_core::alpha::AlphaWindow;
 use gridtuner_core::tuner::{SearchStrategy, TunerConfig};
 use gridtuner_dispatch::SimConfig;
@@ -34,6 +35,10 @@ pub struct EngineConfig {
     /// derived-field cache is a pure memo, so prefetching it is
     /// bit-invisible; disable to prove it (the testkit does).
     pub pipeline: bool,
+    /// Bootstrap uncertainty: when set, every tune follows its search
+    /// with B seeded replicate tunes and reports a confidence set over
+    /// the side plus a stability verdict.
+    pub bootstrap: Option<BootstrapConfig>,
 }
 
 impl Default for EngineConfig {
@@ -60,6 +65,7 @@ impl EngineConfig {
             clock: SlotClock::default(),
             sim: None,
             pipeline: true,
+            bootstrap: None,
         }
     }
 
@@ -110,6 +116,13 @@ impl EngineConfig {
                 w.slot_of_day,
                 self.clock.slots_per_day()
             )));
+        }
+        if let Some(boot) = &self.bootstrap {
+            if boot.replicates < 1 {
+                return Err(EngineError::Config(
+                    "bootstrap must run at least one replicate".into(),
+                ));
+            }
         }
         if let Some(sim) = &self.sim {
             if sim.fleet.n_drivers == 0 {
@@ -190,6 +203,13 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Enables bootstrap uncertainty: `replicates` seeded replicate
+    /// tunes after every search, reported as a confidence set.
+    pub fn bootstrap(mut self, replicates: u32, seed: u64) -> Self {
+        self.cfg.bootstrap = Some(BootstrapConfig::new(replicates, seed));
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<EngineConfig, EngineError> {
         self.cfg.validate()?;
@@ -255,6 +275,20 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(err.to_string().contains("driver"), "{err}");
+    }
+
+    #[test]
+    fn builder_rejects_zero_bootstrap_replicates() {
+        let err = EngineConfig {
+            bootstrap: Some(BootstrapConfig::new(0, 1)),
+            ..EngineConfig::default()
+        }
+        .validate()
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("replicate"), "{err}");
+        let ok = EngineConfig::builder().bootstrap(32, 2022).build().unwrap();
+        assert_eq!(ok.bootstrap, Some(BootstrapConfig::new(32, 2022)));
     }
 
     #[test]

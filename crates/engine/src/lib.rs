@@ -17,7 +17,10 @@
 //! * [`session`] — [`TuningSession`]: ingest events (incrementally — a
 //!   delta append does one partial scan, not a pipeline rebuild), tune
 //!   (bit-identical to the legacy `GridTuner` facade), re-tune after a
-//!   data delta with memoised work served from the caches.
+//!   data delta with memoised work served from the caches;
+//! * [`uncertainty`] — the optional bootstrap stage: B seeded replicate
+//!   tunes over resampled logs producing a confidence set over the side,
+//!   per-probe dispersion and a stable/plateau/unstable verdict.
 //!
 //! Model-error legs plug in through
 //! [`gridtuner_core::upper_bound::ModelErrorSource`] (or its `Sync`
@@ -31,11 +34,16 @@ pub mod config;
 pub mod error;
 pub mod session;
 pub mod stage;
+pub mod uncertainty;
 
 pub use config::{EngineConfig, EngineConfigBuilder};
 pub use error::{thread_diagnostics, thread_override, EngineError};
 pub use session::{IngestReport, TuneReport, TuningSession};
 pub use stage::{StageKind, StageRecord};
+pub use uncertainty::{
+    classify, env_bootstrap_replicates, env_bootstrap_seed, BootstrapConfig, ProbeDispersion,
+    StabilityVerdict, UncertaintyReport, PLATEAU_REL_TOL,
+};
 
 // The traits and types sessions are used with, re-exported so front ends
 // need only this crate.

@@ -20,6 +20,7 @@
 use crate::config::EngineConfig;
 use crate::error::EngineError;
 use crate::stage::{StageKind, StageRecord};
+use crate::uncertainty::{run_bootstrap, ReplicateSetup, UncertaintyReport};
 use gridtuner_core::alpha_cache::AlphaFieldCache;
 use gridtuner_core::error::CoreError;
 use gridtuner_core::search::{
@@ -95,6 +96,9 @@ pub struct TuneReport {
     /// (delta of `pmf_memo.lock_waits`). Warm-path lookups are lock-free
     /// via the workspace L1, so this should stay near zero.
     pub pmf_lock_waits: u64,
+    /// Bootstrap confidence set and stability verdict — present when the
+    /// session config enables [`bootstrap`](EngineConfig::bootstrap).
+    pub uncertainty: Option<UncertaintyReport>,
 }
 
 /// Start-of-tune snapshot of the global expression-kernel counters, so the
@@ -415,7 +419,60 @@ impl<S: ModelErrorSource> TuningSession<S> {
                 }
             }
         };
-        self.report(outcome, memo_hits, expr_base.delta_since())
+        // Freeze the point-tune counter deltas before the bootstrap adds
+        // its own kernel work (the uncertainty report carries that).
+        let expr = expr_base.delta_since();
+        let uncertainty = self.run_uncertainty(&outcome)?;
+        self.report(outcome, memo_hits, expr, uncertainty)
+    }
+
+    /// The uncertainty stage: B sequential replicate tunes of bootstrap
+    /// resamples, sharing the session's warm pmf memo and serving the
+    /// model leg from the session memo (see the module docs of
+    /// [`crate::uncertainty`]). No-op unless the config enables it.
+    fn run_uncertainty(
+        &mut self,
+        point: &gridtuner_core::search::SearchOutcome,
+    ) -> Result<Option<UncertaintyReport>, EngineError> {
+        let Some(bcfg) = self.config.bootstrap else {
+            return Ok(None);
+        };
+        let pmf = self
+            .cache
+            .as_ref()
+            .ok_or_else(|| {
+                EngineError::Internal("α cache missing before the uncertainty stage".into())
+            })?
+            .shared_pmf();
+        let config = self.config; // Copy: releases the borrow of self
+        let setup = ReplicateSetup {
+            clock: &config.clock,
+            window: &config.alpha_window,
+            strategy: config.strategy,
+            lo: config.side_range.0,
+            hi: config.side_range.1,
+            budget: config.hgrid_budget_side,
+        };
+        let model = &mut self.model;
+        let memo = &self.model_memo;
+        let mut model_err = |side: u32| -> Result<f64, CoreError> {
+            if let Some(m) = lock_memo(memo).get(&side).copied() {
+                return Ok(m);
+            }
+            let m = model.model_error(side)?;
+            lock_memo(memo).insert(side, m);
+            Ok(m)
+        };
+        let events = &self.events;
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_bootstrap(events, &setup, pmf, bcfg, point, &mut model_err)
+        })) {
+            Ok(result) => result.map(Some),
+            Err(payload) => Err(EngineError::Internal(format!(
+                "uncertainty worker panicked: {}",
+                panic_message(payload.as_ref())
+            ))),
+        }
     }
 
     /// Memoised model error at one side (outside a search).
@@ -447,6 +504,7 @@ impl<S: ModelErrorSource> TuningSession<S> {
         outcome: SearchOutcome,
         memo_hits: usize,
         expr: ExprCounters,
+        uncertainty: Option<UncertaintyReport>,
     ) -> Result<TuneReport, EngineError> {
         obs::gauge!("tune.selected_side").set(f64::from(outcome.side));
         self.stages.push(StageRecord::new(
@@ -454,6 +512,18 @@ impl<S: ModelErrorSource> TuningSession<S> {
             outcome.evals,
             format!("{} unique evaluations", outcome.evals),
         ));
+        if let Some(u) = &uncertainty {
+            self.stages.push(StageRecord::new(
+                StageKind::Uncertainty,
+                u.replicates as usize,
+                format!(
+                    "{} replicates, {}-side confidence set, verdict {}",
+                    u.replicates,
+                    u.confidence_set.len(),
+                    u.verdict
+                ),
+            ));
+        }
         let cache = self.cache.as_ref().ok_or_else(|| {
             EngineError::Internal("α cache missing after the search stage".into())
         })?;
@@ -471,6 +541,7 @@ impl<S: ModelErrorSource> TuningSession<S> {
             par_dispatches: expr.dispatches,
             par_worker_idle_ms: expr.worker_idle_ms,
             pmf_lock_waits: expr.lock_waits,
+            uncertainty,
         };
         self.stages.push(StageRecord::new(
             StageKind::Report,
@@ -559,7 +630,56 @@ impl<S: SyncModelErrorSource> TuningSession<S> {
             }
         };
         let hits = memo_hits.load(Ordering::Relaxed);
-        self.report_sync(outcome, hits, expr_base.delta_since())
+        let expr = expr_base.delta_since();
+        let uncertainty = self.run_uncertainty_sync(&outcome)?;
+        self.report_sync(outcome, hits, expr, uncertainty)
+    }
+
+    // `run_uncertainty` is bounded on ModelErrorSource; duplicate for the
+    // Sync-only bound, serving the model leg through `model_error_sync`.
+    fn run_uncertainty_sync(
+        &mut self,
+        point: &SearchOutcome,
+    ) -> Result<Option<UncertaintyReport>, EngineError> {
+        let Some(bcfg) = self.config.bootstrap else {
+            return Ok(None);
+        };
+        let pmf = self
+            .cache
+            .as_ref()
+            .ok_or_else(|| {
+                EngineError::Internal("α cache missing before the uncertainty stage".into())
+            })?
+            .shared_pmf();
+        let config = self.config; // Copy: releases the borrow of self
+        let setup = ReplicateSetup {
+            clock: &config.clock,
+            window: &config.alpha_window,
+            strategy: config.strategy,
+            lo: config.side_range.0,
+            hi: config.side_range.1,
+            budget: config.hgrid_budget_side,
+        };
+        let model = &self.model;
+        let memo = &self.model_memo;
+        let mut model_err = |side: u32| -> Result<f64, CoreError> {
+            if let Some(m) = lock_memo(memo).get(&side).copied() {
+                return Ok(m);
+            }
+            let m = model.model_error_sync(side)?;
+            lock_memo(memo).insert(side, m);
+            Ok(m)
+        };
+        let events = &self.events;
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_bootstrap(events, &setup, pmf, bcfg, point, &mut model_err)
+        })) {
+            Ok(result) => result.map(Some),
+            Err(payload) => Err(EngineError::Internal(format!(
+                "uncertainty worker panicked: {}",
+                panic_message(payload.as_ref())
+            ))),
+        }
     }
 
     // `report` is bounded on ModelErrorSource; duplicate the tail for the
@@ -569,6 +689,7 @@ impl<S: SyncModelErrorSource> TuningSession<S> {
         outcome: SearchOutcome,
         memo_hits: usize,
         expr: ExprCounters,
+        uncertainty: Option<UncertaintyReport>,
     ) -> Result<TuneReport, EngineError> {
         obs::gauge!("tune.selected_side").set(f64::from(outcome.side));
         self.stages.push(StageRecord::new(
@@ -576,6 +697,18 @@ impl<S: SyncModelErrorSource> TuningSession<S> {
             outcome.evals,
             format!("{} unique evaluations", outcome.evals),
         ));
+        if let Some(u) = &uncertainty {
+            self.stages.push(StageRecord::new(
+                StageKind::Uncertainty,
+                u.replicates as usize,
+                format!(
+                    "{} replicates, {}-side confidence set, verdict {}",
+                    u.replicates,
+                    u.confidence_set.len(),
+                    u.verdict
+                ),
+            ));
+        }
         let cache = self.cache.as_ref().ok_or_else(|| {
             EngineError::Internal("α cache missing after the search stage".into())
         })?;
@@ -593,6 +726,7 @@ impl<S: SyncModelErrorSource> TuningSession<S> {
             par_dispatches: expr.dispatches,
             par_worker_idle_ms: expr.worker_idle_ms,
             pmf_lock_waits: expr.lock_waits,
+            uncertainty,
         };
         self.stages.push(StageRecord::new(
             StageKind::Report,
@@ -755,6 +889,76 @@ mod tests {
             second.outcome.error.to_bits(),
             first.outcome.error.to_bits()
         );
+    }
+
+    #[test]
+    fn bootstrap_tune_reports_a_confidence_set() {
+        use crate::uncertainty::BootstrapConfig;
+        let events = skewed_events(400, 7);
+        let config = EngineConfig {
+            bootstrap: Some(BootstrapConfig::new(8, 7)),
+            ..cfg(SearchStrategy::BruteForce)
+        };
+        let mut session = TuningSession::new(config, InfallibleSource(model)).unwrap();
+        session.ingest(&events).unwrap();
+        let report = session.tune().unwrap();
+        let unc = report.uncertainty.as_ref().expect("bootstrap was enabled");
+        assert_eq!(unc.replicates, 8);
+        assert_eq!(unc.replicate_argmins.len(), 8);
+        assert_eq!(unc.replicate_errors.len(), 8);
+        assert_eq!(unc.point_side, report.outcome.side);
+        assert!(
+            unc.confidence_set.contains(&report.outcome.side),
+            "confidence set {:?} must contain the point estimate {}",
+            unc.confidence_set,
+            report.outcome.side
+        );
+        assert!(unc.confidence_set.windows(2).all(|w| w[0] < w[1]));
+        // Replicates share the session's warm pmf memo, so the stage
+        // must see cache hits.
+        assert!(unc.cache_hits > 0, "{unc:?}");
+        // Every probed side carries a full dispersion row under brute
+        // force (every replicate probes every side).
+        assert!(unc.dispersion.iter().all(|d| d.samples == 8));
+        let kinds: Vec<StageKind> = session.stages().iter().map(|s| s.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                StageKind::Ingest,
+                StageKind::Alpha,
+                StageKind::Search,
+                StageKind::Uncertainty,
+                StageKind::Report
+            ]
+        );
+    }
+
+    #[test]
+    fn bootstrap_is_deterministic_and_parallel_path_agrees() {
+        use crate::uncertainty::BootstrapConfig;
+        let events = skewed_events(300, 7);
+        let config = EngineConfig {
+            bootstrap: Some(BootstrapConfig::new(6, 2022)),
+            ..cfg(SearchStrategy::BruteForce)
+        };
+        let run_seq = || {
+            let mut s = TuningSession::new(config, InfallibleSource(model)).unwrap();
+            s.ingest(&events).unwrap();
+            s.tune().unwrap()
+        };
+        let a = run_seq();
+        let b = run_seq();
+        assert_eq!(a.uncertainty, b.uncertainty, "same seed, same bits");
+        let mut par = TuningSession::new(config, model).unwrap();
+        par.ingest(&events).unwrap();
+        let p = par.tune_parallel().unwrap();
+        let (ua, up) = (a.uncertainty.unwrap(), p.uncertainty.unwrap());
+        assert_eq!(ua.confidence_set, up.confidence_set);
+        assert_eq!(ua.replicate_argmins, up.replicate_argmins);
+        for (x, y) in ua.replicate_errors.iter().zip(&up.replicate_errors) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert_eq!(ua.verdict, up.verdict);
     }
 
     #[test]

@@ -15,6 +15,8 @@ pub enum StageKind {
     Alpha,
     /// The configured search probed the upper bound.
     Search,
+    /// Bootstrap replicate tunes produced a confidence set.
+    Uncertainty,
     /// The winning partition and trace were assembled.
     Report,
     /// A dispatch simulator was handed out for the case study.
@@ -28,6 +30,7 @@ impl StageKind {
             StageKind::Ingest => "ingest",
             StageKind::Alpha => "alpha",
             StageKind::Search => "search",
+            StageKind::Uncertainty => "uncertainty",
             StageKind::Report => "report",
             StageKind::Dispatch => "dispatch",
         }
@@ -73,13 +76,14 @@ mod tests {
             StageKind::Ingest,
             StageKind::Alpha,
             StageKind::Search,
+            StageKind::Uncertainty,
             StageKind::Report,
             StageKind::Dispatch,
         ];
         let names: Vec<&str> = kinds.iter().map(|k| k.name()).collect();
         assert_eq!(
             names,
-            vec!["ingest", "alpha", "search", "report", "dispatch"]
+            vec!["ingest", "alpha", "search", "uncertainty", "report", "dispatch"]
         );
         assert_eq!(StageKind::Search.to_string(), "search");
     }

@@ -25,6 +25,8 @@
 //! | `nn-dense-vs-naive` | the blocked dense kernel matches the naive mat-vec |
 //! | `nn-conv-vs-naive` | the tap-hoisted conv kernel matches the naive convolution |
 //! | `theorem-ii1-empirical` | real ≤ model + expression on arbitrary samples (and the slack bound) |
+//! | `bootstrap-replicate-vs-direct` | a bootstrap replicate's tune = tuning the materialised resampled log directly, bit for bit |
+//! | `bootstrap-seed-determinism` | same seed and B → the same confidence set, run to run, sequential or parallel, pipeline on or off |
 
 use crate::diff::Check;
 use crate::scenario::Scenario;
@@ -37,9 +39,10 @@ use gridtuner_core::expression::{
     expression_error_windowed, lemma_upper_bound, total_expression_error,
     total_expression_error_memo, total_expression_error_percell, total_expression_error_seq,
 };
+use gridtuner_core::resample::resample_events;
 use gridtuner_core::search::{brute_force, iterative_method, ternary_search};
 use gridtuner_core::tuner::{GridTuner, SearchStrategy, TunerConfig};
-use gridtuner_engine::{EngineConfig, TuningSession};
+use gridtuner_engine::{BootstrapConfig, EngineConfig, TuningSession};
 use gridtuner_nn::{Conv2d, Dense, Layer, Tensor};
 use gridtuner_spatial::{CountMatrix, GridSpec, Partition};
 use rand::Rng;
@@ -645,6 +648,113 @@ pub fn standard_checks() -> Vec<Check> {
         let slack = r.upper_bound() - r.real;
         if slack > 2.0 * r.model.min(r.expression) + 1e-9 {
             return Err(format!("slack bound violated: {r:?}"));
+        }
+        Ok(())
+    }));
+
+    checks.push(Check::new("bootstrap-replicate-vs-direct", |s| {
+        // The uncertainty stage promises each replicate tune is *exactly*
+        // the tune of the materialised resampled log: the bootstrap
+        // perturbs the expression leg only, and the shared pmf memo is
+        // bit-invisible. Materialise each resample and check bitwise.
+        let model = s.model_fn();
+        let boot_seed = s.params.seed ^ 0xb007_57a9;
+        let b = 3u32;
+        let config = EngineConfig {
+            clock: s.clock,
+            bootstrap: Some(BootstrapConfig::new(b, boot_seed)),
+            ..EngineConfig::from_tuner(tuner_config(s, SearchStrategy::BruteForce))
+        };
+        let mut session = TuningSession::new(config, model).map_err(|e| e.to_string())?;
+        session.ingest(&s.events).map_err(|e| e.to_string())?;
+        let report = session.tune().map_err(|e| e.to_string())?;
+        let unc = report
+            .uncertainty
+            .ok_or("bootstrap config produced no uncertainty report")?;
+        if unc.replicate_argmins.len() != b as usize || unc.replicate_errors.len() != b as usize {
+            return Err(format!(
+                "expected {b} replicates, got {} argmins / {} errors",
+                unc.replicate_argmins.len(),
+                unc.replicate_errors.len()
+            ));
+        }
+        for r in 0..u64::from(b) {
+            let log = resample_events(&s.events, boot_seed, r);
+            let direct_cfg = EngineConfig {
+                clock: s.clock,
+                ..EngineConfig::from_tuner(tuner_config(s, SearchStrategy::BruteForce))
+            };
+            let mut direct = TuningSession::new(direct_cfg, model).map_err(|e| e.to_string())?;
+            direct.ingest(&log).map_err(|e| e.to_string())?;
+            let d = direct.tune().map_err(|e| e.to_string())?;
+            if d.outcome.side != unc.replicate_argmins[r as usize] {
+                return Err(format!(
+                    "replicate {r}: bootstrap argmin {} vs direct tune {}",
+                    unc.replicate_argmins[r as usize], d.outcome.side
+                ));
+            }
+            bit_eq(
+                &format!("replicate {r} optimum error"),
+                unc.replicate_errors[r as usize],
+                d.outcome.error,
+            )?;
+        }
+        if !unc.confidence_set.contains(&unc.point_side) {
+            return Err(format!(
+                "confidence set {:?} is missing the point estimate {}",
+                unc.confidence_set, unc.point_side
+            ));
+        }
+        Ok(())
+    }));
+
+    checks.push(Check::new("bootstrap-seed-determinism", |s| {
+        // One (seed, B) must replay to the identical confidence set —
+        // run to run, sequential or parallel session path, α-prefetch
+        // pipeline on or off.
+        let model = s.model_fn();
+        let boot_seed = s.params.seed.rotate_left(17) ^ 0x5eed;
+        let b = 3u32;
+        let (lo, hi) = s.params.side_range();
+        let run = |parallel: bool, pipeline: bool| -> Result<_, String> {
+            let cfg = EngineConfig::builder()
+                .hgrid_budget_side(s.params.budget_side)
+                .side_range(lo, hi)
+                .strategy(SearchStrategy::BruteForce)
+                .alpha_window(s.window)
+                .clock(s.clock)
+                .pipeline(pipeline)
+                .bootstrap(b, boot_seed)
+                .build()
+                .map_err(|e| e.to_string())?;
+            let mut session = TuningSession::new(cfg, model).map_err(|e| e.to_string())?;
+            session.ingest(&s.events).map_err(|e| e.to_string())?;
+            let report = if parallel {
+                session.tune_parallel().map_err(|e| e.to_string())?
+            } else {
+                session.tune().map_err(|e| e.to_string())?
+            };
+            let u = report.uncertainty.ok_or("no uncertainty report")?;
+            let errors: Vec<u64> = u.replicate_errors.iter().map(|e| e.to_bits()).collect();
+            Ok((
+                u.confidence_set.clone(),
+                u.replicate_argmins.clone(),
+                errors,
+                u.verdict,
+            ))
+        };
+        let reference = run(false, false)?;
+        for (parallel, pipeline, label) in [
+            (false, false, "sequential rerun"),
+            (true, false, "parallel path"),
+            (true, true, "parallel path with pipeline"),
+        ] {
+            let got = run(parallel, pipeline)?;
+            if got != reference {
+                return Err(format!(
+                    "{label} diverged: {got:?} vs reference {reference:?}"
+                ));
+            }
         }
         Ok(())
     }));

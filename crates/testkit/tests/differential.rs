@@ -17,6 +17,6 @@ fn standard_oracle_pairs_agree_over_seeded_scenarios() {
         engine.register_check(check);
     }
     let report = engine.run_seeds(seed_budget(DEFAULT_SEEDS));
-    assert!(report.checks_run >= 13, "registry shrank");
+    assert!(report.checks_run >= 22, "registry shrank");
     report.assert_clean();
 }

@@ -15,7 +15,7 @@ use gridtuner_core::alpha::AlphaWindow;
 use gridtuner_core::tuner::{SearchStrategy, TunerConfig};
 use gridtuner_datagen::{City, TripGenerator};
 use gridtuner_dispatch::{DemandView, FleetConfig, Order, Polar, SimConfig};
-use gridtuner_engine::{EngineConfig, TuningSession};
+use gridtuner_engine::{BootstrapConfig, EngineConfig, TuningSession};
 use gridtuner_testkit::{check_golden, Json};
 use rand::{rngs::StdRng, SeedableRng};
 
@@ -29,6 +29,8 @@ const SIDE_RANGE: (u32, u32) = (2, 24);
 const HISTORY_DAYS: u32 = 14;
 /// Analytic model-error slope: `n·MAE ≈ coef·s²`.
 const MODEL_COEF: f64 = 0.05;
+/// Bootstrap replicates for the uncertainty block (the acceptance bar).
+const REPLICATES: u32 = 32;
 
 fn golden_for_city(city: City, seed: u64) -> Json {
     let city = city.scaled(SCALE);
@@ -43,6 +45,9 @@ fn golden_for_city(city: City, seed: u64) -> Json {
     let model = |s: u32| MODEL_COEF * (s * s) as f64;
     let config = EngineConfig {
         clock: *city.clock(),
+        // Master seed = the city seed, so the whole block replays from
+        // the one number already pinned in the test.
+        bootstrap: Some(BootstrapConfig::new(REPLICATES, seed)),
         sim: Some(SimConfig {
             fleet: FleetConfig {
                 n_drivers: 60,
@@ -63,6 +68,10 @@ fn golden_for_city(city: City, seed: u64) -> Json {
         .expect("synthetic events are finite");
     let result = session.tune_parallel().expect("analytic model leg");
     let side = result.outcome.side;
+    let uncertainty = result
+        .uncertainty
+        .as_ref()
+        .expect("bootstrap config set above");
 
     // Error decomposition at the optimum, served from the session's own
     // α cache (same inputs → same digest as a fresh oracle).
@@ -98,6 +107,28 @@ fn golden_for_city(city: City, seed: u64) -> Json {
                 ("evals", Json::Num(result.outcome.evals as f64)),
                 ("alpha_rescans", Json::Num(result.alpha_full_scans as f64)),
                 ("alpha_digest_len", Json::Num(session.digest_len() as f64)),
+            ]),
+        ),
+        (
+            "uncertainty",
+            Json::obj(vec![
+                ("replicates", Json::Num(uncertainty.replicates as f64)),
+                ("seed", Json::Num(uncertainty.seed as f64)),
+                (
+                    "confidence_set",
+                    Json::Arr(
+                        uncertainty
+                            .confidence_set
+                            .iter()
+                            .map(|&s| Json::Num(s as f64))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "distinct_argmins",
+                    Json::Num(uncertainty.distinct_argmins as f64),
+                ),
+                ("verdict", Json::Str(uncertainty.verdict.name().to_string())),
             ]),
         ),
         (
