@@ -124,8 +124,14 @@ fn run_regime(scale: f64, replicates: u32, phi: f64, drift: (f64, f64)) -> Val {
                     .collect(),
             ),
         ),
-        ("confidence_set_size", Val::from(unc.confidence_set.len() as u64)),
-        ("distinct_argmins", Val::from(u64::from(unc.distinct_argmins))),
+        (
+            "confidence_set_size",
+            Val::from(unc.confidence_set.len() as u64),
+        ),
+        (
+            "distinct_argmins",
+            Val::from(u64::from(unc.distinct_argmins)),
+        ),
         ("verdict", Val::from(unc.verdict.name())),
         ("boot_cache_hits", Val::from(unc.cache_hits)),
         ("wall_ms", Val::from(wall_ms)),

@@ -1,10 +1,19 @@
-//! Validates a `GRIDTUNER_TRACE` JSON-lines file: every line must parse,
-//! the stream must open with the schema meta record, span starts/ends must
-//! balance, and (optionally) a list of span/event names must appear.
+//! Validates a captured trace file in either wire format.
+//!
+//! JSONL (`gridtuner.trace/1`): every line must parse, the stream must
+//! open with the schema meta record, span starts/ends must balance
+//! per id, every `parent` reference must point at a span that is open
+//! at that moment on the same stream, and spans/events must carry a
+//! numeric `tid`.
+//!
+//! Chrome Trace Event Format (`--trace-format chrome`): the file must be
+//! a JSON array of event objects opening with a `process_name` metadata
+//! record; `B`/`E` duration events must nest LIFO per `(pid, tid)` lane,
+//! and `X` complete events must carry a numeric `dur`.
 //!
 //! ```text
 //! cargo run -p gridtuner-bench --bin trace_check -- trace.jsonl \
-//!     [--require tune,probe,alpha.scan]
+//!     [--require tune,probe,alpha.scan] [--format jsonl|chrome|auto]
 //! ```
 //!
 //! Exit status 0 when the trace is well formed (CI smoke gate), 1 with a
@@ -19,7 +28,7 @@ const TRACE_SCHEMA: &str = "gridtuner.trace/1";
 #[derive(Debug, Default, PartialEq, Eq)]
 struct TraceSummary {
     records: usize,
-    /// Record count per `t` discriminator.
+    /// Record count per discriminator (`t` in JSONL, `ph` in Chrome).
     kinds: BTreeMap<String, usize>,
     /// Distinct span and event names seen.
     names: BTreeSet<String>,
@@ -29,7 +38,7 @@ fn str_field<'a>(rec: &'a Val, key: &str) -> Option<&'a str> {
     rec.get(key).and_then(|v| v.as_str())
 }
 
-/// Validates the whole stream; returns a summary or the first problem.
+/// Validates a JSONL stream; returns a summary or the first problem.
 fn validate(text: &str) -> Result<TraceSummary, String> {
     let records = parse_jsonl(text)?;
     if records.is_empty() {
@@ -62,6 +71,9 @@ fn validate(text: &str) -> Result<TraceSummary, String> {
                 let name = str_field(rec, "name")
                     .ok_or_else(|| format!("line {line}: {kind} without a name"))?;
                 summary.names.insert(name.to_string());
+                if rec.get("tid").and_then(Val::as_f64).is_none() {
+                    return Err(format!("line {line}: {kind} without a numeric \"tid\""));
+                }
                 if kind == "event" {
                     continue;
                 }
@@ -71,6 +83,18 @@ fn validate(text: &str) -> Result<TraceSummary, String> {
                     .ok_or_else(|| format!("line {line}: {kind} without an id"))?
                     as u64;
                 if kind == "span_start" {
+                    // A declared parent must be a span that is still open
+                    // on this stream — anything else means the recorder
+                    // mispaired ids or emitted records out of order.
+                    if let Some(parent) = rec.get("parent").and_then(Val::as_f64) {
+                        let parent = parent as u64;
+                        if !open.contains_key(&parent) {
+                            return Err(format!(
+                                "line {line}: span id {id} ({name:?}) claims parent {parent}, \
+                                 which is not an open span"
+                            ));
+                        }
+                    }
                     if open.insert(id, name.to_string()).is_some() {
                         return Err(format!("line {line}: span id {id} started twice"));
                     }
@@ -98,21 +122,134 @@ fn validate(text: &str) -> Result<TraceSummary, String> {
     Ok(summary)
 }
 
+/// Validates a Chrome Trace Event Format array.
+///
+/// The exporter writes one event object per line inside `[` ... `]`; a
+/// process killed mid-run leaves the closing bracket (and possibly a
+/// trailing comma) missing, which Chrome itself tolerates — so does this
+/// parser.
+fn validate_chrome(text: &str) -> Result<TraceSummary, String> {
+    let mut body = text.trim();
+    body = body
+        .strip_prefix('[')
+        .ok_or("chrome trace does not start with '['")?;
+    body = body.strip_suffix(']').unwrap_or(body).trim_end();
+    body = body.strip_suffix(',').unwrap_or(body);
+    // Each record sits on its own line, separated by ",\n" — strip the
+    // separators and reuse the JSONL parser line by line.
+    let lines: Vec<&str> = body
+        .lines()
+        .map(|l| l.trim().trim_end_matches(','))
+        .filter(|l| !l.is_empty())
+        .collect();
+    if lines.is_empty() {
+        return Err("empty chrome trace: no events".into());
+    }
+    let mut summary = TraceSummary::default();
+    // Per-(pid, tid) stack of open B event names.
+    let mut stacks: BTreeMap<(u64, u64), Vec<String>> = BTreeMap::new();
+    for (i, line_text) in lines.iter().enumerate() {
+        let line = i + 1;
+        let recs = parse_jsonl(line_text).map_err(|e| format!("event {line}: {e}"))?;
+        let rec = recs
+            .first()
+            .ok_or_else(|| format!("event {line}: empty record"))?;
+        summary.records += 1;
+        let ph = str_field(rec, "ph")
+            .ok_or_else(|| format!("event {line}: record has no \"ph\" phase"))?;
+        *summary.kinds.entry(ph.to_string()).or_insert(0) += 1;
+        let pid = rec.get("pid").and_then(Val::as_f64).map(|v| v as u64);
+        let tid = rec.get("tid").and_then(Val::as_f64).map(|v| v as u64);
+        if i == 0 {
+            if ph != "M" || str_field(rec, "name") != Some("process_name") {
+                return Err("first event is not the process_name metadata record".into());
+            }
+            continue;
+        }
+        let name = str_field(rec, "name");
+        match ph {
+            "M" => {}
+            "B" | "E" | "i" | "X" => {
+                let (pid, tid) = match (pid, tid) {
+                    (Some(p), Some(t)) => (p, t),
+                    _ => return Err(format!("event {line}: {ph} without numeric pid/tid")),
+                };
+                if rec.get("ts").and_then(Val::as_f64).is_none() {
+                    return Err(format!("event {line}: {ph} without a numeric \"ts\""));
+                }
+                match ph {
+                    "B" => {
+                        let name = name.ok_or_else(|| format!("event {line}: B without a name"))?;
+                        summary.names.insert(name.to_string());
+                        stacks.entry((pid, tid)).or_default().push(name.to_string());
+                    }
+                    "E" => {
+                        // Chrome pairs E with the most recent unmatched B
+                        // on the same lane; an E with no open B is broken.
+                        let stack = stacks.entry((pid, tid)).or_default();
+                        match stack.pop() {
+                            Some(opened) => {
+                                if let Some(name) = name {
+                                    if name != opened {
+                                        return Err(format!(
+                                            "event {line}: E named {name:?} closes B named \
+                                             {opened:?} on tid {tid}"
+                                        ));
+                                    }
+                                }
+                            }
+                            None => {
+                                return Err(format!(
+                                    "event {line}: E with no open B on pid {pid} tid {tid}"
+                                ))
+                            }
+                        }
+                    }
+                    "i" => {
+                        if let Some(name) = name {
+                            summary.names.insert(name.to_string());
+                        }
+                    }
+                    _ => {
+                        // X: a complete event must carry its duration.
+                        if rec.get("dur").and_then(Val::as_f64).is_none() {
+                            return Err(format!("event {line}: X without a numeric \"dur\""));
+                        }
+                        if let Some(name) = name {
+                            summary.names.insert(name.to_string());
+                        }
+                    }
+                }
+            }
+            other => return Err(format!("event {line}: unknown phase {other:?}")),
+        }
+    }
+    // Truncation may leave open B events; that is tolerated like unclosed
+    // JSONL spans.
+    Ok(summary)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let path = match args.first() {
         Some(p) if !p.starts_with("--") => p.clone(),
         _ => {
-            eprintln!("usage: trace_check <trace.jsonl> [--require name1,name2,...]");
+            eprintln!(
+                "usage: trace_check <trace-file> [--require name1,name2,...] \
+                 [--format jsonl|chrome|auto]"
+            );
             std::process::exit(2);
         }
     };
-    let required: Vec<String> = args
-        .iter()
-        .position(|a| a == "--require")
-        .and_then(|i| args.get(i + 1))
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let required: Vec<String> = flag("--require")
         .map(|v| v.split(',').map(str::to_string).collect())
         .unwrap_or_default();
+    let format = flag("--format").unwrap_or_else(|| "auto".into());
     let text = match std::fs::read_to_string(&path) {
         Ok(t) => t,
         Err(e) => {
@@ -120,7 +257,21 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let summary = match validate(&text) {
+    let chrome = match format.as_str() {
+        "jsonl" => false,
+        "chrome" => true,
+        "auto" => text.trim_start().starts_with('['),
+        other => {
+            eprintln!("trace_check: unknown --format {other:?}");
+            std::process::exit(2);
+        }
+    };
+    let result = if chrome {
+        validate_chrome(&text)
+    } else {
+        validate(&text)
+    };
+    let summary = match result {
         Ok(s) => s,
         Err(e) => {
             eprintln!("trace_check: {path}: INVALID: {e}");
@@ -144,7 +295,8 @@ fn main() {
         .map(|(k, n)| format!("{k}={n}"))
         .collect();
     println!(
-        "trace_check: {path}: OK — {} records ({}), {} distinct names",
+        "trace_check: {path}: OK [{}] — {} records ({}), {} distinct names",
+        if chrome { "chrome" } else { "jsonl" },
         summary.records,
         kinds.join(" "),
         summary.names.len()
@@ -155,13 +307,23 @@ fn main() {
 mod tests {
     use super::*;
 
+    /// The trace sink is process-global; serialize the tests that install
+    /// one.
+    fn sink_guard() -> std::sync::MutexGuard<'static, ()> {
+        use std::sync::{Mutex, OnceLock};
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+    }
+
     const GOOD: &str = concat!(
         "{\"t\":\"meta\",\"ts\":1,\"schema\":\"gridtuner.trace/1\"}\n",
-        "{\"t\":\"span_start\",\"ts\":2,\"id\":1,\"name\":\"tune\"}\n",
-        "{\"t\":\"span_start\",\"ts\":3,\"id\":2,\"parent\":1,\"name\":\"probe\",\"f\":{\"side\":4}}\n",
-        "{\"t\":\"event\",\"ts\":4,\"level\":\"info\",\"name\":\"probe\",\"f\":{\"total\":1.5}}\n",
-        "{\"t\":\"span_end\",\"ts\":5,\"id\":2,\"name\":\"probe\",\"dur_ns\":100}\n",
-        "{\"t\":\"span_end\",\"ts\":6,\"id\":1,\"name\":\"tune\",\"dur_ns\":400}\n",
+        "{\"t\":\"span_start\",\"ts\":2,\"id\":1,\"tid\":1,\"name\":\"tune\"}\n",
+        "{\"t\":\"span_start\",\"ts\":3,\"id\":2,\"tid\":1,\"parent\":1,\"name\":\"probe\",\"f\":{\"side\":4}}\n",
+        "{\"t\":\"event\",\"ts\":4,\"tid\":1,\"level\":\"info\",\"name\":\"probe\",\"f\":{\"total\":1.5}}\n",
+        "{\"t\":\"span_end\",\"ts\":5,\"id\":2,\"tid\":1,\"name\":\"probe\",\"dur_ns\":100}\n",
+        "{\"t\":\"span_end\",\"ts\":6,\"id\":1,\"tid\":1,\"name\":\"tune\",\"dur_ns\":400}\n",
         "{\"t\":\"report\",\"ts\":7}\n",
     );
 
@@ -185,14 +347,39 @@ mod tests {
     fn rejects_unbalanced_spans() {
         let double_end = format!(
             "{}{}",
-            GOOD, "{\"t\":\"span_end\",\"ts\":8,\"id\":1,\"name\":\"tune\",\"dur_ns\":1}\n"
+            GOOD,
+            "{\"t\":\"span_end\",\"ts\":8,\"id\":1,\"tid\":1,\"name\":\"tune\",\"dur_ns\":1}\n"
         );
         assert!(validate(&double_end).unwrap_err().contains("ended twice"));
         let renamed = GOOD.replace(
-            "{\"t\":\"span_end\",\"ts\":6,\"id\":1,\"name\":\"tune\"",
-            "{\"t\":\"span_end\",\"ts\":6,\"id\":1,\"name\":\"other\"",
+            "{\"t\":\"span_end\",\"ts\":6,\"id\":1,\"tid\":1,\"name\":\"tune\"",
+            "{\"t\":\"span_end\",\"ts\":6,\"id\":1,\"tid\":1,\"name\":\"other\"",
         );
         assert!(validate(&renamed).unwrap_err().contains("started as"));
+    }
+
+    #[test]
+    fn rejects_parents_that_are_not_open() {
+        // Parent 99 never started.
+        let orphan = GOOD.replace("\"parent\":1", "\"parent\":99");
+        assert!(validate(&orphan).unwrap_err().contains("not an open span"));
+        // Parent 1 closed before the child started: move the tune end up.
+        let closed = concat!(
+            "{\"t\":\"meta\",\"ts\":1,\"schema\":\"gridtuner.trace/1\"}\n",
+            "{\"t\":\"span_start\",\"ts\":2,\"id\":1,\"tid\":1,\"name\":\"tune\"}\n",
+            "{\"t\":\"span_end\",\"ts\":3,\"id\":1,\"tid\":1,\"name\":\"tune\",\"dur_ns\":10}\n",
+            "{\"t\":\"span_start\",\"ts\":4,\"id\":2,\"tid\":1,\"parent\":1,\"name\":\"probe\"}\n",
+        );
+        assert!(validate(closed).unwrap_err().contains("not an open span"));
+    }
+
+    #[test]
+    fn rejects_spans_without_thread_ids() {
+        let untagged = GOOD.replace(
+            "{\"t\":\"span_start\",\"ts\":2,\"id\":1,\"tid\":1,\"name\":\"tune\"}",
+            "{\"t\":\"span_start\",\"ts\":2,\"id\":1,\"name\":\"tune\"}",
+        );
+        assert!(validate(&untagged).unwrap_err().contains("tid"));
     }
 
     #[test]
@@ -208,11 +395,76 @@ mod tests {
         assert!(validate(&bad).unwrap_err().contains("schema"));
     }
 
+    const CHROME: &str = concat!(
+        "[\n",
+        "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\"args\":{\"name\":\"gridtuner\"}},\n",
+        "{\"ph\":\"B\",\"pid\":1,\"tid\":1,\"ts\":1.0,\"name\":\"tune\",\"args\":{\"id\":1}},\n",
+        "{\"ph\":\"B\",\"pid\":1,\"tid\":1,\"ts\":2.0,\"name\":\"probe\",\"args\":{\"id\":2,\"parent\":1}},\n",
+        "{\"ph\":\"i\",\"pid\":1,\"tid\":1,\"ts\":2.5,\"s\":\"t\",\"cat\":\"info\",\"name\":\"probe\"},\n",
+        "{\"ph\":\"E\",\"pid\":1,\"tid\":1,\"ts\":3.0,\"name\":\"probe\"},\n",
+        "{\"ph\":\"E\",\"pid\":1,\"tid\":1,\"ts\":4.0,\"name\":\"tune\"},\n",
+        "{\"ph\":\"X\",\"pid\":1,\"tid\":10001,\"ts\":1.5,\"dur\":0.5,\"name\":\"par.task\",\"args\":{\"worker\":1}}\n",
+        "]\n",
+    );
+
+    #[test]
+    fn accepts_a_well_formed_chrome_trace() {
+        let s = validate_chrome(CHROME).unwrap();
+        assert_eq!(s.records, 7);
+        assert_eq!(s.kinds["B"], 2);
+        assert_eq!(s.kinds["E"], 2);
+        assert_eq!(s.kinds["X"], 1);
+        assert!(s.names.contains("tune") && s.names.contains("par.task"));
+    }
+
+    #[test]
+    fn chrome_tolerates_a_truncated_stream() {
+        // Killed mid-run: no closing bracket, trailing comma, open B.
+        let cut: String = CHROME.lines().take(4).collect::<Vec<_>>().join("\n");
+        let s = validate_chrome(&cut).unwrap();
+        assert_eq!(s.records, 3);
+    }
+
+    #[test]
+    fn chrome_rejects_mispaired_lanes_and_missing_dur() {
+        // E on a lane with no open B.
+        let wrong_lane = CHROME.replace(
+            "{\"ph\":\"E\",\"pid\":1,\"tid\":1,\"ts\":3.0,\"name\":\"probe\"}",
+            "{\"ph\":\"E\",\"pid\":1,\"tid\":7,\"ts\":3.0,\"name\":\"probe\"}",
+        );
+        assert!(validate_chrome(&wrong_lane)
+            .unwrap_err()
+            .contains("no open B"));
+        // E out of LIFO order.
+        let crossed = CHROME.replace(
+            "{\"ph\":\"E\",\"pid\":1,\"tid\":1,\"ts\":3.0,\"name\":\"probe\"}",
+            "{\"ph\":\"E\",\"pid\":1,\"tid\":1,\"ts\":3.0,\"name\":\"tune\"}",
+        );
+        assert!(validate_chrome(&crossed).unwrap_err().contains("closes B"));
+        // X without dur.
+        let nodur = CHROME.replace(",\"dur\":0.5", "");
+        assert!(validate_chrome(&nodur).unwrap_err().contains("dur"));
+        // Not an array at all.
+        assert!(validate_chrome("{\"ph\":\"M\"}").is_err());
+    }
+
+    #[test]
+    fn chrome_requires_the_process_name_header() {
+        let headless: String = format!(
+            "[\n{}\n]\n",
+            CHROME.lines().nth(2).unwrap().trim_end_matches(',')
+        );
+        assert!(validate_chrome(&headless)
+            .unwrap_err()
+            .contains("process_name"));
+    }
+
     #[test]
     fn a_real_captured_stream_validates() {
         // End-to-end: produce a trace through the real recorder and feed
         // it back through the validator.
         use gridtuner_obs as obs;
+        let _g = sink_guard();
         let buf = obs::trace::capture_to_buffer();
         obs::enable();
         {
@@ -226,5 +478,37 @@ mod tests {
         obs::trace::clear_sink();
         let s = validate(&text).unwrap();
         assert!(s.names.contains("tune") && s.names.contains("probe"));
+    }
+
+    #[test]
+    fn a_real_chrome_capture_validates() {
+        use gridtuner_obs as obs;
+        use std::sync::{Arc, Mutex};
+        #[derive(Clone)]
+        struct Buf(Arc<Mutex<Vec<u8>>>);
+        impl std::io::Write for Buf {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let _g = sink_guard();
+        let buf = Buf(Arc::new(Mutex::new(Vec::new())));
+        obs::trace::set_sink_with_format(Box::new(buf.clone()), obs::trace::Format::Chrome);
+        obs::enable();
+        {
+            let _t = obs::span!("tune", lo = 2u32, hi = 8u32);
+            let _p = obs::span!("probe", side = 4u32);
+            obs::event!("probe", side = 4u32, total = 2.5f64);
+        }
+        obs::disable();
+        obs::trace::clear_sink(); // writes the closing bracket
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let s = validate_chrome(&text).unwrap();
+        assert!(s.names.contains("tune") && s.names.contains("probe"));
+        assert_eq!(s.kinds["B"], s.kinds["E"]);
     }
 }

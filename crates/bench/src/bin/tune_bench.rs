@@ -34,10 +34,14 @@
 //! at the largest thread count is less than `S`× faster than the 1-thread
 //! tune — the CI thread-scaling gate (skipped with a warning when the
 //! machine itself has fewer than 2 CPUs, where no thread count can help).
+//! `--profile` captures the cached sweep's trace in memory and prints the
+//! profile analyzer's self-time / worker-utilization / critical-path
+//! tables to stderr after the sweep.
 
+use gridtuner_bench::kernel_timing::time_kernels;
 use gridtuner_core::alpha::AlphaWindow;
 use gridtuner_core::estimate_alpha;
-use gridtuner_core::expression::{expression_error_windowed, total_expression_error_percell};
+use gridtuner_core::expression::expression_error_windowed;
 use gridtuner_core::tuner::{SearchStrategy, TunerConfig};
 use gridtuner_datagen::City;
 use gridtuner_engine::{EngineConfig, TuningSession};
@@ -131,6 +135,8 @@ struct BenchArgs {
     /// than this factor faster than the 1-thread tune (skipped on
     /// single-CPU machines).
     min_thread_speedup: Option<f64>,
+    /// Capture the cached sweep's trace and print the profile analysis.
+    profile: bool,
 }
 
 fn parse_args(args: &[String]) -> BenchArgs {
@@ -138,6 +144,7 @@ fn parse_args(args: &[String]) -> BenchArgs {
         scale: 1.0,
         min_kernel_speedup: None,
         min_thread_speedup: None,
+        profile: false,
     };
     let mut i = 0;
     while i < args.len() {
@@ -154,6 +161,7 @@ fn parse_args(args: &[String]) -> BenchArgs {
                 i += 1;
                 out.min_thread_speedup = args.get(i).and_then(|s| s.parse().ok());
             }
+            "--profile" => out.profile = true,
             _ => {}
         }
         i += 1;
@@ -212,6 +220,9 @@ fn main() {
     obs::init_from_env();
     obs::enable();
     obs::reset();
+    // Under --profile, capture the sweep's JSONL trace in memory and feed
+    // it to the profile analyzer (replaces any GRIDTUNER_TRACE sink).
+    let profile_buf = args.profile.then(obs::trace::capture_to_buffer);
     let engine_cfg = EngineConfig {
         clock,
         ..EngineConfig::from_tuner(cfg)
@@ -225,6 +236,16 @@ fn main() {
         "[tune_bench] cached: side {} err {:.3} in {wall_ms:.1} ms ({} log scans)",
         result.outcome.side, result.outcome.error, result.alpha_full_scans
     );
+
+    if let Some(buf) = &profile_buf {
+        obs::trace::flush();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap_or_default();
+        obs::trace::clear_sink();
+        match obs::profile::Profile::from_jsonl(&text) {
+            Ok(p) => eprintln!("{}", p.render(10, &obs::metrics::snapshot().counters)),
+            Err(e) => eprintln!("[tune_bench] profile analysis failed: {e}"),
+        }
+    }
 
     assert_eq!(
         result.outcome.side, naive_side,
@@ -240,35 +261,23 @@ fn main() {
     // thread — only the expression sweep differs. The per-cell sweep is the
     // pre-batching hot loop (per-MGrid memo, fresh window Vecs per cell);
     // the batched path is what the session just ran (workspace reuse,
-    // dedup, cross-probe pmf memo).
+    // dedup, cross-probe pmf memo). Timing is per-side interleaved,
+    // best-of-3 (see `kernel_timing`) so the committed speedup is stable
+    // enough for bench_check to gate against.
     let prev_threads = gridtuner_par::max_threads();
     gridtuner_par::set_max_threads(1);
     let cache = session.alpha_cache().expect("tune built the α cache");
     let probed: Vec<u32> = result.outcome.probes.iter().map(|&(s, _)| s).collect();
     let budget = session.config().hgrid_budget_side;
-    let tk = Instant::now();
-    let mut percell_total = 0.0f64;
-    for &s in &probed {
-        let part = Partition::for_budget(s, budget);
-        percell_total += cache.with_alpha(part.hgrid_spec(), |alpha| {
-            total_expression_error_percell(alpha, &part)
-        });
-    }
-    let percell_ms = tk.elapsed().as_secs_f64() * 1e3;
-    let tk = Instant::now();
-    let mut batched_total = 0.0f64;
-    for &s in &probed {
-        let part = Partition::for_budget(s, budget);
-        batched_total += cache
-            .expression_error(&part)
-            .expect("α field from finite synthetic events");
-    }
-    let batched_ms = tk.elapsed().as_secs_f64() * 1e3;
+    let kt = time_kernels(cache, &probed, budget, 3);
+    let (percell_ms, batched_ms) = (kt.percell_ms, kt.batched_ms);
     assert!(
-        (percell_total - batched_total).abs() <= 1e-9 * (1.0 + percell_total.abs()),
-        "kernels disagree on total expression error: {percell_total} vs {batched_total}"
+        (kt.percell_total - kt.batched_total).abs() <= 1e-9 * (1.0 + kt.percell_total.abs()),
+        "kernels disagree on total expression error: {} vs {}",
+        kt.percell_total,
+        kt.batched_total
     );
-    let kernel_speedup = percell_ms / batched_ms.max(1e-9);
+    let kernel_speedup = kt.speedup();
     eprintln!(
         "[tune_bench] kernel: per-cell {percell_ms:.1} ms vs batched {batched_ms:.1} ms \
          ({kernel_speedup:.2}x) over {} probes",
@@ -466,7 +475,8 @@ mod tests {
             BenchArgs {
                 scale: 0.5,
                 min_kernel_speedup: Some(1.5),
-                min_thread_speedup: None
+                min_thread_speedup: None,
+                profile: false
             }
         );
         assert_eq!(
@@ -487,13 +497,21 @@ mod tests {
             BenchArgs {
                 scale: 1.0,
                 min_kernel_speedup: Some(2.0),
-                min_thread_speedup: Some(2.5)
+                min_thread_speedup: Some(2.5),
+                profile: false
             }
         );
         assert_eq!(
             parse_args(&argv("--min-thread-speedup nope")).min_thread_speedup,
             None
         );
+    }
+
+    #[test]
+    fn profile_flag_parsing() {
+        assert!(!parse_args(&argv("")).profile);
+        assert!(parse_args(&argv("--profile")).profile);
+        assert!(parse_args(&argv("--scale 0.5 --profile")).profile);
     }
 
     /// The benchmark's correctness gate, in miniature: the naive

@@ -13,6 +13,7 @@
 
 pub mod ctx;
 pub mod experiments;
+pub mod kernel_timing;
 
 use gridtuner_datagen::City;
 

@@ -35,8 +35,11 @@ const USAGE: &str = "\
 usage: gridtuner <command> [--flag value]...
 
 global flags (any command):
-  --trace PATH  stream a JSON-lines trace of the run to PATH
-  --report      print an end-of-run observability report to stderr
+  --trace PATH           stream a trace of the run to PATH
+  --trace-format jsonl|chrome
+                         wire format for --trace (default jsonl; chrome
+                         opens in Perfetto / chrome://tracing)
+  --report               print an end-of-run observability report to stderr
 
 commands:
   tune        find the optimal MGrid side for a city
@@ -44,6 +47,11 @@ commands:
               --strategy brute|ternary|iterative  --budget SIDE  --range LO:HI
               --bootstrap B  --bootstrap-seed S  (or GRIDTUNER_BOOTSTRAP[_SEED]):
               B replicate tunes -> confidence set + stability verdict
+  profile     tune under the profiler and print self-time / worker
+              utilization / critical-path tables
+              --city C  --scale F  --seed N  --strategy S  --budget SIDE
+              --range LO:HI  --top N  [--input TRACE.jsonl: analyze an
+              existing JSONL trace instead of running a tune]
   expression  expression error of one HGrid (alpha, rest-of-MGrid, m)
               --alpha F  --rest F  --m N  [--k N: fixed-K Algorithm 2]
   generate    stream one day of trip records as TSV
@@ -118,6 +126,7 @@ fn cmd_tune(a: &Args) -> Result<(), CliError> {
         "bootstrap",
         "bootstrap-seed",
         "trace",
+        "trace-format",
         "report",
     ])?;
     let city = City::by_name(&a.str_or("city", "xian"))?.scaled(a.get_or("scale", 0.05)?);
@@ -205,8 +214,128 @@ fn cmd_tune(a: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Counter values for the profile tables: the `report` record's counters
+/// when the trace carries one (`--input` mode), empty otherwise.
+fn report_counters(records: &[obs::json::Val]) -> Vec<(String, u64)> {
+    let Some(metrics) = records
+        .iter()
+        .find(|r| r.get("t").and_then(|v| v.as_str()) == Some("report"))
+        .and_then(|r| r.get("metrics"))
+        .and_then(|m| m.get("counters"))
+    else {
+        return Vec::new();
+    };
+    match metrics {
+        obs::json::Val::Obj(entries) => entries
+            .iter()
+            .filter_map(|(k, v)| v.as_f64().map(|f| (k.clone(), f as u64)))
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+fn cmd_profile(a: &Args) -> Result<(), CliError> {
+    a.expect_only(&[
+        "city",
+        "scale",
+        "seed",
+        "strategy",
+        "budget",
+        "range",
+        "top",
+        "input",
+        "trace",
+        "trace-format",
+        "report",
+    ])?;
+    let top: usize = a.get_or("top", 12usize)?;
+    let input = a.str_or("input", "");
+    if !input.is_empty() {
+        // Offline mode: analyze a previously captured JSONL trace.
+        let text = std::fs::read_to_string(&input)
+            .map_err(|e| CliError::Engine(EngineError::Data(format!("--input {input:?}: {e}"))))?;
+        let records = obs::json::parse_jsonl(&text)
+            .map_err(|e| CliError::Engine(EngineError::Data(format!("--input {input:?}: {e}"))))?;
+        let profile = obs::profile::Profile::from_records(&records);
+        print!("{}", profile.render(top, &report_counters(&records)));
+        return Ok(());
+    }
+    if a.str_or("trace-format", "jsonl") == "chrome" {
+        return Err(ArgError(
+            "profile analyzes the JSONL format; use `tune --trace-format chrome` for a \
+             Perfetto trace"
+                .into(),
+        )
+        .into());
+    }
+    // Live mode: run a tune with recording on, captured to a buffer.
+    let city = City::by_name(&a.str_or("city", "nyc"))?.scaled(a.get_or("scale", 0.05)?);
+    let seed: u64 = a.get_or("seed", 2022u64)?;
+    let budget: u32 = a.get_or("budget", 64u32)?;
+    let range = a.range_or("range", (2, 24))?;
+    let strategy = match a.str_or("strategy", "brute").as_str() {
+        "brute" => SearchStrategy::BruteForce,
+        "ternary" => SearchStrategy::Ternary,
+        "iterative" => SearchStrategy::Iterative { init: 16, bound: 4 },
+        other => return Err(ArgError(format!("unknown strategy {other:?}")).into()),
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let events = city.sample_history_events(16, 0..28, &mut rng);
+    eprintln!(
+        "profiling a {} tune ({} history events, sides {}..{}, strategy {})",
+        city.name(),
+        events.len(),
+        range.0,
+        range.1,
+        a.str_or("strategy", "brute"),
+    );
+    let split = DataSplit {
+        train_days: (0, 28),
+        val_days: (28, 30),
+        test_day: 30,
+    };
+    let model = CityModelError::new(city.clone(), split, seed, || {
+        Box::new(HistoricalAverage::new()) as Box<dyn Predictor>
+    })
+    .with_max_eval_slots(24);
+    let config = EngineConfig::builder()
+        .hgrid_budget_side(budget)
+        .side_range(range.0, range.1)
+        .strategy(strategy)
+        .alpha_window(AlphaWindow::default())
+        .clock(*city.clock())
+        .build()?;
+    obs::enable();
+    let buffer = obs::trace::capture_to_buffer();
+    let result = (|| -> Result<_, CliError> {
+        let mut session = TuningSession::new(config, model)?;
+        session.ingest(&events)?;
+        Ok(session.tune()?)
+    })();
+    obs::trace::flush();
+    obs::trace::clear_sink();
+    let report = result?;
+    let text =
+        String::from_utf8_lossy(&buffer.lock().unwrap_or_else(|p| p.into_inner())).into_owned();
+    // Honor --trace by saving the captured stream for later re-analysis.
+    let trace_path = a.str_or("trace", "");
+    if !trace_path.is_empty() {
+        std::fs::write(&trace_path, &text)
+            .map_err(|e| ArgError(format!("--trace: cannot write {trace_path:?}: {e}")))?;
+    }
+    let profile = obs::profile::Profile::from_jsonl(&text)
+        .map_err(|e| CliError::Engine(EngineError::Internal(format!("captured trace: {e}"))))?;
+    let counters = obs::metrics::snapshot().counters;
+    eprintln!(
+        "tuned: side {} (error {:.2}), {} probes",
+        report.outcome.side, report.outcome.error, report.outcome.evals
+    );
+    print!("{}", profile.render(top, &counters));
+    Ok(())
+}
+
 fn cmd_expression(a: &Args) -> Result<(), CliError> {
-    a.expect_only(&["alpha", "rest", "m", "k", "trace", "report"])?;
+    a.expect_only(&["alpha", "rest", "m", "k", "trace", "trace-format", "report"])?;
     let alpha: f64 = a.get_or("alpha", 2.0)?;
     let rest: f64 = a.get_or("rest", 30.0)?;
     let m: usize = a.get_or("m", 64usize)?;
@@ -221,7 +350,15 @@ fn cmd_expression(a: &Args) -> Result<(), CliError> {
 }
 
 fn cmd_generate(a: &Args) -> Result<(), CliError> {
-    a.expect_only(&["city", "scale", "day", "seed", "trace", "report"])?;
+    a.expect_only(&[
+        "city",
+        "scale",
+        "day",
+        "seed",
+        "trace",
+        "trace-format",
+        "report",
+    ])?;
     let city = City::by_name(&a.str_or("city", "xian"))?.scaled(a.get_or("scale", 0.01)?);
     let day: u32 = a.get_or("day", 0u32)?;
     let seed: u64 = a.get_or("seed", 2022u64)?;
@@ -254,6 +391,7 @@ fn cmd_simulate(a: &Args) -> Result<(), CliError> {
         "drivers",
         "seed",
         "trace",
+        "trace-format",
         "report",
     ])?;
     let city = City::by_name(&a.str_or("city", "xian"))?.scaled(a.get_or("scale", 0.01)?);
@@ -318,7 +456,7 @@ fn cmd_simulate(a: &Args) -> Result<(), CliError> {
 }
 
 fn cmd_heatmap(a: &Args) -> Result<(), CliError> {
-    a.expect_only(&["city", "side", "hour", "trace", "report"])?;
+    a.expect_only(&["city", "side", "hour", "trace", "trace-format", "report"])?;
     let city = City::by_name(&a.str_or("city", "nyc"))?;
     let side: u32 = a.get_or("side", 32u32)?;
     let hour: u32 = a.get_or("hour", 8u32)?;
@@ -342,10 +480,19 @@ fn cmd_heatmap(a: &Args) -> Result<(), CliError> {
 /// end-of-run report was requested.
 fn setup_obs(args: &Args) -> Result<bool, ArgError> {
     let trace_path = args.str_or("trace", "");
+    let format = match args.str_or("trace-format", "jsonl").as_str() {
+        "jsonl" => obs::trace::Format::Jsonl,
+        "chrome" => obs::trace::Format::Chrome,
+        other => {
+            return Err(ArgError(format!(
+                "--trace-format must be jsonl or chrome, got {other:?}"
+            )))
+        }
+    };
     if !trace_path.is_empty() {
         let f = std::fs::File::create(&trace_path)
             .map_err(|e| ArgError(format!("--trace: cannot open {trace_path:?}: {e}")))?;
-        obs::trace::set_sink(Box::new(std::io::BufWriter::new(f)));
+        obs::trace::set_sink_with_format(Box::new(std::io::BufWriter::new(f)), format);
         obs::enable();
     } else {
         obs::init_from_env();
@@ -383,6 +530,7 @@ fn main() {
     };
     let result = match args.command.as_str() {
         "tune" => cmd_tune(&args),
+        "profile" => cmd_profile(&args),
         "expression" => cmd_expression(&args),
         "generate" => cmd_generate(&args),
         "simulate" => cmd_simulate(&args),
@@ -395,10 +543,12 @@ fn main() {
     };
     if result.is_ok() && want_report {
         let report = obs::report::RunReport::capture();
-        report.emit(); // appended to the trace stream, if any
+        report.emit(); // appended to the trace stream, if any (JSONL only)
         eprintln!("{report}");
     }
-    obs::trace::flush();
+    // Closing the sink flushes it and, in Chrome mode, writes the array
+    // terminator so the file is complete JSON.
+    obs::trace::clear_sink();
     if let Err(e) = result {
         fail(&e);
     }

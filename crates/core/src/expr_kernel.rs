@@ -37,7 +37,9 @@ use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard, TryLockError};
+use std::sync::{
+    Arc, OnceLock, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard, TryLockError,
+};
 
 /// Multiply-shift hasher for the f64-bit rate keys the kernel hashes
 /// millions of times per tune. The keys are already high-entropy u64s
@@ -277,19 +279,41 @@ impl Default for PmfMemo {
     }
 }
 
+/// Global per-shard lock-wait counters, `pmf_memo.shard{i}.lock_waits`.
+/// Registered once so the profiler can attribute contention to the shard
+/// that actually blocked (the aggregate `pmf_memo.lock_waits` says *that*
+/// workers collided; the shard split says *where*).
+fn shard_wait_counters() -> &'static [Arc<obs::metrics::Counter>] {
+    static COUNTERS: OnceLock<Vec<Arc<obs::metrics::Counter>>> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        (0..MEMO_SHARDS)
+            .map(|i| obs::metrics::counter(&format!("pmf_memo.shard{i}.lock_waits")))
+            .collect()
+    })
+}
+
+/// Bumps the instance, aggregate and per-shard wait counters on a blocked
+/// acquisition.
+fn note_lock_wait(waits: &obs::metrics::Counter, shard_idx: usize) {
+    waits.inc();
+    obs::counter!("pmf_memo.lock_waits").inc();
+    shard_wait_counters()[shard_idx].inc();
+}
+
 /// Poison-immune read lock that counts the times it had to block: an
 /// uncontended acquisition is the expected case, so a failed `try_read`
-/// is the contention signal `pmf_memo.lock_waits` records.
+/// is the contention signal `pmf_memo.lock_waits` (and its per-shard
+/// split) records.
 fn read_counted<'a, T>(
     lock: &'a RwLock<T>,
     waits: &obs::metrics::Counter,
+    shard_idx: usize,
 ) -> RwLockReadGuard<'a, T> {
     match lock.try_read() {
         Ok(g) => g,
         Err(TryLockError::Poisoned(p)) => p.into_inner(),
         Err(TryLockError::WouldBlock) => {
-            waits.inc();
-            obs::counter!("pmf_memo.lock_waits").inc();
+            note_lock_wait(waits, shard_idx);
             lock.read().unwrap_or_else(PoisonError::into_inner)
         }
     }
@@ -299,13 +323,13 @@ fn read_counted<'a, T>(
 fn write_counted<'a, T>(
     lock: &'a RwLock<T>,
     waits: &obs::metrics::Counter,
+    shard_idx: usize,
 ) -> RwLockWriteGuard<'a, T> {
     match lock.try_write() {
         Ok(g) => g,
         Err(TryLockError::Poisoned(p)) => p.into_inner(),
         Err(TryLockError::WouldBlock) => {
-            waits.inc();
-            obs::counter!("pmf_memo.lock_waits").inc();
+            note_lock_wait(waits, shard_idx);
             lock.write().unwrap_or_else(PoisonError::into_inner)
         }
     }
@@ -329,12 +353,12 @@ impl PmfMemo {
         }
     }
 
-    /// The shard holding `key`, selected from the *mixed* hash's high bits
-    /// so shard choice and in-shard bucket choice stay independent.
-    fn shard(&self, key: u64) -> &RwLock<RateMap<Arc<PmfTable>>> {
+    /// The shard index for `key`, selected from the *mixed* hash's high
+    /// bits so shard choice and in-shard bucket choice stay independent.
+    fn shard_index(key: u64) -> usize {
         let mut h = RateHash::default();
         h.write_u64(key);
-        &self.shards[(h.finish() >> (64 - 4)) as usize & (MEMO_SHARDS - 1)]
+        (h.finish() >> (64 - 4)) as usize & (MEMO_SHARDS - 1)
     }
 
     /// Reserves one entry plus `slots` f64s against the caps, atomically.
@@ -376,8 +400,9 @@ impl PmfMemo {
     /// bit-identical values.
     pub fn get_or_build(&self, rate: f64) -> Option<Arc<PmfTable>> {
         let key = rate.to_bits();
-        let shard = self.shard(key);
-        if let Some(t) = read_counted(shard, &self.lock_waits).get(&key) {
+        let shard_idx = Self::shard_index(key);
+        let shard = &self.shards[shard_idx];
+        if let Some(t) = read_counted(shard, &self.lock_waits, shard_idx).get(&key) {
             self.hits.inc();
             obs::counter!("expr.pmf_memo_hits").inc();
             return Some(Arc::clone(t));
@@ -396,7 +421,7 @@ impl PmfMemo {
         }
         let built = Arc::new(PmfTable::build(rate));
         debug_assert_eq!(built.slots(), slots, "admission must match fill");
-        let mut guard = write_counted(shard, &self.lock_waits);
+        let mut guard = write_counted(shard, &self.lock_waits, shard_idx);
         match guard.entry(key) {
             Entry::Occupied(e) => {
                 // Lost an insert race: another worker admitted this rate
@@ -693,6 +718,25 @@ mod tests {
         (80.0, 7_920.0, 100),
         (0.25, 1234.5, 64),
     ];
+
+    #[test]
+    fn shard_wait_counters_cover_every_shard_and_attribute_blocks() {
+        let counters = shard_wait_counters();
+        assert_eq!(counters.len(), MEMO_SHARDS);
+        let memo = PmfMemo::default();
+        let idx = PmfMemo::shard_index(1.5f64.to_bits());
+        let aggregate_before = obs::metrics::counter("pmf_memo.lock_waits").get();
+        let shard_before = counters[idx].get();
+        let other = counters[(idx + 1) % MEMO_SHARDS].get();
+        note_lock_wait(&memo.lock_waits, idx);
+        assert_eq!(counters[idx].get(), shard_before + 1);
+        assert_eq!(counters[(idx + 1) % MEMO_SHARDS].get(), other);
+        assert_eq!(
+            obs::metrics::counter("pmf_memo.lock_waits").get(),
+            aggregate_before + 1
+        );
+        assert_eq!(memo.lock_waits(), 1, "instance counter tracks its memo");
+    }
 
     #[test]
     fn eval_tables_matches_windowed_bitwise() {

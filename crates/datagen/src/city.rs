@@ -331,12 +331,7 @@ impl City {
         let start = self.clock.minute_of_slot(slot);
         let span = self.clock.slot_minutes();
         (0..n)
-            .map(|_| {
-                Event::new(
-                    intensity.sample_point(rng),
-                    start + rng.gen_range(0..span),
-                )
-            })
+            .map(|_| Event::new(intensity.sample_point(rng), start + rng.gen_range(0..span)))
             .collect()
     }
 

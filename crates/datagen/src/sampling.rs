@@ -242,13 +242,9 @@ mod tests {
                 .map(|_| sample_negative_binomial(&mut rng, mean, phi) as f64)
                 .collect();
             let m = samples.iter().sum::<f64>() / n as f64;
-            let var =
-                samples.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (n - 1) as f64;
+            let var = samples.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (n - 1) as f64;
             let expected_var = mean + phi * mean * mean;
-            assert!(
-                (m - mean).abs() / mean < 0.02,
-                "μ={mean} φ={phi}: mean={m}"
-            );
+            assert!((m - mean).abs() / mean < 0.02, "μ={mean} φ={phi}: mean={m}");
             assert!(
                 (var - expected_var).abs() / expected_var < 0.08,
                 "μ={mean} φ={phi}: var={var} want≈{expected_var}"

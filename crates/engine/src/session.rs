@@ -96,6 +96,12 @@ pub struct TuneReport {
     /// (delta of `pmf_memo.lock_waits`). Warm-path lookups are lock-free
     /// via the workspace L1, so this should stay near zero.
     pub pmf_lock_waits: u64,
+    /// Dispatches the pool flagged as load-imbalanced during this tune
+    /// (delta of `par.imbalance_warnings`; recorded only while
+    /// observability is enabled). Non-zero means some participants sat
+    /// idle at the barrier while others ran long — the oversubscription
+    /// signature the worker-timeline profiler pinpoints.
+    pub par_imbalance_warnings: u64,
     /// Bootstrap confidence set and stability verdict — present when the
     /// session config enables [`bootstrap`](EngineConfig::bootstrap).
     pub uncertainty: Option<UncertaintyReport>,
@@ -113,6 +119,7 @@ struct ExprCounters {
     dispatches: u64,
     worker_idle_ms: u64,
     lock_waits: u64,
+    imbalance_warnings: u64,
 }
 
 impl ExprCounters {
@@ -126,6 +133,7 @@ impl ExprCounters {
             dispatches: obs::counter!("par.dispatches").get(),
             worker_idle_ms: obs::counter!("par.worker_idle_ms").get(),
             lock_waits: obs::counter!("pmf_memo.lock_waits").get(),
+            imbalance_warnings: obs::counter!("par.imbalance_warnings").get(),
         }
     }
 
@@ -140,6 +148,9 @@ impl ExprCounters {
             dispatches: now.dispatches.saturating_sub(self.dispatches),
             worker_idle_ms: now.worker_idle_ms.saturating_sub(self.worker_idle_ms),
             lock_waits: now.lock_waits.saturating_sub(self.lock_waits),
+            imbalance_warnings: now
+                .imbalance_warnings
+                .saturating_sub(self.imbalance_warnings),
         }
     }
 }
@@ -541,6 +552,7 @@ impl<S: ModelErrorSource> TuningSession<S> {
             par_dispatches: expr.dispatches,
             par_worker_idle_ms: expr.worker_idle_ms,
             pmf_lock_waits: expr.lock_waits,
+            par_imbalance_warnings: expr.imbalance_warnings,
             uncertainty,
         };
         self.stages.push(StageRecord::new(
@@ -726,6 +738,7 @@ impl<S: SyncModelErrorSource> TuningSession<S> {
             par_dispatches: expr.dispatches,
             par_worker_idle_ms: expr.worker_idle_ms,
             pmf_lock_waits: expr.lock_waits,
+            par_imbalance_warnings: expr.imbalance_warnings,
             uncertainty,
         };
         self.stages.push(StageRecord::new(

@@ -83,7 +83,14 @@ mod tests {
         let names: Vec<&str> = kinds.iter().map(|k| k.name()).collect();
         assert_eq!(
             names,
-            vec!["ingest", "alpha", "search", "uncertainty", "report", "dispatch"]
+            vec![
+                "ingest",
+                "alpha",
+                "search",
+                "uncertainty",
+                "report",
+                "dispatch"
+            ]
         );
         assert_eq!(StageKind::Search.to_string(), "search");
     }

@@ -43,6 +43,7 @@
 
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod report;
 pub mod span;
 pub mod trace;
@@ -85,7 +86,10 @@ pub fn disable() {
 /// One-time environment hookup, called by binaries at startup:
 ///
 /// * `GRIDTUNER_TRACE=path` — opens (truncates) `path`, installs it as the
-///   JSON-lines trace sink, and enables recording;
+///   trace sink, and enables recording;
+/// * `GRIDTUNER_TRACE_FORMAT=chrome|jsonl` — wire format for that sink
+///   (default `jsonl`; `chrome` writes Chrome Trace Event Format for
+///   Perfetto / `chrome://tracing`);
 /// * `GRIDTUNER_OBS=1` — enables in-memory recording (stats + report)
 ///   without a trace file.
 ///
@@ -94,9 +98,13 @@ pub fn init_from_env() {
     ENV_INIT.call_once(|| {
         if let Ok(path) = std::env::var("GRIDTUNER_TRACE") {
             if !path.is_empty() {
+                let format = match std::env::var("GRIDTUNER_TRACE_FORMAT").as_deref() {
+                    Ok("chrome") => trace::Format::Chrome,
+                    _ => trace::Format::Jsonl,
+                };
                 match std::fs::File::create(&path) {
                     Ok(f) => {
-                        trace::set_sink(Box::new(std::io::BufWriter::new(f)));
+                        trace::set_sink_with_format(Box::new(std::io::BufWriter::new(f)), format);
                         enable();
                     }
                     Err(e) => eprintln!("[gridtuner-obs] cannot open GRIDTUNER_TRACE={path}: {e}"),

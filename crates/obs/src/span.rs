@@ -23,9 +23,29 @@ use std::time::Instant;
 /// Span ids start at 1; 0 means "no parent".
 static NEXT_ID: AtomicU64 = AtomicU64::new(1);
 
+/// Thread ids start at 1 and are handed out in first-use order.
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
 thread_local! {
     /// Innermost live span id on this thread (0 = none).
     static CURRENT: Cell<u64> = const { Cell::new(0) };
+    /// This thread's sequential trace id (0 = not assigned yet).
+    static TID: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The calling thread's sequential trace id, assigned on first use. Stable
+/// for the thread's lifetime; recorded on every span/event record so the
+/// profiler can attribute time per thread.
+pub fn current_tid() -> u64 {
+    TID.with(|t| {
+        let id = t.get();
+        if id != 0 {
+            return id;
+        }
+        let id = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+        t.set(id);
+        id
+    })
 }
 
 fn epoch() -> Instant {

@@ -46,6 +46,7 @@
 //! of hanging the pool or aborting the process. Workers themselves survive
 //! and return to the parked state.
 
+use crate::timeline::{self, TaskRecord};
 use gridtuner_obs as obs;
 use std::any::Any;
 use std::cell::Cell;
@@ -70,15 +71,21 @@ struct Job {
     /// [`Pool::dispatch`] — see the safety comment there.
     f: *const Participant<'static>,
     tasks: usize,
+    /// Dispatch generation stamped on this job's timeline records.
+    generation: u64,
     /// Claim cursor: `fetch_add` hands out `0..tasks` exactly once each.
     next: AtomicUsize,
     /// Pool workers allowed to join (dispatcher participates for free).
     tickets: AtomicUsize,
     /// Threads currently inside [`Job::run_tasks`] (or about to claim).
     runners: AtomicUsize,
-    /// Threads that claimed at least one task (for idle accounting).
+    /// Threads that claimed at least one task (for idle accounting). The
+    /// fetch-add return value doubles as the thread's `busy_slots` index.
     participants: AtomicUsize,
     busy_ns: AtomicU64,
+    /// Per-participant busy time, indexed by claim order — the imbalance
+    /// detector compares these after the barrier.
+    busy_slots: Vec<AtomicU64>,
     /// First panic payload from any participant.
     panic: Mutex<Option<Box<dyn Any + Send>>>,
 }
@@ -105,16 +112,31 @@ impl Job {
         let Some(first) = self.claim() else {
             return;
         };
-        self.participants.fetch_add(1, Ordering::Relaxed);
+        let slot = self.participants.fetch_add(1, Ordering::Relaxed);
         let timed = obs::enabled();
         let started = Instant::now();
+        let worker = timeline::current_worker();
+        // The task currently running on this thread: (index, claim ts).
+        // Lives outside the closure so a panicking task still gets closed.
+        let open = Cell::new(None::<(usize, u64)>);
         let mut pending = Some(first);
         let result = panic::catch_unwind(AssertUnwindSafe(|| {
             let mut pop = || {
-                if let Some(i) = pending.take() {
-                    return Some(i);
+                let i = if let Some(i) = pending.take() {
+                    Some(i)
+                } else {
+                    self.claim()
+                };
+                if timed {
+                    let now = obs::span::since_epoch_ns();
+                    if let Some((task, claim_ns)) = open.take() {
+                        self.record_task(worker, task, claim_ns, now);
+                    }
+                    if let Some(task) = i {
+                        open.set(Some((task, now)));
+                    }
                 }
-                self.claim()
+                i
             };
             // SAFETY: `first` was claimed, so the dispatcher is still
             // blocked in `dispatch` and the closure is alive.
@@ -122,8 +144,16 @@ impl Job {
             f(&mut pop);
         }));
         if timed {
-            self.busy_ns
-                .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            if let Some((task, claim_ns)) = open.take() {
+                // The participant retired (or panicked) with a task open:
+                // close it at the retire timestamp.
+                self.record_task(worker, task, claim_ns, obs::span::since_epoch_ns());
+            }
+            let busy = started.elapsed().as_nanos() as u64;
+            self.busy_ns.fetch_add(busy, Ordering::Relaxed);
+            if let Some(per) = self.busy_slots.get(slot) {
+                per.store(busy, Ordering::Relaxed);
+            }
         }
         if let Err(payload) = result {
             // Jam the cursor so every participant drains, then keep only
@@ -134,6 +164,17 @@ impl Job {
                 *slot = Some(payload);
             }
         }
+    }
+
+    /// One closed task on this thread's timeline.
+    fn record_task(&self, worker: u32, task: usize, claim_ns: u64, finish_ns: u64) {
+        timeline::record(TaskRecord {
+            worker,
+            generation: self.generation,
+            task: task as u32,
+            claim_ns,
+            finish_ns,
+        });
     }
 }
 
@@ -190,10 +231,11 @@ impl Pool {
     fn ensure_spawned(&'static self, n: usize) {
         let mut st = self.lock_state();
         while st.spawned < n {
-            let name = format!("gridtuner-par-{}", st.spawned);
+            let index = st.spawned;
+            let name = format!("gridtuner-par-{index}");
             let spawned = std::thread::Builder::new()
                 .name(name)
-                .spawn(move || self.worker_loop());
+                .spawn(move || self.worker_loop(index));
             if spawned.is_err() {
                 break;
             }
@@ -202,8 +244,10 @@ impl Pool {
         }
     }
 
-    fn worker_loop(&self) {
+    fn worker_loop(&self, index: usize) {
         IS_WORKER.set(true);
+        // Participant id 0 is the dispatching thread; workers are 1-based.
+        timeline::set_worker_id(index as u32 + 1);
         // Force a first look at whatever job is already posted: workers
         // are usually spawned mid-dispatch.
         let mut seen = u64::MAX;
@@ -301,11 +345,13 @@ pub(crate) fn run(tasks: usize, max_workers: usize, items: usize, f: &Participan
     let job = Arc::new(Job {
         f: erased as *const Participant<'static>,
         tasks,
+        generation: timeline::next_generation(),
         next: AtomicUsize::new(0),
         tickets: AtomicUsize::new(budget - 1),
         runners: AtomicUsize::new(0),
         participants: AtomicUsize::new(0),
         busy_ns: AtomicU64::new(0),
+        busy_slots: (0..budget).map(|_| AtomicU64::new(0)).collect(),
         panic: Mutex::new(None),
     });
     {
@@ -340,11 +386,60 @@ pub(crate) fn run(tasks: usize, max_workers: usize, items: usize, f: &Participan
         obs::counter!("par.busy_ns").add(busy);
         obs::counter!("par.idle_ns").add(idle);
         obs::counter!("par.worker_idle_ms").add(idle / 1_000_000);
+        check_imbalance(&job, wall, idle);
     }
     let payload = lock_unpoisoned(&job.panic).take();
     if let Some(payload) = payload {
         panic::resume_unwind(payload);
     }
+}
+
+/// Dispatches shorter than this are too noisy to judge for imbalance.
+const IMBALANCE_MIN_WALL_NS: u64 = 10_000_000;
+/// Max/min per-participant busy ratio that counts as imbalanced.
+const IMBALANCE_MAX_RATIO: f64 = 3.0;
+/// Aggregate idle fraction (idle / wall × participants) that counts as
+/// oversubscribed regardless of the ratio.
+const IMBALANCE_MAX_IDLE_FRAC: f64 = 0.35;
+
+/// Flags a finished dispatch whose per-participant busy times diverged —
+/// the oversubscription signature behind the 8-thread bench regression
+/// (few long tasks pin some workers while the rest drain the queue and
+/// idle at the barrier). Purely observational: a counter plus a warn
+/// event, no effect on results.
+fn check_imbalance(job: &Job, wall: u64, idle: u64) {
+    let n = job.participants.load(Ordering::Relaxed);
+    if n < 2 || wall < IMBALANCE_MIN_WALL_NS {
+        return;
+    }
+    let busies = &job.busy_slots[..n.min(job.busy_slots.len())];
+    let max = busies
+        .iter()
+        .map(|b| b.load(Ordering::Relaxed))
+        .max()
+        .unwrap_or(0);
+    let min = busies
+        .iter()
+        .map(|b| b.load(Ordering::Relaxed))
+        .min()
+        .unwrap_or(0);
+    let ratio = max as f64 / min.max(1) as f64;
+    let idle_frac = idle as f64 / (wall.max(1) * n as u64) as f64;
+    if ratio < IMBALANCE_MAX_RATIO && idle_frac < IMBALANCE_MAX_IDLE_FRAC {
+        return;
+    }
+    obs::counter!("par.imbalance_warnings").inc();
+    obs::warn_event!(
+        "par.oversubscription_imbalance",
+        generation = job.generation,
+        participants = n as u64,
+        tasks = job.tasks as u64,
+        wall_ms = wall as f64 / 1e6,
+        busy_max_ms = max as f64 / 1e6,
+        busy_min_ms = min as f64 / 1e6,
+        ratio = ratio,
+        idle_pct = idle_frac * 100.0,
+    );
 }
 
 /// Number of live (parked or working) pool worker threads. Zero until the

@@ -1,0 +1,208 @@
+//! Bounded lock-free ring of per-worker task records.
+//!
+//! When obs recording is on, every task a pool participant claims leaves
+//! one [`TaskRecord`] here: which worker ran it, under which dispatch
+//! generation, and its claim/finish timestamps on the obs monotonic
+//! clock. The ring is a fixed array of atomic slots written through a
+//! wrapping `fetch_add` cursor — recording never blocks, never allocates,
+//! and overwrites oldest-first when a run outgrows [`RING_CAP`].
+//!
+//! Records are simultaneously forwarded to the trace sink (when one is
+//! installed) as `par.task` records via
+//! [`gridtuner_obs::trace::write_task_record`], which is what the profile
+//! analyzer and the Chrome exporter's per-worker lanes consume; the ring
+//! itself serves in-process consumers (tests, ad-hoc inspection) without
+//! requiring a sink.
+//!
+//! [`snapshot`] is meant to be taken while no dispatch is in flight (the
+//! pool serializes dispatches and the caller owns the barrier); a
+//! snapshot raced against an active dispatch may contain the handful of
+//! records being overwritten at that instant.
+
+use gridtuner_obs as obs;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Ring capacity in records (~1 MiB of slots).
+pub const RING_CAP: usize = 1 << 15;
+
+/// One claimed-task observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskRecord {
+    /// Participant id: 0 = the dispatching thread, `i ≥ 1` = pool worker
+    /// `gridtuner-par-{i-1}`.
+    pub worker: u32,
+    /// Dispatch generation the task belonged to (1-based, process-wide).
+    pub generation: u64,
+    /// Task index within the dispatch.
+    pub task: u32,
+    /// Claim timestamp, ns on the obs monotonic epoch.
+    pub claim_ns: u64,
+    /// Finish timestamp (the next claim on the same thread, or the
+    /// participant retiring).
+    pub finish_ns: u64,
+}
+
+/// Each slot packs a record into 4 atomics: worker|task, generation,
+/// claim, finish.
+fn slots() -> &'static [[AtomicU64; 4]] {
+    static SLOTS: OnceLock<Vec<[AtomicU64; 4]>> = OnceLock::new();
+    SLOTS.get_or_init(|| {
+        (0..RING_CAP)
+            .map(|_| std::array::from_fn(|_| AtomicU64::new(0)))
+            .collect()
+    })
+}
+
+/// Total records ever written; `CURSOR % RING_CAP` is the next slot.
+static CURSOR: AtomicUsize = AtomicUsize::new(0);
+
+/// Process-wide dispatch generation counter.
+static DISPATCH_GEN: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// This thread's participant id (0 = not a pool worker → dispatcher).
+    static WORKER_ID: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Tags the calling thread with its pool-worker id. Called once per worker
+/// thread at spawn; the dispatching thread keeps the default 0.
+pub(crate) fn set_worker_id(id: u32) {
+    WORKER_ID.set(id);
+}
+
+/// The calling thread's participant id (0 = dispatcher).
+pub fn current_worker() -> u32 {
+    WORKER_ID.get()
+}
+
+/// Hands out the next dispatch generation (1-based).
+pub(crate) fn next_generation() -> u64 {
+    DISPATCH_GEN.fetch_add(1, Ordering::Relaxed) + 1
+}
+
+/// Appends one record to the ring and forwards it to the trace sink (a
+/// no-op when none is installed). Callers gate on `obs::enabled()`.
+pub fn record(rec: TaskRecord) {
+    let idx = CURSOR.fetch_add(1, Ordering::Relaxed) % RING_CAP;
+    let slot = &slots()[idx];
+    slot[0].store(
+        (u64::from(rec.worker) << 32) | u64::from(rec.task),
+        Ordering::Relaxed,
+    );
+    slot[1].store(rec.generation, Ordering::Relaxed);
+    slot[2].store(rec.claim_ns, Ordering::Relaxed);
+    slot[3].store(rec.finish_ns, Ordering::Relaxed);
+    obs::trace::write_task_record(
+        rec.worker,
+        rec.generation,
+        rec.task,
+        rec.claim_ns,
+        rec.finish_ns,
+    );
+}
+
+/// Total records ever written (may exceed [`RING_CAP`]).
+pub fn recorded() -> u64 {
+    CURSOR.load(Ordering::Relaxed) as u64
+}
+
+/// The retained records, claim-ordered. Take this after a dispatch
+/// barrier — see the module docs.
+pub fn snapshot() -> Vec<TaskRecord> {
+    let n = CURSOR.load(Ordering::Relaxed).min(RING_CAP);
+    let mut out: Vec<TaskRecord> = slots()[..n]
+        .iter()
+        .map(|slot| {
+            let packed = slot[0].load(Ordering::Relaxed);
+            TaskRecord {
+                worker: (packed >> 32) as u32,
+                task: packed as u32,
+                generation: slot[1].load(Ordering::Relaxed),
+                claim_ns: slot[2].load(Ordering::Relaxed),
+                finish_ns: slot[3].load(Ordering::Relaxed),
+            }
+        })
+        .collect();
+    out.sort_by_key(|r| (r.claim_ns, r.generation, r.worker, r.task));
+    out
+}
+
+/// Forgets all retained records (the generation counter keeps counting).
+pub fn reset() {
+    CURSOR.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// The ring is process-global; serialize the tests that reset it.
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn records_round_trip_claim_sorted() {
+        let _g = guard();
+        reset();
+        record(TaskRecord {
+            worker: 2,
+            generation: 5,
+            task: 9,
+            claim_ns: 300,
+            finish_ns: 400,
+        });
+        record(TaskRecord {
+            worker: 0,
+            generation: 5,
+            task: 1,
+            claim_ns: 100,
+            finish_ns: 250,
+        });
+        let snap = snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].worker, 0);
+        assert_eq!(snap[0].task, 1);
+        assert_eq!(snap[0].finish_ns, 250);
+        assert_eq!(snap[1].worker, 2);
+        assert_eq!(snap[1].generation, 5);
+        assert_eq!(recorded(), 2);
+        reset();
+        assert!(snapshot().is_empty());
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_beyond_capacity() {
+        let _g = guard();
+        reset();
+        for i in 0..(RING_CAP + 10) {
+            record(TaskRecord {
+                worker: 1,
+                generation: 1,
+                task: (i % 1000) as u32,
+                claim_ns: i as u64,
+                finish_ns: i as u64 + 1,
+            });
+        }
+        let snap = snapshot();
+        assert_eq!(snap.len(), RING_CAP);
+        assert_eq!(recorded(), (RING_CAP + 10) as u64);
+        // The oldest 10 claims were overwritten.
+        assert!(snap.iter().all(|r| r.claim_ns >= 10));
+        reset();
+    }
+
+    #[test]
+    fn generations_are_one_based_and_increasing() {
+        let a = next_generation();
+        let b = next_generation();
+        assert!(a >= 1);
+        assert!(b > a);
+    }
+}

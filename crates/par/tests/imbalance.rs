@@ -1,0 +1,55 @@
+//! The oversubscription-imbalance detector end to end: a dispatch whose
+//! busy time lands almost entirely on one worker must raise the
+//! `par.imbalance_warnings` counter and leave per-worker task records in
+//! the timeline ring.
+//!
+//! Lives in its own integration-test process because it flips the
+//! process-global obs recording flag and reads process-global counters.
+
+use gridtuner_obs as obs;
+use gridtuner_par::{par_map, set_max_threads, timeline};
+use std::time::Duration;
+
+#[test]
+fn skewed_dispatch_warns_and_records_worker_timelines() {
+    set_max_threads(4);
+    obs::enable();
+    let warnings_before = obs::counter!("par.imbalance_warnings").get();
+    let recorded_before = timeline::recorded();
+
+    // 16 tasks: one sleeps well past the 10 ms judging threshold, the
+    // rest are nearly free. Whichever participant claims the sleeper ends
+    // up with a busy-time ratio far beyond the 3x threshold (and everyone
+    // else idles past the idle-fraction threshold while it sleeps).
+    let items: Vec<u64> = (0..16).collect();
+    let out = par_map(&items, |&i| {
+        if i == 0 {
+            std::thread::sleep(Duration::from_millis(40));
+        }
+        i * 2
+    });
+    assert_eq!(out, (0..16).map(|i| i * 2).collect::<Vec<_>>());
+
+    obs::disable();
+    assert!(
+        obs::counter!("par.imbalance_warnings").get() > warnings_before,
+        "a 40 ms single-task skew across 4 workers must raise the imbalance warning"
+    );
+    assert!(
+        timeline::recorded() > recorded_before,
+        "recording was on: claimed tasks must land in the timeline ring"
+    );
+    let snap = timeline::snapshot();
+    let workers: std::collections::BTreeSet<u32> = snap.iter().map(|r| r.worker).collect();
+    assert!(
+        workers.len() >= 2,
+        "a 4-way dispatch must involve at least two participants (saw {workers:?})"
+    );
+    for rec in &snap {
+        assert!(
+            rec.finish_ns >= rec.claim_ns,
+            "task interval must be ordered"
+        );
+        assert!(rec.generation >= 1, "generations are 1-based");
+    }
+}

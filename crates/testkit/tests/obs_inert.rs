@@ -80,6 +80,38 @@ fn pipeline(city: City, seed: u64) -> Json {
     ])
 }
 
+/// One brute-force tune's full bit-compared signature: selected side,
+/// error bits, and the per-probe (side, error-bits) decomposition.
+type TuneSignature = (u32, u64, Vec<(u32, u64)>);
+
+fn tune_signature(city: &City, seed: u64) -> TuneSignature {
+    let window = AlphaWindow {
+        slot_of_day: 16,
+        day_start: 0,
+        day_end: HISTORY_DAYS,
+        weekdays_only: true,
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let events = city.sample_history_events(window.slot_of_day, 0..HISTORY_DAYS, &mut rng);
+    let model = |s: u32| MODEL_COEF * (s * s) as f64;
+    let config = TunerConfig {
+        hgrid_budget_side: BUDGET_SIDE,
+        side_range: SIDE_RANGE,
+        strategy: SearchStrategy::BruteForce,
+        alpha_window: window,
+    };
+    let r = GridTuner::new(config).tune_brute_parallel(&events, *city.clock(), model);
+    (
+        r.outcome.side,
+        r.outcome.error.to_bits(),
+        r.outcome
+            .probes
+            .iter()
+            .map(|&(s, e)| (s, e.to_bits()))
+            .collect(),
+    )
+}
+
 /// Spans the traced pipeline run must have recorded (ISSUE acceptance:
 /// alpha scan, expression-error evaluation, each search probe, dispatch
 /// simulation; predictor training is exercised by the predict crate's own
@@ -167,5 +199,44 @@ fn tracing_is_bit_for_bit_inert() {
         .map(|(_, v)| *v)
         .unwrap_or(0);
     assert!(probes > 0, "probe counter must have advanced");
+
+    // 6. Profiling must stay inert across thread counts: at 1, 2 and 8
+    // workers the same tune, run with recording off and then with a live
+    // sink (worker timelines, par.task records and all), must produce a
+    // bit-identical signature — and every thread count must agree with
+    // every other. Whenever the pool actually dispatched under recording,
+    // the captured stream must carry the per-worker `par.task` timeline.
+    let scaled = City::nyc().scaled(SCALE);
+    let prev_threads = gridtuner_par::max_threads();
+    let mut reference: Option<TuneSignature> = None;
+    for threads in [1usize, 2, 8] {
+        gridtuner_par::set_max_threads(threads);
+        obs::disable();
+        let off = tune_signature(&scaled, 0x6e7963);
+        let buf = obs::trace::capture_to_buffer();
+        obs::enable();
+        let dispatches_before = obs::counter!("par.dispatches").get();
+        let on = tune_signature(&scaled, 0x6e7963);
+        let dispatched = obs::counter!("par.dispatches").get() > dispatches_before;
+        obs::disable();
+        obs::trace::flush();
+        let stream = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        obs::trace::clear_sink();
+        assert_eq!(
+            off, on,
+            "profiling changed the tune result at {threads} threads"
+        );
+        match &reference {
+            None => reference = Some(off),
+            Some(r) => assert_eq!(&off, r, "thread count {threads} changed the tune result"),
+        }
+        if dispatched {
+            assert!(
+                stream.contains("\"par.task\""),
+                "pool dispatched at {threads} threads but the stream has no par.task records"
+            );
+        }
+    }
+    gridtuner_par::set_max_threads(prev_threads);
     obs::reset();
 }

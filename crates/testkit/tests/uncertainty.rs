@@ -82,7 +82,9 @@ fn run(pipeline: bool) -> Bits {
         .expect("golden config is valid");
     let model = |s: u32| MODEL_COEF * (s * s) as f64;
     let mut session = TuningSession::new(cfg, model).expect("validated above");
-    session.ingest(&events).expect("synthetic events are finite");
+    session
+        .ingest(&events)
+        .expect("synthetic events are finite");
     let report = session.tune_parallel().expect("analytic model leg");
     bits(&report.uncertainty.expect("bootstrap was configured"))
 }
