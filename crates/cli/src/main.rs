@@ -25,7 +25,10 @@ use gridtuner::core::expression::{expression_error_alg2, expression_error_window
 use gridtuner::datagen::{City, DataSplit, TripGenerator};
 use gridtuner::dispatch::daif::DaifConfig;
 use gridtuner::dispatch::{Daif, DemandView, FleetConfig, Ls, Nearest, Order, Polar, SimConfig};
-use gridtuner::engine::{AlphaWindow, EngineConfig, EngineError, SearchStrategy, TuningSession};
+use gridtuner::engine::{
+    AlphaWindow, EngineConfig, EngineError, PartitionKind, PartitionLayout, SearchStrategy,
+    TuningSession,
+};
 use gridtuner::obs;
 use gridtuner::predict::{CityModelError, HistoricalAverage, Predictor};
 use gridtuner::spatial::Partition;
@@ -45,6 +48,9 @@ commands:
   tune        find the optimal MGrid side for a city
               --city nyc|chengdu|xian  --scale F  --seed N
               --strategy brute|ternary|iterative  --budget SIDE  --range LO:HI
+              --partition uniform|rect|quadtree: refine beyond square grids
+              (rect hill-climb / D_alpha-guided quadtree) and print the
+              refined bound next to the uniform baseline
               --bootstrap B  --bootstrap-seed S  (or GRIDTUNER_BOOTSTRAP[_SEED]):
               B replicate tunes -> confidence set + stability verdict
   profile     tune under the profiler and print self-time / worker
@@ -123,6 +129,7 @@ fn cmd_tune(a: &Args) -> Result<(), CliError> {
         "strategy",
         "budget",
         "range",
+        "partition",
         "bootstrap",
         "bootstrap-seed",
         "trace",
@@ -130,6 +137,14 @@ fn cmd_tune(a: &Args) -> Result<(), CliError> {
         "report",
     ])?;
     let city = City::by_name(&a.str_or("city", "xian"))?.scaled(a.get_or("scale", 0.05)?);
+    let partition_kind = {
+        let s = a.str_or("partition", "uniform");
+        PartitionKind::parse(&s).ok_or_else(|| {
+            ArgError(format!(
+                "--partition must be uniform, rect or quadtree, got {s:?}"
+            ))
+        })?
+    };
     let seed: u64 = a.get_or("seed", 2022u64)?;
     let budget: u32 = a.get_or("budget", 64u32)?;
     let range = a.range_or("range", (2, 24))?;
@@ -180,7 +195,16 @@ fn cmd_tune(a: &Args) -> Result<(), CliError> {
     let config = builder.build()?;
     let mut session = TuningSession::new(config, model)?;
     session.ingest(&events)?;
-    let result = session.tune()?;
+    // Non-uniform families run the PartitionSearch stage, which embeds the
+    // 1-D uniform tune as its baseline — so the standard report lines below
+    // stay bit-identical to a plain `tune` either way.
+    let (result, refined) = match partition_kind {
+        PartitionKind::Uniform => (session.tune()?, None),
+        kind => {
+            let pr = session.tune_partition(kind)?;
+            (pr.uniform.clone(), Some(pr))
+        }
+    };
     // Thread diagnostics read back the pool, not `available_parallelism`:
     // `threads` is the effective ceiling, `pool_workers` the count of
     // persistent workers actually spawned by this run (0 means the whole
@@ -196,6 +220,40 @@ fn cmd_tune(a: &Args) -> Result<(), CliError> {
         result.partition.m(),
         result.partition.hgrid_spec().side()
     );
+    if let Some(pr) = &refined {
+        let layout = match &pr.layout {
+            PartitionLayout::Uniform { side } => format!("{side}x{side} uniform"),
+            PartitionLayout::Rect { nx, ny } => format!("{nx}x{ny} rect"),
+            PartitionLayout::QuadTree(q) => format!(
+                "quadtree lattice {} ({} leaves)",
+                q.lattice_side(),
+                q.leaves().len()
+            ),
+        };
+        println!("refined_partition\t{} [{layout}]", pr.kind);
+        println!("refined_regions\t{} (cap {})", pr.n_regions, pr.region_cap);
+        println!(
+            "refined_bound\t{:.6} = expression {:.6} + model {:.6}",
+            pr.bound, pr.expression_error, pr.model_error
+        );
+        println!(
+            "refined_search\tsplits={} merges={} evals={}",
+            pr.splits, pr.merges, pr.evals
+        );
+        println!(
+            "uniform_baseline\tn={} bound={:.6}",
+            pr.uniform_regions(),
+            pr.uniform_bound()
+        );
+        println!(
+            "refined_vs_uniform\t{}",
+            if pr.improves_on_uniform() {
+                "bound <= uniform at <= regions"
+            } else {
+                "no improvement (uniform baseline kept)"
+            }
+        );
+    }
     if let Some(unc) = &result.uncertainty {
         let set: Vec<String> = unc.confidence_set.iter().map(u32::to_string).collect();
         println!(

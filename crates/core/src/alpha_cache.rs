@@ -27,9 +27,11 @@
 use crate::alpha::AlphaWindow;
 use crate::error::CoreError;
 use crate::expr_kernel::PmfMemo;
-use crate::expression::try_total_expression_error;
+use crate::expression::{try_partition_expression_error, try_total_expression_error};
 use gridtuner_obs as obs;
-use gridtuner_spatial::{CountMatrix, Event, GridSpec, Partition, Point, SlotClock};
+use gridtuner_spatial::{
+    CountMatrix, Event, GridSpec, Partition, Point, SlotClock, SpatialPartition,
+};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
@@ -203,6 +205,20 @@ impl AlphaFieldCache {
     pub fn expression_error(&self, partition: &Partition) -> Result<f64, CoreError> {
         let alpha = self.alpha(partition.hgrid_spec());
         try_total_expression_error(&alpha, partition, Some(&*self.pmf_memo))
+    }
+
+    /// [`expression_error`](Self::expression_error) generalised over any
+    /// [`SpatialPartition`]: the α field is served from the per-side memo
+    /// (all partitions are HGrid-aligned, so the lattice side is still the
+    /// whole key) and the Poisson tables from the same cross-probe
+    /// [`PmfMemo`] — per-region `K` never enters either cache's key, which
+    /// is why non-uniform partitions share both caches for free.
+    pub fn partition_expression_error<P: SpatialPartition + Sync>(
+        &self,
+        partition: &P,
+    ) -> Result<f64, CoreError> {
+        let alpha = self.alpha(partition.hgrid_spec());
+        try_partition_expression_error(&alpha, partition, Some(&*self.pmf_memo))
     }
 
     /// The cross-probe Poisson-table cache.

@@ -8,12 +8,45 @@
 //! (Fig. 14 finds ≈ 76² on NYC; the paper then takes `N = 128²` with
 //! margin).
 
-use gridtuner_spatial::CountMatrix;
+use crate::error::CoreError;
+use gridtuner_spatial::{CountMatrix, RegionId, SpatialPartition};
 
 /// `D_α` of a mean field: total absolute deviation from the field mean.
 pub fn d_alpha(alpha: &CountMatrix) -> f64 {
     let mean = alpha.mean();
     alpha.as_slice().iter().map(|&a| (a - mean).abs()).sum()
+}
+
+/// Per-region unevenness contributions under a [`SpatialPartition`]:
+/// entry `r` is `Σ_{h ∈ region r} |α_h − ᾱ_r|` with `ᾱ_r` the region's own
+/// mean — the region's share of Theorem II.1's decomposition, and the
+/// greedy refinement signal of the engine's partition search (a region
+/// whose contribution is large hides internal structure a split can
+/// expose; a region with zero contribution is internally uniform and a
+/// merge candidate).
+///
+/// The field must live on the partition's HGrid lattice.
+pub fn region_d_alpha<P: SpatialPartition>(
+    alpha: &CountMatrix,
+    partition: &P,
+) -> Result<Vec<f64>, CoreError> {
+    if alpha.side() != partition.hgrid_spec().side() {
+        return Err(CoreError::Data(format!(
+            "alpha field must live on the partition's HGrid lattice \
+             (field side {}, lattice side {})",
+            alpha.side(),
+            partition.hgrid_spec().side()
+        )));
+    }
+    let mut out = Vec::with_capacity(partition.n_regions());
+    let mut buf = Vec::new();
+    for r in 0..partition.n_regions() {
+        partition.region_cells_into(RegionId(r), &mut buf);
+        let k = buf.len().max(1) as f64;
+        let mean: f64 = buf.iter().map(|&h| alpha.get(h)).sum::<f64>() / k;
+        out.push(buf.iter().map(|&h| (alpha.get(h) - mean).abs()).sum());
+    }
+    Ok(out)
 }
 
 /// Selects the HGrid side from a `(side, D_α)` curve sampled at increasing
@@ -91,6 +124,42 @@ mod tests {
         let fine = field(8, |r, c| if r == 0 && c == 0 { 64.0 } else { 0.0 });
         let blurred = fine.coarsen(4).unwrap().spread(4).unwrap();
         assert!(d_alpha(&fine) > d_alpha(&blurred));
+    }
+
+    #[test]
+    fn region_d_alpha_sums_to_partitioned_unevenness() {
+        use gridtuner_spatial::{QuadTreePartition, UniformGrid};
+        let m = field(8, |r, c| ((r * 5 + c * 3) % 7) as f64);
+        // One region covering everything reduces to plain D_α.
+        let root = QuadTreePartition::root(8);
+        let contrib = region_d_alpha(&m, &root).unwrap();
+        assert_eq!(contrib.len(), 1);
+        assert!((contrib[0] - d_alpha(&m)).abs() < 1e-12);
+        // A uniform field contributes zero everywhere, any partition.
+        let flat = field(8, |_, _| 2.5);
+        let u = UniformGrid::for_budget(4, 8);
+        assert!(region_d_alpha(&flat, &u)
+            .unwrap()
+            .iter()
+            .all(|&c| c.abs() < 1e-12));
+        // Lattice mismatch is a Data error, not a panic.
+        assert!(region_d_alpha(&field(5, |_, _| 1.0), &root).is_err());
+    }
+
+    #[test]
+    fn splitting_never_increases_total_region_d_alpha() {
+        use gridtuner_spatial::{QuadTreePartition, RegionId};
+        // Refinement exposes structure: each region's deviation from its
+        // own mean can only shrink when measured against finer means.
+        let m = field(8, |r, c| if r < 4 && c < 4 { 9.0 } else { 1.0 });
+        let root = QuadTreePartition::root(8);
+        let before: f64 = region_d_alpha(&m, &root).unwrap().iter().sum();
+        let split = root.split(RegionId(0)).unwrap();
+        let after: f64 = region_d_alpha(&m, &split).unwrap().iter().sum();
+        assert!(
+            after <= before + 1e-12,
+            "split raised D_α: {before} -> {after}"
+        );
     }
 
     #[test]

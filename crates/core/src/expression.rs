@@ -31,7 +31,7 @@
 use crate::error::CoreError;
 use crate::expr_kernel::{ExprWorkspace, PmfMemo};
 use crate::poisson::{mass_window, poisson_pmf_range};
-use gridtuner_spatial::{CountMatrix, Partition};
+use gridtuner_spatial::{CellId, CountMatrix, Partition, RegionId, SpatialPartition};
 
 /// Expression error by brute force: every `p(r_ij, k_h, k_m)` is rebuilt by
 /// an `O(k_h + k_m)` multiplication loop, giving `O(mK³)` total. Subject to
@@ -265,6 +265,87 @@ pub fn try_total_expression_error(
             ws.mgrid_error_trusted(partition.hgrid_iter(mcell).map(|h| alpha.get(h)), memo)
         },
     ))
+}
+
+/// [`try_total_expression_error`] generalised over any
+/// [`SpatialPartition`]: the sum of per-region expression errors, where
+/// each region's cell count `K` is per-call (the kernel's `m` is already a
+/// per-call argument, so variable-size regions need no kernel change).
+///
+/// Regions are swept in dense id order over the same fixed-size contiguous
+/// blocks as [`try_total_expression_error`], with one
+/// `(workspace, cell buffer)` pair per worker, so the result is
+/// bit-identical for every worker count. For a
+/// [`UniformGrid`](gridtuner_spatial::UniformGrid) the region ids, cell
+/// order and per-item values all coincide with the legacy MGrid sweep, so
+/// the trait-dispatched uniform path is **bit-identical** to
+/// [`try_total_expression_error`] on the wrapped
+/// [`Partition`](gridtuner_spatial::Partition) — the differential the
+/// testkit pins.
+pub fn try_partition_expression_error<P: SpatialPartition + Sync>(
+    alpha: &CountMatrix,
+    partition: &P,
+    memo: Option<&PmfMemo>,
+) -> Result<f64, CoreError> {
+    if alpha.side() != partition.hgrid_spec().side() {
+        return Err(CoreError::Data(format!(
+            "alpha field must live on the partition's HGrid lattice \
+             (field side {}, lattice side {})",
+            alpha.side(),
+            partition.hgrid_spec().side()
+        )));
+    }
+    validate_field(alpha)?;
+    let _span = gridtuner_obs::span!("expression_error", regions = partition.n_regions());
+    let local;
+    let memo = match memo {
+        Some(m) => m,
+        None => {
+            local = PmfMemo::default();
+            &local
+        }
+    };
+    let regions: Vec<RegionId> = (0..partition.n_regions()).map(RegionId).collect();
+    Ok(gridtuner_par::par_sum_with(
+        &regions,
+        || (ExprWorkspace::new(), Vec::new()),
+        |(ws, buf): &mut (ExprWorkspace, Vec<CellId>), &rid| {
+            partition.region_cells_into(rid, buf);
+            ws.mgrid_error_trusted(buf.iter().map(|&h| alpha.get(h)), memo)
+        },
+    ))
+}
+
+/// Sequential reference for [`try_partition_expression_error`]: one thread,
+/// same fixed [`gridtuner_par::SUM_BLOCK`] association — the parallel
+/// generic sweep must match it bit for bit.
+pub fn partition_expression_error_seq<P: SpatialPartition>(
+    alpha: &CountMatrix,
+    partition: &P,
+) -> Result<f64, CoreError> {
+    if alpha.side() != partition.hgrid_spec().side() {
+        return Err(CoreError::Data(format!(
+            "alpha field must live on the partition's HGrid lattice \
+             (field side {}, lattice side {})",
+            alpha.side(),
+            partition.hgrid_spec().side()
+        )));
+    }
+    validate_field(alpha)?;
+    let memo = PmfMemo::default();
+    let mut ws = ExprWorkspace::new();
+    let mut buf = Vec::new();
+    let regions: Vec<RegionId> = (0..partition.n_regions()).map(RegionId).collect();
+    let mut partials = Vec::with_capacity(regions.len().div_ceil(gridtuner_par::SUM_BLOCK).max(1));
+    for block in regions.chunks(gridtuner_par::SUM_BLOCK) {
+        let mut p = 0.0;
+        for &rid in block {
+            partition.region_cells_into(rid, &mut buf);
+            p += ws.mgrid_error_trusted(buf.iter().map(|&h| alpha.get(h)), &memo);
+        }
+        partials.push(p);
+    }
+    Ok(partials.iter().sum())
 }
 
 /// Total expression error `Σ_i Σ_j E_e(i,j)` for a partition, given the
@@ -634,6 +715,68 @@ mod tests {
     #[should_panic(expected = "finite and non-negative")]
     fn check_args_names_non_finite_means() {
         expression_error_windowed(f64::NAN, 1.0, 4);
+    }
+
+    #[test]
+    fn trait_uniform_sweep_is_bit_identical_to_legacy() {
+        use gridtuner_spatial::UniformGrid;
+        let p = Partition::new(4, 6);
+        let alpha = uneven_field(24);
+        let legacy = try_total_expression_error(&alpha, &p, None).unwrap();
+        let traited = try_partition_expression_error(&alpha, &UniformGrid::new(p), None).unwrap();
+        assert_eq!(legacy.to_bits(), traited.to_bits(), "{legacy} vs {traited}");
+        let seq = partition_expression_error_seq(&alpha, &UniformGrid::new(p)).unwrap();
+        assert_eq!(legacy.to_bits(), seq.to_bits());
+    }
+
+    #[test]
+    fn quadtree_and_rect_sweeps_match_manual_region_sums() {
+        use gridtuner_spatial::{QuadTreePartition, RectGrid, RegionId, SpatialPartition};
+        let alpha = uneven_field(8);
+        let q = QuadTreePartition::uniform_depth(8, 1)
+            .and_then(|q| q.split(RegionId(0)))
+            .unwrap();
+        let swept = try_partition_expression_error(&alpha, &q, None).unwrap();
+        let manual: f64 = (0..q.n_regions())
+            .map(|r| {
+                let rates: Vec<f64> = q
+                    .region_cells(RegionId(r))
+                    .iter()
+                    .map(|&h| alpha.get(h))
+                    .collect();
+                mgrid_expression_error(&rates)
+            })
+            .sum();
+        assert!(
+            (swept - manual).abs() < 1e-9,
+            "quadtree {swept} vs {manual}"
+        );
+
+        let r = RectGrid::for_budget(2, 4, 8);
+        let alpha = uneven_field(r.hgrid_spec().side());
+        let swept = try_partition_expression_error(&alpha, &r, None).unwrap();
+        let manual: f64 = (0..r.n_regions())
+            .map(|i| {
+                let rates: Vec<f64> = r
+                    .region_cells(RegionId(i))
+                    .iter()
+                    .map(|&h| alpha.get(h))
+                    .collect();
+                mgrid_expression_error(&rates)
+            })
+            .sum();
+        assert!((swept - manual).abs() < 1e-9, "rect {swept} vs {manual}");
+    }
+
+    #[test]
+    fn partition_sweep_rejects_mismatched_lattice() {
+        use gridtuner_spatial::QuadTreePartition;
+        let q = QuadTreePartition::root(8);
+        let alpha = CountMatrix::zeros(5);
+        match try_partition_expression_error(&alpha, &q, None).unwrap_err() {
+            CoreError::Data(msg) => assert!(msg.contains("HGrid lattice"), "{msg}"),
+            other => panic!("expected Data, got {other:?}"),
+        }
     }
 
     #[test]

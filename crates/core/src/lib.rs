@@ -53,15 +53,15 @@ pub mod upper_bound;
 
 pub use alpha::estimate_alpha;
 pub use alpha_cache::{cached_alpha, AlphaFieldCache};
-pub use dalpha::{d_alpha, select_hgrid_side};
+pub use dalpha::{d_alpha, region_d_alpha, select_hgrid_side};
 pub use error::CoreError;
 pub use errors::ErrorReport;
 pub use expr_kernel::{dedup_groups, ExprWorkspace, PmfMemo, PmfTable};
 pub use expression::{
     expression_error_alg1, expression_error_alg2, expression_error_naive,
-    expression_error_windowed, mgrid_expression_error, total_expression_error,
-    total_expression_error_memo, total_expression_error_percell, total_expression_error_seq,
-    try_total_expression_error,
+    expression_error_windowed, mgrid_expression_error, partition_expression_error_seq,
+    total_expression_error, total_expression_error_memo, total_expression_error_percell,
+    total_expression_error_seq, try_partition_expression_error, try_total_expression_error,
 };
 pub use kselect::{recommended_k, truncation_error_bound};
 pub use resample::{replicate_seed, resample_events, splitmix64, ReplicateRng};

@@ -18,7 +18,20 @@ use crate::alpha_cache::AlphaFieldCache;
 use crate::error::CoreError;
 use crate::search::{ErrorOracle, SyncErrorOracle};
 use gridtuner_obs as obs;
-use gridtuner_spatial::{Event, Partition, SlotClock};
+use gridtuner_spatial::{Event, Partition, SlotClock, SpatialPartition};
+
+/// Integer square root (floor), exact for any region count.
+fn isqrt(n: usize) -> u32 {
+    let n = n as u64;
+    let mut s = (n as f64).sqrt() as u64;
+    while (s + 1).saturating_mul(s + 1) <= n {
+        s += 1;
+    }
+    while s.saturating_mul(s) > n {
+        s -= 1;
+    }
+    s as u32
+}
 
 /// The model-error leg of Algorithm 3: everything that knows how to train
 /// and evaluate a prediction model at a given MGrid side.
@@ -137,6 +150,49 @@ impl<M: ModelErrorFn> UpperBoundOracle<M> {
     /// Model-error leg only.
     pub fn model_error(&mut self, side: u32) -> f64 {
         self.model.total_model_error(side)
+    }
+
+    /// Expression-error leg for any [`SpatialPartition`] — the oracle's
+    /// trait-parameterised face. Served from the same α cache and pmf memo
+    /// as [`expression_error`](Self::expression_error); for a
+    /// [`UniformGrid`](gridtuner_spatial::UniformGrid) of side `s` the
+    /// result is bit-identical to `expression_error(s)` when the lattice
+    /// sides coincide.
+    pub fn partition_expression_error<P: SpatialPartition + Sync>(
+        &self,
+        partition: &P,
+    ) -> Result<f64, CoreError> {
+        self.alpha.partition_expression_error(partition)
+    }
+
+    /// Model-error leg for a partition with `n_regions` regions. The model
+    /// trait only knows square sides, so a non-square region count is
+    /// bracketed by the two nearest squares `s₁² ≤ R ≤ (s₁+1)²` and the
+    /// error is interpolated linearly in `n` — exact for model curves
+    /// linear in n (the analytic `c·n` sources the goldens use) and a
+    /// monotone estimate otherwise.
+    pub fn model_error_for_regions(&mut self, n_regions: usize) -> f64 {
+        let s1 = isqrt(n_regions.max(1)).max(1);
+        let n1 = (s1 as usize).pow(2);
+        if n1 == n_regions.max(1) {
+            return self.model.total_model_error(s1);
+        }
+        let s2 = s1 + 1;
+        let n2 = (s2 as usize).pow(2);
+        let lo = self.model.total_model_error(s1);
+        let hi = self.model.total_model_error(s2);
+        let t = (n_regions - n1) as f64 / (n2 - n1) as f64;
+        lo + t * (hi - lo)
+    }
+
+    /// Theorem II.1's upper bound for an arbitrary partition: per-region
+    /// expression error plus the region-count model leg.
+    pub fn partition_bound<P: SpatialPartition + Sync>(
+        &mut self,
+        partition: &P,
+    ) -> Result<f64, CoreError> {
+        let expr = self.alpha.partition_expression_error(partition)?;
+        Ok(expr + self.model_error_for_regions(partition.n_regions()))
     }
 
     /// Full event-log passes performed since construction (always 1).
@@ -281,6 +337,49 @@ mod tests {
             min_idx > 0 && min_idx < curve.len() - 1,
             "minimum at the boundary: idx={min_idx}, curve={curve:?}"
         );
+    }
+
+    #[test]
+    fn trait_parameterised_oracle_matches_square_path() {
+        use gridtuner_spatial::UniformGrid;
+        let events = corner_events(7, 60);
+        let clock = SlotClock::default();
+        let mut oracle =
+            UpperBoundOracle::new(events, clock, window(), 16, |s: u32| (s * s) as f64 * 0.5);
+        for side in [1u32, 3, 4] {
+            let u = UniformGrid::for_budget(side, 16);
+            let via_trait = oracle.partition_expression_error(&u).unwrap();
+            let legacy = oracle.expression_error(side);
+            assert_eq!(via_trait.to_bits(), legacy.to_bits(), "side {side}");
+            // Square region counts take the exact (non-interpolated) leg.
+            let bound = oracle.partition_bound(&u).unwrap();
+            assert!((bound - oracle.eval(side)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn region_model_leg_interpolates_linearly_in_n() {
+        let events = corner_events(1, 1);
+        let mut oracle =
+            UpperBoundOracle::new(events, SlotClock::default(), window(), 16, |s: u32| {
+                (s * s) as f64 * 0.5
+            });
+        // Linear-in-n model: interpolation is exact at every region count.
+        for regions in [1usize, 2, 3, 5, 9, 12, 17, 100] {
+            let got = oracle.model_error_for_regions(regions);
+            assert!(
+                (got - 0.5 * regions as f64).abs() < 1e-9,
+                "R={regions}: {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn isqrt_is_exact() {
+        for n in 0usize..2000 {
+            let s = isqrt(n) as usize;
+            assert!(s * s <= n && (s + 1) * (s + 1) > n, "n={n} s={s}");
+        }
     }
 
     #[test]

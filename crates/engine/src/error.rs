@@ -7,8 +7,8 @@
 //! | kind       | exit code | meaning                                        |
 //! |------------|-----------|------------------------------------------------|
 //! | `Config`   | 2         | invalid configuration or arguments             |
-//! | `Data`     | 3         | the ingested data is unusable                  |
-//! | `Internal` | 4         | a model/spatial failure inside the pipeline    |
+//! | `Data`     | 3         | the ingested data or its spatial shape is unusable |
+//! | `Internal` | 4         | a model failure or broken pipeline invariant   |
 //! | `Env`      | 5         | a malformed environment variable               |
 //!
 //! The per-crate typed errors ([`CoreError`], [`SpatialError`],
@@ -27,11 +27,12 @@ pub enum EngineError {
     /// Invalid configuration: bad side range, unknown city preset,
     /// malformed arguments. Exit code 2.
     Config(String),
-    /// The ingested data is unusable (e.g. non-finite coordinates).
-    /// Exit code 3.
+    /// The ingested data or its spatial shape is unusable (e.g.
+    /// non-finite coordinates, a zero or non-divisible coarsen/spread
+    /// factor, a mismatched lattice). Exit code 3.
     Data(String),
-    /// An unexpected failure inside the pipeline: model training,
-    /// spatial shape mismatch. Exit code 4.
+    /// An unexpected failure inside the pipeline: model training, a
+    /// broken invariant. Exit code 4.
     Internal(String),
     /// A malformed environment variable (`GRIDTUNER_THREADS`,
     /// `GRIDTUNER_TESTKIT_SEED`, ...). Exit code 5.
@@ -79,15 +80,18 @@ impl From<CoreError> for EngineError {
             CoreError::InvalidSideRange { .. }
             | CoreError::InvalidSearchBound
             | CoreError::ZeroHgridBudget => EngineError::Config(e.to_string()),
-            CoreError::Data(_) => EngineError::Data(e.to_string()),
-            CoreError::Model { .. } | CoreError::Spatial(_) => EngineError::Internal(e.to_string()),
+            // Spatial failures describe the data's shape (zero or
+            // non-divisible factors, mismatched lattices), not a pipeline
+            // bug: exit 3, like the rest of the unusable-data class.
+            CoreError::Data(_) | CoreError::Spatial(_) => EngineError::Data(e.to_string()),
+            CoreError::Model { .. } => EngineError::Internal(e.to_string()),
         }
     }
 }
 
 impl From<SpatialError> for EngineError {
     fn from(e: SpatialError) -> Self {
-        EngineError::Internal(e.to_string())
+        EngineError::Data(e.to_string())
     }
 }
 
@@ -165,6 +169,26 @@ mod tests {
             CoreError::Data("α value NaN at local HGrid 3 is non-finite or negative".into()).into();
         assert_eq!(data.exit_code(), 3);
         assert_eq!(data.kind(), "data");
+    }
+
+    #[test]
+    fn spatial_errors_route_to_data_exit_3() {
+        use gridtuner_spatial::CountMatrix;
+        // The concrete failures the routing exists for: coarsen/spread
+        // with a zero or non-divisible factor return SpatialError, which
+        // must surface as unusable data (exit 3), not Internal.
+        let m = CountMatrix::zeros(6);
+        let zero: EngineError = m.coarsen(0).unwrap_err().into();
+        assert_eq!(zero.exit_code(), 3, "{zero}");
+        assert_eq!(zero.kind(), "data");
+        let nondiv: EngineError = m.coarsen(4).unwrap_err().into();
+        assert_eq!(nondiv.exit_code(), 3, "{nondiv}");
+        assert!(nondiv.to_string().contains("mismatch"), "{nondiv}");
+        let spread_zero: EngineError = m.spread(0).unwrap_err().into();
+        assert_eq!(spread_zero.exit_code(), 3, "{spread_zero}");
+        // And the wrapped form takes the same route.
+        let wrapped: EngineError = CoreError::Spatial(m.coarsen(0).unwrap_err()).into();
+        assert_eq!(wrapped.exit_code(), 3, "{wrapped}");
     }
 
     #[test]

@@ -20,7 +20,13 @@
 //!   data delta with memoised work served from the caches;
 //! * [`uncertainty`] — the optional bootstrap stage: B seeded replicate
 //!   tunes over resampled logs producing a confidence set over the side,
-//!   per-probe dispersion and a stable/plateau/unstable verdict.
+//!   per-probe dispersion and a stable/plateau/unstable verdict;
+//! * [`partition_search`] — the `PartitionSearch` stage: Theorem II.1's
+//!   bound minimised over non-square [`SpatialPartition`] families (rect
+//!   hill-climb, `D_α`-guided quadtree split/merge under a region cap),
+//!   with the 1-D uniform tune as the comparison baseline.
+//!
+//! [`SpatialPartition`]: gridtuner_spatial::SpatialPartition
 //!
 //! Model-error legs plug in through
 //! [`gridtuner_core::upper_bound::ModelErrorSource`] (or its `Sync`
@@ -32,12 +38,14 @@
 
 pub mod config;
 pub mod error;
+pub mod partition_search;
 pub mod session;
 pub mod stage;
 pub mod uncertainty;
 
 pub use config::{EngineConfig, EngineConfigBuilder};
 pub use error::{thread_diagnostics, thread_override, EngineError};
+pub use partition_search::{PartitionKind, PartitionLayout, PartitionReport};
 pub use session::{IngestReport, TuneReport, TuningSession};
 pub use stage::{StageKind, StageRecord};
 pub use uncertainty::{

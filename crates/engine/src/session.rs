@@ -277,6 +277,21 @@ impl<S> TuningSession<S> {
         Ok(gridtuner_dispatch::Simulator::new(sim))
     }
 
+    /// The α cache, built on first use — the partition-refinement search
+    /// shares the session's single-scan cache through this.
+    pub(crate) fn cache_handle(&mut self) -> Result<&AlphaFieldCache, EngineError> {
+        self.ensure_cache();
+        self.cache
+            .as_ref()
+            .ok_or_else(|| EngineError::Internal("α cache missing after the alpha stage".into()))
+    }
+
+    /// Appends a stage record (crate-internal: stages defined outside this
+    /// module, like the partition search, log through this).
+    pub(crate) fn push_stage(&mut self, record: StageRecord) {
+        self.stages.push(record);
+    }
+
     /// The α stage: build the cache on first use (the session's single
     /// full scan), serve it afterwards. Returns whether this call built it.
     fn ensure_cache(&mut self) -> bool {

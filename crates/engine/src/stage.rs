@@ -15,6 +15,9 @@ pub enum StageKind {
     Alpha,
     /// The configured search probed the upper bound.
     Search,
+    /// A partition-refinement search (rect hill-climb or quadtree
+    /// split/merge) ran on top of the 1-D search.
+    PartitionSearch,
     /// Bootstrap replicate tunes produced a confidence set.
     Uncertainty,
     /// The winning partition and trace were assembled.
@@ -30,6 +33,7 @@ impl StageKind {
             StageKind::Ingest => "ingest",
             StageKind::Alpha => "alpha",
             StageKind::Search => "search",
+            StageKind::PartitionSearch => "partition_search",
             StageKind::Uncertainty => "uncertainty",
             StageKind::Report => "report",
             StageKind::Dispatch => "dispatch",
@@ -76,6 +80,7 @@ mod tests {
             StageKind::Ingest,
             StageKind::Alpha,
             StageKind::Search,
+            StageKind::PartitionSearch,
             StageKind::Uncertainty,
             StageKind::Report,
             StageKind::Dispatch,
@@ -87,6 +92,7 @@ mod tests {
                 "ingest",
                 "alpha",
                 "search",
+                "partition_search",
                 "uncertainty",
                 "report",
                 "dispatch"

@@ -13,7 +13,10 @@
 //!   datasets);
 //! * [`counts`] — per-slot count matrices and series, with the
 //!   coarsen/spread operations that connect MGrid predictions to HGrid
-//!   estimates (`λ̄_ij = λ̂_i / m`).
+//!   estimates (`λ̄_ij = λ̂_i / m`);
+//! * [`partition`] — the [`partition::SpatialPartition`] trait generalising
+//!   the square layout to rectangular and quadtree partitions, all sharing
+//!   one HGrid lattice (the HGrid-aligned region invariant).
 //!
 //! Everything is deterministic and allocation-conscious: count series are
 //! stored as flat `Vec<f64>` in row-major `(slot, row, col)` order.
@@ -27,6 +30,7 @@ pub mod geom;
 pub mod grid;
 pub mod index;
 pub mod io;
+pub mod partition;
 pub mod time;
 
 pub use counts::{CountMatrix, CountSeries};
@@ -34,6 +38,9 @@ pub use events::{Event, TripRecord};
 pub use geom::{BBox, GeoBounds, Point};
 pub use grid::{CellId, GridSpec, Partition};
 pub use index::GridIndex;
+pub use partition::{
+    QuadLeaf, QuadTreePartition, RectGrid, RegionId, SpatialPartition, UniformGrid,
+};
 pub use time::{SlotClock, SlotId, SLOTS_PER_DAY, SLOT_MINUTES};
 
 /// Errors produced by the spatial substrate.

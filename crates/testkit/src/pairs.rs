@@ -20,6 +20,7 @@
 //! | `par-sum-determinism` | `par_sum` matches its documented fixed-block association |
 //! | `par-accumulate-determinism` | `par_accumulate` matches its documented chunked association |
 //! | `total-expr-par-vs-seq` | the parallel field sweep matches the sequential one, bit for bit |
+//! | `uniform-trait-vs-legacy` | the trait-dispatched `UniformGrid` sweep = the legacy square sweep, bit for bit, at 1/2/8 workers |
 //! | `batched-vs-seq-expression-error` | the batched kernel (cold or warm pmf memo) = the sequential sweep, bit for bit |
 //! | `expr-dedup-weight-conservation` | per-MGrid dedup multiplicities sum back to `m` |
 //! | `nn-dense-vs-naive` | the blocked dense kernel matches the naive mat-vec |
@@ -38,13 +39,14 @@ use gridtuner_core::expression::{
     expression_error_alg1, expression_error_alg2, expression_error_naive,
     expression_error_windowed, lemma_upper_bound, total_expression_error,
     total_expression_error_memo, total_expression_error_percell, total_expression_error_seq,
+    try_partition_expression_error,
 };
 use gridtuner_core::resample::resample_events;
 use gridtuner_core::search::{brute_force, iterative_method, ternary_search};
 use gridtuner_core::tuner::{GridTuner, SearchStrategy, TunerConfig};
 use gridtuner_engine::{BootstrapConfig, EngineConfig, TuningSession};
 use gridtuner_nn::{Conv2d, Dense, Layer, Tensor};
-use gridtuner_spatial::{CountMatrix, GridSpec, Partition};
+use gridtuner_spatial::{CountMatrix, GridSpec, Partition, UniformGrid};
 use rand::Rng;
 
 /// Relative + absolute closeness with a contextual label.
@@ -493,6 +495,38 @@ pub fn standard_checks() -> Vec<Check> {
                 total_expression_error_seq(alpha, &part),
             )
         })
+    }));
+
+    checks.push(Check::new("uniform-trait-vs-legacy", |s| {
+        // The `SpatialPartition` refactor's inertness gate: a `UniformGrid`
+        // wrapping the legacy square partition must reproduce the legacy
+        // batched sweep bit for bit — same per-region values, same
+        // SUM_BLOCK association — at every worker count in the matrix.
+        let cache = AlphaFieldCache::new(&s.events, &s.clock, &s.window);
+        let memo = PmfMemo::default();
+        let prev = gridtuner_par::max_threads();
+        let run = || -> Result<(), String> {
+            for threads in [1usize, 2, 8] {
+                gridtuner_par::set_max_threads(threads);
+                for side in 1..=s.params.max_side {
+                    let part = Partition::for_budget(side, s.params.budget_side);
+                    let alpha = cache.alpha(part.hgrid_spec());
+                    let legacy = total_expression_error_memo(&alpha, &part, &memo);
+                    let uniform = UniformGrid::new(part);
+                    let traited = try_partition_expression_error(&alpha, &uniform, Some(&memo))
+                        .map_err(|e| format!("side {side}: {e}"))?;
+                    bit_eq(
+                        &format!("side {side} at {threads} workers, trait vs legacy"),
+                        traited,
+                        legacy,
+                    )?;
+                }
+            }
+            Ok(())
+        };
+        let result = run();
+        gridtuner_par::set_max_threads(prev);
+        result
     }));
 
     checks.push(Check::new("batched-vs-seq-expression-error", |s| {
