@@ -1,7 +1,7 @@
 //! Poisson machinery: stable pmf ranges and exact sampling.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gridtuner_core::poisson::{mass_window, poisson_pmf_range};
+use gridtuner_core::poisson::{mass_window, poisson_pmf_into};
 use gridtuner_datagen::sample_poisson;
 use rand::{rngs::StdRng, SeedableRng};
 use std::time::Duration;
@@ -14,9 +14,11 @@ fn bench_poisson(c: &mut Criterion) {
             BenchmarkId::new("pmf_mass_window", lambda as u64),
             &lambda,
             |b, &l| {
+                let mut buf = Vec::new();
                 b.iter(|| {
                     let (lo, hi) = mass_window(l, 0);
-                    poisson_pmf_range(l, lo, hi)
+                    poisson_pmf_into(l, lo, hi, &mut buf);
+                    buf.last().copied()
                 })
             },
         );

@@ -32,6 +32,7 @@
 
 use crate::error::CoreError;
 use crate::poisson::{mass_window, poisson_pmf_into};
+use crate::simd::{F64x4, Lanes, ScalarLanes};
 use gridtuner_obs as obs;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
@@ -84,19 +85,24 @@ const CKPT_STRIDE: usize = 64;
 /// plus the windowed totals `Σ P(k)` and `Σ k·P(k)`. The cumulative and
 /// first-moment prefix values the Algorithm 2 brackets read are folded on
 /// the fly during evaluation, resumed from sparse checkpoints of the fold
-/// state stored every [`CKPT_STRIDE`] entries — same additions in the
-/// same order as stored prefix arrays, so results are bit-identical while
-/// each table holds one full-length buffer instead of three (≈3× more
-/// tables fit a given memo budget). Fills in place, so a scratch instance
-/// reused across cells stops allocating once its buffers reach the
-/// largest window seen.
+/// state stored every [`CKPT_STRIDE`] entries. The fold is the
+/// **canonical 4-lane association** (see [`crate::simd`]): within a
+/// stride, entry `j` accumulates into lane `j mod 4`, and stride
+/// boundaries fold the four lanes down `(l₀+l₁)+(l₂+l₃)` into a scalar
+/// base — so the AVX2 fill, the scalar-emulation fill and the
+/// entry-at-a-time evaluation walk all produce identical bits, while each
+/// table holds one full-length buffer instead of three (≈3× more tables
+/// fit a given memo budget). Fills in place, so a scratch instance reused
+/// across cells stops allocating once its buffers reach the largest
+/// window seen.
 #[derive(Debug, Clone, Default)]
 pub struct PmfTable {
     lo: u64,
     hi: u64,
     pmf: Vec<f64>,
     /// `ckpt[k]` = the (cum, mom) fold state after the first `k·STRIDE`
-    /// pmf entries; `ckpt[0]` is `(0, 0)`.
+    /// pmf entries, stored lane-folded (canonical scalars); `ckpt[0]` is
+    /// `(0, 0)`.
     ckpt: Vec<(f64, f64)>,
     cum_total: f64,
     mom_total: f64,
@@ -119,16 +125,8 @@ impl PmfTable {
         let (lo, hi) = mass_window(rate, 2);
         poisson_pmf_into(rate, lo, hi, &mut self.pmf);
         self.ckpt.clear();
-        let mut c = 0.0;
-        let mut s = 0.0;
-        self.ckpt.push((c, s));
-        for (i, &p) in self.pmf.iter().enumerate() {
-            c += p;
-            s += (lo + i as u64) as f64 * p;
-            if (i + 1) % CKPT_STRIDE == 0 {
-                self.ckpt.push((c, s));
-            }
-        }
+        self.ckpt.push((0.0, 0.0));
+        let (c, s) = fold_dispatch(lo, &self.pmf, &mut self.ckpt);
         self.lo = lo;
         self.hi = hi;
         self.cum_total = c;
@@ -168,6 +166,81 @@ impl PmfTable {
     }
 }
 
+/// Routes the checkpoint fold to the AVX2 instantiation when enabled and
+/// to the scalar emulation otherwise, bumping the SIMD routing counters
+/// once per fill (never inside the lane loops).
+fn fold_dispatch(lo: u64, pmf: &[f64], ckpt: &mut Vec<(f64, f64)>) -> (f64, f64) {
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::simd_enabled() {
+        obs::counter!("expr.simd_lanes_used").add(pmf.len() as u64);
+        // Safety: simd_enabled() implies AVX2 was detected at runtime.
+        return unsafe { fold_avx2(lo, pmf, ckpt) };
+    }
+    obs::counter!("expr.simd_fallbacks").inc();
+    fold_scalar(lo, pmf, ckpt)
+}
+
+fn fold_scalar(lo: u64, pmf: &[f64], ckpt: &mut Vec<(f64, f64)>) -> (f64, f64) {
+    // Safety: the scalar emulation has no hardware precondition.
+    unsafe { fold_body::<ScalarLanes>(lo, pmf, ckpt) }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn fold_avx2(lo: u64, pmf: &[f64], ckpt: &mut Vec<(f64, f64)>) -> (f64, f64) {
+    fold_body::<crate::simd::Avx2Lanes>(lo, pmf, ckpt)
+}
+
+/// The canonical 4-lane (cum, mom) fold, written once over the [`Lanes`]
+/// backend: entry `j` accumulates into lane `j mod 4` (`mom` as mul then
+/// add — never fused), every [`CKPT_STRIDE`] entries the lanes fold down
+/// `(l₀+l₁)+(l₂+l₃)` into the scalar base and a checkpoint is pushed,
+/// and the return value is the base plus the final partial lanes. The
+/// stride is a multiple of 4, so full strides are whole 4-wide waves and
+/// the sub-wave tail lands in the same lanes a wave would have used.
+#[inline(always)]
+unsafe fn fold_body<B: Lanes>(lo: u64, pmf: &[f64], ckpt: &mut Vec<(f64, f64)>) -> (f64, f64) {
+    let len = pmf.len();
+    let mut base_c = 0.0f64;
+    let mut base_s = 0.0f64;
+    let mut cl = F64x4::ZERO;
+    let mut sl = F64x4::ZERO;
+    let mut j = 0usize;
+    while j + CKPT_STRIDE <= len {
+        let stride_end = j + CKPT_STRIDE;
+        while j < stride_end {
+            let p = B::load(&pmf[j..]);
+            let k0 = lo + j as u64;
+            let kv = F64x4([k0 as f64, (k0 + 1) as f64, (k0 + 2) as f64, (k0 + 3) as f64]);
+            cl = B::add(cl, p);
+            sl = B::add(sl, B::mul(kv, p));
+            j += 4;
+        }
+        base_c += cl.hsum();
+        base_s += sl.hsum();
+        cl = F64x4::ZERO;
+        sl = F64x4::ZERO;
+        ckpt.push((base_c, base_s));
+    }
+    // Whole waves past the last checkpoint…
+    while j + 4 <= len {
+        let p = B::load(&pmf[j..]);
+        let k0 = lo + j as u64;
+        let kv = F64x4([k0 as f64, (k0 + 1) as f64, (k0 + 2) as f64, (k0 + 3) as f64]);
+        cl = B::add(cl, p);
+        sl = B::add(sl, B::mul(kv, p));
+        j += 4;
+    }
+    // …then the sub-wave tail, entry by entry into its canonical lane.
+    while j < len {
+        let p = pmf[j];
+        cl.0[j % 4] += p;
+        sl.0[j % 4] += (lo + j as u64) as f64 * p;
+        j += 1;
+    }
+    (base_c + cl.hsum(), base_s + sl.hsum())
+}
+
 /// `E_e` for one `(a, b, m)` group from prebuilt tables — the exact
 /// arithmetic of `expression_error_windowed` with the pmf/prefix work
 /// hoisted out, so the result is bit-identical to a fresh call.
@@ -178,9 +251,14 @@ impl PmfTable {
 /// walk forward a few entries each, and a query far ahead of the
 /// accumulator jumps it to the nearest [`CKPT_STRIDE`] checkpoint first,
 /// folding at most one stride instead of the gap. Past the window's end
-/// the prefix saturates to the windowed totals. Checkpoints, the walk and
-/// the totals are all states of the same left-to-right fold, so every
-/// path yields the bits a materialised prefix array would have.
+/// the prefix saturates to the windowed totals.
+///
+/// The running fold carries the canonical 4-lane state ([`fold_body`]):
+/// entry `j` lands in lane `j mod 4`, stride boundaries fold the lanes
+/// into the scalar base, and a prefix query reads base plus the partial
+/// lanes' tree fold. Checkpoints, the walk and the totals are all states
+/// of that same fold, so every path — including the AVX2 fill — yields
+/// identical bits.
 fn eval_tables(ta: &PmfTable, tb: &PmfTable, m: usize) -> f64 {
     debug_assert!(m > 1, "group evaluation requires m > 1");
     let lb = tb.lo as i64;
@@ -188,8 +266,10 @@ fn eval_tables(ta: &PmfTable, tb: &PmfTable, m: usize) -> f64 {
     let c_tot = tb.cum_total;
     let s_tot = tb.mom_total;
     let mut j = 0usize; // tb entries folded into the running prefix
-    let mut c_run = 0.0; // Σ tb.pmf[..j]
-    let mut s_run = 0.0; // Σ k·tb.pmf[..j]
+    let mut base_c = 0.0f64; // scalar base: strides folded so far
+    let mut base_s = 0.0f64;
+    let mut cl = F64x4::ZERO; // partial lanes of the current stride
+    let mut sl = F64x4::ZERO;
     let mut total = 0.0;
     for (i, &p_a) in ta.pmf.iter().enumerate() {
         let kh = ta.lo + i as u64;
@@ -205,15 +285,23 @@ fn eval_tables(ta: &PmfTable, tb: &PmfTable, m: usize) -> f64 {
                 let q = end / CKPT_STRIDE;
                 if q * CKPT_STRIDE > j {
                     j = q * CKPT_STRIDE;
-                    (c_run, s_run) = tb.ckpt[q];
+                    (base_c, base_s) = tb.ckpt[q];
+                    cl = F64x4::ZERO;
+                    sl = F64x4::ZERO;
                 }
                 while j < end {
                     let p = tb.pmf[j];
-                    c_run += p;
-                    s_run += (tb.lo + j as u64) as f64 * p;
+                    cl.0[j % 4] += p;
+                    sl.0[j % 4] += (tb.lo + j as u64) as f64 * p;
                     j += 1;
+                    if j.is_multiple_of(CKPT_STRIDE) {
+                        base_c += cl.hsum();
+                        base_s += sl.hsum();
+                        cl = F64x4::ZERO;
+                        sl = F64x4::ZERO;
+                    }
                 }
-                (c_run, s_run)
+                (base_c + cl.hsum(), base_s + sl.hsum())
             }
         };
         let bracket_c = 2.0 * c_t - c_tot;
@@ -221,6 +309,17 @@ fn eval_tables(ta: &PmfTable, tb: &PmfTable, m: usize) -> f64 {
         total += p_a * ((m - 1) as f64 * kh as f64 * bracket_c - bracket_s);
     }
     total / m as f64
+}
+
+/// `E_e(a, b, m)` from freshly built tables — the canonical definition of
+/// the windowed expression error, which every other path (memo hit,
+/// scratch refill, a = 0 fast path) must match bit for bit.
+/// [`crate::expression::expression_error_windowed`] is this plus argument
+/// validation.
+pub(crate) fn expression_error_kernel(a: f64, b: f64, m: usize) -> f64 {
+    let ta = PmfTable::build(a);
+    let tb = PmfTable::build(b);
+    eval_tables(&ta, &tb, m)
 }
 
 /// Default entry cap for [`PmfMemo`] — above the slot budget divided by a
@@ -784,24 +883,64 @@ mod tests {
     #[test]
     fn checkpoints_are_exact_fold_states() {
         // A window spanning many checkpoint strides: every stored
-        // checkpoint must be the plain left-to-right fold's state at its
+        // checkpoint must be the canonical 4-lane fold's state at its
         // stride boundary, bit for bit — that is what lets `eval_tables`
-        // jump the running accumulator without changing a ulp.
+        // jump the running accumulator without changing a ulp. The
+        // reference here is a plain scalar transcription of the canonical
+        // association: lane `j mod 4`, tree-folded `(l₀+l₁)+(l₂+l₃)` at
+        // each boundary.
         let t = PmfTable::build(740.0);
         assert_eq!(t.ckpt.len(), t.pmf.len() / CKPT_STRIDE + 1);
-        let mut c = 0.0f64;
-        let mut s = 0.0f64;
+        let mut base_c = 0.0f64;
+        let mut base_s = 0.0f64;
+        let mut cl = [0.0f64; 4];
+        let mut sl = [0.0f64; 4];
         for (i, &p) in t.pmf.iter().enumerate() {
             if i % CKPT_STRIDE == 0 {
                 let (cq, sq) = t.ckpt[i / CKPT_STRIDE];
-                assert_eq!(cq.to_bits(), c.to_bits(), "cum drift at idx {i}");
-                assert_eq!(sq.to_bits(), s.to_bits(), "mom drift at idx {i}");
+                assert_eq!(cq.to_bits(), base_c.to_bits(), "cum drift at idx {i}");
+                assert_eq!(sq.to_bits(), base_s.to_bits(), "mom drift at idx {i}");
             }
-            c += p;
-            s += (t.lo + i as u64) as f64 * p;
+            cl[i % 4] += p;
+            sl[i % 4] += (t.lo + i as u64) as f64 * p;
+            if (i + 1) % CKPT_STRIDE == 0 {
+                base_c += (cl[0] + cl[1]) + (cl[2] + cl[3]);
+                base_s += (sl[0] + sl[1]) + (sl[2] + sl[3]);
+                cl = [0.0; 4];
+                sl = [0.0; 4];
+            }
         }
-        assert_eq!(t.cum_total.to_bits(), c.to_bits());
-        assert_eq!(t.mom_total.to_bits(), s.to_bits());
+        base_c += (cl[0] + cl[1]) + (cl[2] + cl[3]);
+        base_s += (sl[0] + sl[1]) + (sl[2] + sl[3]);
+        assert_eq!(t.cum_total.to_bits(), base_c.to_bits());
+        assert_eq!(t.mom_total.to_bits(), base_s.to_bits());
+    }
+
+    #[test]
+    fn table_backends_are_bitwise_identical() {
+        // Fill + fold + evaluation must not depend on which backend ran:
+        // the AVX2 instantiation and the scalar emulation share the
+        // canonical lane association. (Without AVX2 both passes run the
+        // scalar body and the comparison is trivially true.)
+        let prev = crate::simd::simd_enabled();
+        for &(a, b, m) in CASES {
+            crate::simd::set_simd_enabled(false);
+            let (sc, ss, se) = {
+                let ta = PmfTable::build(a);
+                let tb = PmfTable::build(b);
+                (tb.cum_total, tb.mom_total, eval_tables(&ta, &tb, m))
+            };
+            crate::simd::set_simd_enabled(true);
+            let (vc, vs, ve) = {
+                let ta = PmfTable::build(a);
+                let tb = PmfTable::build(b);
+                (tb.cum_total, tb.mom_total, eval_tables(&ta, &tb, m))
+            };
+            crate::simd::set_simd_enabled(prev);
+            assert_eq!(sc.to_bits(), vc.to_bits(), "cum_total drift at b={b}");
+            assert_eq!(ss.to_bits(), vs.to_bits(), "mom_total drift at b={b}");
+            assert_eq!(se.to_bits(), ve.to_bits(), "E_e drift at ({a}, {b}, {m})");
+        }
     }
 
     #[test]

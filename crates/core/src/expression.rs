@@ -26,11 +26,11 @@
 //! `e^{-α}`, which underflows to zero for `α ≳ 745`; they are kept faithful
 //! for the algorithmic comparison and validated only in that domain.
 //! `alg2` and `windowed` anchor pmf evaluation at the mode
-//! (see [`crate::poisson::poisson_pmf_range`]) and have no such limit.
+//! (see [`crate::poisson::poisson_pmf_into`]) and have no such limit.
 
 use crate::error::CoreError;
 use crate::expr_kernel::{ExprWorkspace, PmfMemo};
-use crate::poisson::{mass_window, poisson_pmf_range};
+use crate::poisson::poisson_pmf_into;
 use gridtuner_spatial::{CellId, CountMatrix, Partition, RegionId, SpatialPartition};
 
 /// Expression error by brute force: every `p(r_ij, k_h, k_m)` is rebuilt by
@@ -103,8 +103,10 @@ pub fn expression_error_alg2(a: f64, b: f64, m: usize, k: usize) -> f64 {
         return 0.0;
     }
     let t1 = (m - 1) * k;
-    let pa = poisson_pmf_range(a, 0, k as u64);
-    let pb = poisson_pmf_range(b, 0, t1 as u64);
+    let mut pa = Vec::new();
+    let mut pb = Vec::new();
+    poisson_pmf_into(a, 0, k as u64, &mut pa);
+    poisson_pmf_into(b, 0, t1 as u64, &mut pb);
     // Prefix sums: cum[j] = Σ_{k≤j} P_b(k), mom[j] = Σ_{k≤j} k·P_b(k).
     let mut cum = vec![0.0; t1 + 1];
     let mut mom = vec![0.0; t1 + 1];
@@ -154,42 +156,11 @@ pub fn expression_error_windowed(a: f64, b: f64, m: usize) -> f64 {
     if m == 1 {
         return 0.0;
     }
-    let (la, ha) = mass_window(a, 2);
-    let (lb, hb) = mass_window(b, 2);
-    let pa = poisson_pmf_range(a, la, ha);
-    let pb = poisson_pmf_range(b, lb, hb);
-    let mut cum = vec![0.0; pb.len()];
-    let mut mom = vec![0.0; pb.len()];
-    let mut c = 0.0;
-    let mut s = 0.0;
-    for (i, &p) in pb.iter().enumerate() {
-        c += p;
-        s += (lb + i as u64) as f64 * p;
-        cum[i] = c;
-        mom[i] = s;
-    }
-    let c_tot = c;
-    let s_tot = s;
-    // Prefix value of cum/mom at absolute index t (saturating outside the
-    // window: below → 0, above → total).
-    let prefix = |arr: &[f64], tot: f64, t: i64| -> f64 {
-        if t < lb as i64 {
-            0.0
-        } else if t >= hb as i64 {
-            tot
-        } else {
-            arr[(t - lb as i64) as usize]
-        }
-    };
-    let mut total = 0.0;
-    for (i, &p_a) in pa.iter().enumerate() {
-        let kh = la + i as u64;
-        let t = ((m - 1) as u64 * kh) as i64 - 1;
-        let bracket_c = 2.0 * prefix(&cum, c_tot, t) - c_tot;
-        let bracket_s = 2.0 * prefix(&mom, s_tot, t) - s_tot;
-        total += p_a * ((m - 1) as f64 * kh as f64 * bracket_c - bracket_s);
-    }
-    total / m as f64
+    // Delegate to the batched kernel's table path: it *is* the canonical
+    // definition of the windowed error (mass windows, stride-4 pmf fill,
+    // 4-lane prefix fold), so a fresh call here and a memoised sweep
+    // evaluation produce identical bits by construction.
+    crate::expr_kernel::expression_error_kernel(a, b, m)
 }
 
 /// Sum of `E_e(i,j)` over all HGrids of one MGrid with per-HGrid means
@@ -338,12 +309,13 @@ pub fn partition_expression_error_seq<P: SpatialPartition>(
     let regions: Vec<RegionId> = (0..partition.n_regions()).map(RegionId).collect();
     let mut partials = Vec::with_capacity(regions.len().div_ceil(gridtuner_par::SUM_BLOCK).max(1));
     for block in regions.chunks(gridtuner_par::SUM_BLOCK) {
-        let mut p = 0.0;
-        for &rid in block {
+        // The canonical 4-lane in-block fold `par_sum_with` uses.
+        let mut lanes = [0.0f64; 4];
+        for (i, &rid) in block.iter().enumerate() {
             partition.region_cells_into(rid, &mut buf);
-            p += ws.mgrid_error_trusted(buf.iter().map(|&h| alpha.get(h)), &memo);
+            lanes[i % 4] += ws.mgrid_error_trusted(buf.iter().map(|&h| alpha.get(h)), &memo);
         }
-        partials.push(p);
+        partials.push((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]));
     }
     Ok(partials.iter().sum())
 }
@@ -398,11 +370,13 @@ pub fn total_expression_error_seq(alpha: &CountMatrix, partition: &Partition) ->
     let mgrids: Vec<_> = partition.mgrid_spec().cells().collect();
     let mut partials = Vec::with_capacity(mgrids.len().div_ceil(gridtuner_par::SUM_BLOCK).max(1));
     for block in mgrids.chunks(gridtuner_par::SUM_BLOCK) {
-        let mut p = 0.0;
-        for &mcell in block {
-            p += ws.mgrid_error_trusted(partition.hgrid_iter(mcell).map(|h| alpha.get(h)), &memo);
+        // The canonical 4-lane in-block fold `par_sum_with` uses.
+        let mut lanes = [0.0f64; 4];
+        for (i, &mcell) in block.iter().enumerate() {
+            lanes[i % 4] +=
+                ws.mgrid_error_trusted(partition.hgrid_iter(mcell).map(|h| alpha.get(h)), &memo);
         }
-        partials.push(p);
+        partials.push((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]));
     }
     partials.iter().sum()
 }

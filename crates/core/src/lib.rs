@@ -14,6 +14,9 @@
 //!
 //! * [`poisson`] — numerically-stable Poisson machinery (log-space pmf,
 //!   closed-form mean absolute deviation, exact sampling);
+//! * [`simd`] — the dependency-free 4-lane `f64` layer the hot kernels
+//!   dispatch through: AVX2 intrinsics under runtime detection, with a
+//!   bit-exact scalar emulation of the same canonical lane association;
 //! * [`expression`] — the expression error `E_e(i,j) = E|λ̄_ij − λ_ij|`
 //!   under the Poisson model: the naive `O(mK³)` computation, the paper's
 //!   Algorithm 1 (`O(mK²)`), Algorithm 2 (`O(mK)`), and an adaptive-window
@@ -48,6 +51,7 @@ pub mod metrics;
 pub mod poisson;
 pub mod resample;
 pub mod search;
+pub mod simd;
 pub mod tuner;
 pub mod upper_bound;
 
@@ -70,6 +74,7 @@ pub use search::{
     try_brute_force_parallel, try_iterative_method, try_ternary_search, ErrorOracle, MemoOracle,
     SearchOutcome, SyncErrorOracle,
 };
+pub use simd::{env_simd_override, set_simd_enabled, simd_enabled, SimdBackend};
 pub use tuner::{GridTuner, TunerConfig, TunerResult};
 pub use upper_bound::{
     InfallibleSource, ModelErrorFn, ModelErrorSource, SyncModelErrorSource, UpperBoundOracle,

@@ -46,13 +46,32 @@ use gridtuner_obs as obs;
 const MIN_ITEMS_PER_THREAD: usize = 2;
 
 /// Fixed reduction granularity for [`par_sum`]/[`par_sum_with`]: items are
-/// folded into per-block partials of this size and the partials are added
-/// in block order. Because the block size is a constant, the association —
-/// and so the summed value, bit for bit — is the same for every worker
-/// count. Public so sequential reference implementations (e.g. the batched
-/// expression-error kernel's `total_expression_error_seq`) can replicate
-/// the exact association.
+/// folded into per-block partials of this size (64 f64 = 512 bytes = 8
+/// cache lines, so a block's inputs prefetch as one streaming run) and
+/// the partials are added in block order. Within a block the fold is the
+/// canonical 4-lane association (see [`block_fold`]). Because the block
+/// size is a constant, the association — and so the summed value, bit for
+/// bit — is the same for every worker count. Public so sequential
+/// reference implementations (e.g. the batched expression-error kernel's
+/// `total_expression_error_seq`) can replicate the exact association.
 pub const SUM_BLOCK: usize = 64;
+
+/// One block's partial sum under the **canonical 4-lane association**:
+/// item `i` of the block accumulates into lane `i mod 4`, and the lanes
+/// are tree-folded `(l₀+l₁)+(l₂+l₃)`. This is the same association
+/// `gridtuner-core`'s SIMD kernels define as canonical, kept here in
+/// scalar form — block values come from arbitrary closures, so what
+/// determinism pins is the association, not the instruction set (and the
+/// four independent accumulator chains give the compiler the same ILP a
+/// vector register would). `f` is invoked once per item, in item order.
+#[inline]
+fn block_fold<T, S>(block: &[T], state: &mut S, f: &impl Fn(&mut S, &T) -> f64) -> f64 {
+    let mut lanes = [0.0f64; 4];
+    for (i, item) in block.iter().enumerate() {
+        lanes[i % 4] += f(state, item);
+    }
+    (lanes[0] + lanes[1]) + (lanes[2] + lanes[3])
+}
 
 /// Fixed chunk count for [`par_accumulate`]: bounds partial-buffer memory
 /// at `ACC_CHUNKS × len` floats while keeping the chunk boundaries (and so
@@ -227,10 +246,11 @@ pub fn par_map_indexed<T: Sync, U: Send>(items: &[T], f: impl Fn(usize, &T) -> U
 }
 
 /// Deterministic parallel sum: items are folded into per-block partials of
-/// [`SUM_BLOCK`] elements (each block summed left to right), and the
-/// partials are added in block order. The blocking depends only on
-/// `items.len()`, so the floating-point association is fixed: sequential
-/// and parallel runs agree **bit-for-bit for every worker count**.
+/// [`SUM_BLOCK`] elements (each block folded with the canonical 4-lane
+/// association, see [`block_fold`]), and the partials are added in block
+/// order. The blocking depends only on `items.len()`, so the
+/// floating-point association is fixed: sequential and parallel runs
+/// agree **bit-for-bit for every worker count**.
 pub fn par_sum<T: Sync>(items: &[T], f: impl Fn(&T) -> f64 + Sync) -> f64 {
     par_sum_with(items, || (), |_, t| f(t))
 }
@@ -255,11 +275,7 @@ pub fn par_sum_with<T: Sync, S>(
         let mut state = init();
         let mut total = 0.0f64;
         for block in items.chunks(SUM_BLOCK.max(1)) {
-            let mut p = 0.0;
-            for t in block {
-                p += f(&mut state, t);
-            }
-            total += p;
+            total += block_fold(block, &mut state, &f);
         }
         return total;
     }
@@ -277,11 +293,7 @@ pub fn par_sum_with<T: Sync, S>(
             let end = (b1 * SUM_BLOCK).min(items.len());
             let mut partials = Vec::with_capacity(b1 - b0);
             for block in items[start..end].chunks(SUM_BLOCK) {
-                let mut p = 0.0;
-                for item in block {
-                    p += f(&mut state, item);
-                }
-                partials.push(p);
+                partials.push(block_fold(block, &mut state, &f));
             }
             *lock_unpoisoned(&parts[t]) = partials;
         }

@@ -28,6 +28,7 @@
 //! | `theorem-ii1-empirical` | real ≤ model + expression on arbitrary samples (and the slack bound) |
 //! | `bootstrap-replicate-vs-direct` | a bootstrap replicate's tune = tuning the materialised resampled log directly, bit for bit |
 //! | `bootstrap-seed-determinism` | same seed and B → the same confidence set, run to run, sequential or parallel, pipeline on or off |
+//! | `simd-vs-scalar-emulation` | a full tune is bit-identical under the AVX2 backend and its scalar emulation, at 1/2/8 workers, pipeline on or off |
 
 use crate::diff::Check;
 use crate::scenario::Scenario;
@@ -438,11 +439,19 @@ pub fn standard_checks() -> Vec<Check> {
         let n = rng.gen_range(0..600usize);
         let items: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let got = gridtuner_par::par_sum(&items, |x| x * x);
-        // The documented contract: fold fixed 64-element blocks, then sum
-        // the block partials in order — independent of the worker count.
+        // The documented contract: fold fixed 64-element blocks — each
+        // with the canonical 4-lane association (item i into lane i mod 4,
+        // lanes tree-folded (l₀+l₁)+(l₂+l₃)) — then sum the block partials
+        // in order, independent of the worker count.
         let reference: f64 = items
             .chunks(64)
-            .map(|block| block.iter().map(|x| x * x).sum::<f64>())
+            .map(|block| {
+                let mut lanes = [0.0f64; 4];
+                for (i, x) in block.iter().enumerate() {
+                    lanes[i % 4] += x * x;
+                }
+                (lanes[0] + lanes[1]) + (lanes[2] + lanes[3])
+            })
             .sum();
         bit_eq("par_sum vs documented block association", got, reference)?;
         let plain: f64 = items.iter().map(|x| x * x).sum();
@@ -793,6 +802,64 @@ pub fn standard_checks() -> Vec<Check> {
         Ok(())
     }));
 
+    checks.push(Check::new("simd-vs-scalar-emulation", |s| {
+        // The SIMD layer's whole contract in one differential: the AVX2
+        // backend and its scalar emulation replay the same canonical
+        // 4-lane association, so a full tune — selected side, error bits,
+        // per-probe decomposition — must be bit-identical across
+        // backends, at every worker count, pipeline on or off. On hosts
+        // without AVX2 both settings run the scalar path and the check
+        // degenerates to a replay-determinism test.
+        let model = s.model_fn();
+        let prev_threads = gridtuner_par::max_threads();
+        let prev_simd = gridtuner_core::simd_enabled();
+        let (lo, hi) = s.params.side_range();
+        let run = |simd: bool, threads: usize, pipeline: bool| -> Result<_, String> {
+            gridtuner_core::set_simd_enabled(simd);
+            gridtuner_par::set_max_threads(threads);
+            let cfg = EngineConfig::builder()
+                .hgrid_budget_side(s.params.budget_side)
+                .side_range(lo, hi)
+                .strategy(SearchStrategy::BruteForce)
+                .alpha_window(s.window)
+                .clock(s.clock)
+                .pipeline(pipeline)
+                .build()
+                .map_err(|e| e.to_string())?;
+            let mut session = TuningSession::new(cfg, model).map_err(|e| e.to_string())?;
+            session.ingest(&s.events).map_err(|e| e.to_string())?;
+            let r = session.tune_parallel().map_err(|e| e.to_string())?;
+            let probes: Vec<(u32, u64)> = r
+                .outcome
+                .probes
+                .iter()
+                .map(|&(side, e)| (side, e.to_bits()))
+                .collect();
+            Ok((r.outcome.side, r.outcome.error.to_bits(), probes))
+        };
+        let result = (|| {
+            let reference = run(false, 1, false)?;
+            for simd in [false, true] {
+                for threads in [1usize, 2, 8] {
+                    for pipeline in [false, true] {
+                        let got = run(simd, threads, pipeline)?;
+                        if got != reference {
+                            return Err(format!(
+                                "tune diverged at simd={simd}, {threads} threads, \
+                                 pipeline={pipeline}: {got:?} vs scalar 1-thread \
+                                 reference {reference:?}"
+                            ));
+                        }
+                    }
+                }
+            }
+            Ok(())
+        })();
+        gridtuner_core::set_simd_enabled(prev_simd);
+        gridtuner_par::set_max_threads(prev_threads);
+        result
+    }));
+
     checks
 }
 
@@ -803,7 +870,7 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_stable() {
         let checks = standard_checks();
-        assert!(checks.len() >= 13, "registry shrank to {}", checks.len());
+        assert!(checks.len() >= 24, "registry shrank to {}", checks.len());
         let mut names: Vec<&str> = checks.iter().map(|c| c.name).collect();
         names.sort_unstable();
         let before = names.len();

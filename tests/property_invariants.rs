@@ -4,7 +4,7 @@ use gridtuner::core::errors::{evaluate_errors, ErrorSample};
 use gridtuner::core::expression::{
     expression_error_alg1, expression_error_alg2, expression_error_windowed, lemma_upper_bound,
 };
-use gridtuner::core::poisson::{mass_window, poisson_mad, poisson_pmf_range};
+use gridtuner::core::poisson::{mass_window, poisson_mad, poisson_pmf_into};
 use gridtuner::spatial::{CountMatrix, GridSpec, Partition, Point};
 use proptest::prelude::*;
 
@@ -43,7 +43,9 @@ proptest! {
     #[test]
     fn pmf_mass_window_is_complete(lambda in 0.0f64..20_000.0) {
         let (lo, hi) = mass_window(lambda, 0);
-        let total: f64 = poisson_pmf_range(lambda, lo, hi).iter().sum();
+        let mut pmf = Vec::new();
+        poisson_pmf_into(lambda, lo, hi, &mut pmf);
+        let total: f64 = pmf.iter().sum();
         prop_assert!((total - 1.0).abs() < 1e-6, "λ={lambda}: {total}");
     }
 
@@ -51,7 +53,9 @@ proptest! {
     #[test]
     fn poisson_mad_matches_series(lambda in 0.01f64..2_000.0) {
         let (lo, hi) = mass_window(lambda, 5);
-        let series: f64 = poisson_pmf_range(lambda, lo, hi)
+        let mut pmf = Vec::new();
+        poisson_pmf_into(lambda, lo, hi, &mut pmf);
+        let series: f64 = pmf
             .iter()
             .enumerate()
             .map(|(i, p)| ((lo + i as u64) as f64 - lambda).abs() * p)
